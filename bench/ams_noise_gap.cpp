@@ -1,0 +1,58 @@
+// NOISEGAP — paper §5.1: "During a co-simulation it was not possible to
+// examine the influence of the noise figure, because the AMS Designer does
+// not support the Verilog-AMS noise functions. This causes, that the
+// measured BER values were better than the results from the corresponding
+// SPW only simulation."
+//
+// Three runs of the identical link near sensitivity:
+//   1. system-level model, RF noise sources active       (SPW reference)
+//   2. co-simulation, noise functions unsupported        (AMS 2.0 behavior)
+//   3. co-simulation with the random-function workaround (paper's fix)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace wlansim;
+  bench::banner("NOISEGAP", "co-simulated BER optimistic without noise "
+                            "functions (sec. 5.1)",
+                "co-sim BER/EVM better than the SPW reference; the "
+                "workaround restores agreement");
+
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.rx_power_dbm = -81.0;          // near sensitivity: chain noise matters
+  cfg.rate = phy::Rate::kMbps24;
+  cfg.snr_db.reset();                // antenna thermal floor only
+  cfg.cosim.analog_oversample = 16;  // keep three full BER runs affordable
+  const std::size_t packets = 25;
+
+  const core::NoiseGapResult r = core::experiment_noise_gap(cfg, packets);
+
+  std::printf("operating point: %.0f dBm, %s, %zu packets/run\n\n",
+              cfg.rx_power_dbm,
+              std::string(phy::rate_name(cfg.rate)).c_str(), packets);
+  std::printf("%-44s %10s %8s\n", "configuration", "BER", "EVM%");
+  std::printf("%-44s %10.2e %8.2f\n",
+              "system-level (SPW), noise sources active", r.ber_system,
+              100.0 * r.evm_system);
+  std::printf("%-44s %10.2e %8.2f\n",
+              "co-simulation, noise functions unsupported",
+              r.ber_cosim_nonoise, 100.0 * r.evm_cosim_nonoise);
+  std::printf("%-44s %10.2e %8s\n",
+              "co-simulation + random-function workaround", r.ber_cosim_fixed,
+              "-");
+
+  const bool optimistic = r.evm_cosim_nonoise < r.evm_system &&
+                          r.ber_cosim_nonoise <= r.ber_system;
+  const bool fixed_close =
+      std::abs(r.ber_cosim_fixed - r.ber_system) <
+      0.5 * std::max(r.ber_system, 1e-3);
+  std::printf("\nco-sim without noise is optimistic: %s\n",
+              optimistic ? "yes (as in the paper)" : "NO");
+  std::printf("workaround restores agreement with SPW: %s\n",
+              fixed_close ? "yes" : "NO");
+  const bool ok = optimistic && fixed_close;
+  std::printf("\nresult: %s\n", ok ? "SHAPE REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// ARCH — the paper's §2.2 design rationale, made measurable: "The first
+// mixer converts the signal to half of the RF frequency, with a image
+// frequency around zero. As there is no signal at 0 Hz, this architecture
+// overcomes problems concerning image rejection. ... DC-offsets and
+// flicker (1/f) noise are filtered out by high-pass filtering between the
+// stages."
+//
+// Compares the paper's double-conversion receiver against a zero-IF
+// (direct-conversion) receiver under the impairments that separate them:
+// the wandering LO-leakage self-mixing product (drifts inside the occupied
+// spectrum at zero IF, removed between the stages in the half-RF design)
+// and IQ imbalance (first-order at zero IF, negligible when quadrature is
+// generated at one fixed frequency).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "rf/direct_conversion.h"
+
+namespace {
+
+using namespace wlansim;
+
+core::BerResult run_zif(double wander_rms, double iq_gain_db,
+                        double iq_phase_deg, std::size_t packets) {
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.rf_engine = core::RfEngine::kCustom;
+  const double fs = phy::kSampleRate * cfg.oversample;
+  cfg.custom_rf = [=](dsp::Rng rng) -> std::unique_ptr<rf::RfBlock> {
+    rf::DirectConversionConfig zc;
+    zc.sample_rate_hz = fs;
+    zc.dynamic_dc_rms = wander_rms;
+    zc.iq_gain_imbalance_db = iq_gain_db;
+    zc.iq_phase_error_deg = iq_phase_deg;
+    return std::make_unique<rf::DirectConversionReceiver>(zc, rng);
+  };
+  core::WlanLink link(cfg);
+  return link.run_ber(packets);
+}
+
+core::BerResult run_double(std::size_t packets) {
+  core::LinkConfig cfg = core::default_link_config();
+  core::WlanLink link(cfg);
+  return link.run_ber(packets);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ARCH", "double-conversion vs zero-IF architecture "
+                        "(sec. 2.2 rationale)",
+                "the wandering self-mixing product and IQ imbalance degrade "
+                "the zero-IF chain; the double-conversion chain is immune "
+                "by construction");
+
+  const std::size_t packets = 10;
+
+  // Signal at the mixer output is ~-34 dBm (6e-4 sqrt(W) RMS); sweep the
+  // wandering product from negligible to a quarter of the signal level.
+  std::printf("wandering LO self-mixing product (nominal 0.3 dB / 2 deg IQ "
+              "imbalance, %zu packets):\n", packets);
+  std::printf("%18s  %12s %8s\n", "wander RMS", "zeroIF BER", "EVM%");
+  double zif_evm_lo = 0.0, zif_evm_hi = 0.0;
+  for (double rms : {3e-6, 3e-5, 1.5e-4}) {
+    const core::BerResult z = run_zif(rms, 0.3, 2.0, packets);
+    std::printf("%18.1e  %12.2e %8.2f\n", rms, z.ber(),
+                100.0 * z.evm_rms_avg);
+    if (rms == 3e-6) zif_evm_lo = z.evm_rms_avg;
+    zif_evm_hi = z.evm_rms_avg;
+  }
+  const core::BerResult d_ref = run_double(packets);
+  std::printf("%18s  %12.2e %8.2f  (immune: product removed at IF)\n",
+              "double conversion", d_ref.ber(), 100.0 * d_ref.evm_rms_avg);
+
+  // IQ imbalance: a first-order zero-IF problem — the whole band folds
+  // onto itself through the image. (The double-conversion design generates
+  // quadrature at one fixed frequency and holds ~0 imbalance.)
+  std::printf("\nzero-IF IQ imbalance sweep (%zu packets):\n", packets);
+  std::printf("%24s  %12s %8s\n", "gain dB / phase deg", "zeroIF BER",
+              "EVM%");
+  std::vector<double> iq_evm;
+  const double iq_steps[][2] = {{0.0, 0.0}, {0.3, 2.0}, {1.0, 5.0},
+                                {2.0, 10.0}};
+  for (const auto& s : iq_steps) {
+    const core::BerResult z = run_zif(3e-6, s[0], s[1], packets);
+    std::printf("%14.1f / %-7.0f  %12.2e %8.2f\n", s[0], s[1], z.ber(),
+                100.0 * z.evm_rms_avg);
+    iq_evm.push_back(z.evm_rms_avg);
+  }
+
+  const bool wander_hurts = zif_evm_hi > 1.3 * zif_evm_lo;
+  const bool double_immune = d_ref.ber() < 1e-2;
+  const bool iq_hurts = iq_evm.back() > 1.3 * iq_evm.front();
+  std::printf("\nwandering product degrades zero IF: %s; double conversion "
+              "immune: %s; IQ imbalance degrades zero IF: %s\n",
+              wander_hurts ? "yes" : "NO", double_immune ? "yes" : "NO",
+              iq_hurts ? "yes" : "NO");
+  std::printf("(note: 1/f noise with a corner below the first occupied "
+              "subcarrier is benign for OFDM in either architecture — the "
+              "DC null absorbs it.)\n");
+  const bool ok = wander_hurts && double_immune && iq_hurts;
+  std::printf("\nresult: %s\n", ok ? "SHAPE REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// Shared helpers for the reproduction benches: consistent headers and
+// table printing so every binary reports paper-vs-measured the same way.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace wlansim::bench {
+
+inline void banner(const char* experiment_id, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment_id, paper_artifact);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace wlansim::bench

@@ -1,0 +1,81 @@
+// BLACKBOX — paper §4 (flow option two) and §6: "the J&K models [6] are
+// available to bring the RF subsystems of receiver and transmitter as
+// black-box into a SPW system simulation."
+//
+// Extracts a J&K-style surrogate (frequency response + AM/AM + AM/PM +
+// equivalent noise) from the full double-conversion chain, then runs the
+// identical WLAN link with both and compares fidelity and speed.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "rf/blackbox.h"
+
+int main() {
+  using namespace wlansim;
+  bench::banner("BLACKBOX", "J&K black-box model of the RF subsystem",
+                "the extracted surrogate matches the full chain's link "
+                "quality and simulates faster");
+
+  // A static-gain variant of the front-end (extraction needs the chain in
+  // a settled state, like the PSS-based K-model extraction).
+  core::LinkConfig base = core::default_link_config();
+  base.rf.agc.loop_gain = 0.0;
+  base.rf.agc.initial_gain_db = 0.0;
+  base.rf.adc.enabled = false;
+
+  rf::DoubleConversionConfig rfc = base.rf;
+  rfc.sample_rate_hz = phy::kSampleRate * base.oversample;
+  rf::DoubleConversionReceiver chain(rfc, dsp::Rng(99));
+
+  std::printf("extracting (frequency grid + envelope sweep + noise)...\n");
+  rf::ExtractionConfig ec;
+  const auto t0 = std::chrono::steady_clock::now();
+  const rf::BlackBoxData data = rf::extract_blackbox(chain, ec);
+  const double t_extract =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("extraction done in %.2f s (%zu frequency points, %zu "
+              "envelope points)\n\n", t_extract, data.freq_hz.size(),
+              data.env_in.size());
+
+  const std::size_t packets = 20;
+
+  core::LinkConfig full = base;
+  const auto t1 = std::chrono::steady_clock::now();
+  core::WlanLink full_link(full);
+  const core::BerResult r_full = full_link.run_ber(packets);
+  const double t_full =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+
+  core::LinkConfig surr = base;
+  surr.rf_engine = core::RfEngine::kCustom;
+  surr.custom_rf = [&data](dsp::Rng rng) {
+    return std::make_unique<rf::BlackBoxModel>(data, rng);
+  };
+  const auto t2 = std::chrono::steady_clock::now();
+  core::WlanLink surr_link(surr);
+  const core::BerResult r_surr = surr_link.run_ber(packets);
+  const double t_surr =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
+          .count();
+
+  std::printf("%-26s %10s %8s %10s\n", "model", "BER", "EVM%", "time [s]");
+  std::printf("%-26s %10.2e %8.2f %10.2f\n", "full behavioral chain",
+              r_full.ber(), 100.0 * r_full.evm_rms_avg, t_full);
+  std::printf("%-26s %10.2e %8.2f %10.2f\n", "extracted black-box",
+              r_surr.ber(), 100.0 * r_surr.evm_rms_avg, t_surr);
+  std::printf("\nspeedup %.1fx; EVM difference %.2f points\n",
+              t_full / t_surr,
+              100.0 * std::abs(r_full.evm_rms_avg - r_surr.evm_rms_avg));
+
+  const bool fidelity =
+      std::abs(r_full.evm_rms_avg - r_surr.evm_rms_avg) < 0.04 &&
+      r_surr.ber() < 1e-2 && r_full.ber() < 1e-2;
+  const bool faster = t_surr < t_full;
+  std::printf("\nresult: %s\n",
+              (fidelity && faster) ? "SHAPE REPRODUCED" : "MISMATCH");
+  return (fidelity && faster) ? 0 : 1;
+}

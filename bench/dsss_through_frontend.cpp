@@ -1,0 +1,123 @@
+// DSSSRF — the legacy 802.11b modem through the paper's double-conversion
+// front-end: a zero-order-hold chip DAC puts the 11 Mchip/s waveform onto
+// the 80 Msps RF scene, and a chip-rate integrate-and-dump with sub-chip
+// timing search recovers it — how a multi-mode receiver reuses one analog
+// front-end for both PHYs (the combined world of the paper's Table 1).
+// Two front-end reconfigurations prove necessary and are part of the
+// finding: the channel filter opens to the 11b bandwidth, and the
+// interstage DC notch backs off (DSSS has low-frequency content that
+// CCK's 8-chip correlation cannot lose).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/awgn.h"
+#include "dsp/mathutil.h"
+#include "dsp/resample.h"
+#include "phy80211b/chips.h"
+#include "phy80211b/receiver.h"
+#include "phy80211b/transmitter.h"
+#include "rf/receiver_chain.h"
+
+namespace {
+
+using namespace wlansim;
+
+bool run_frame(phy11b::Rate11b rate, double rx_dbm, std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  phy11b::Transmitter11b tx({.scrambler_seed = 0x6C,
+                             .output_power_dbm = rx_dbm});
+  const phy::Bytes payload = phy::random_bytes(100, rng);
+  dsp::CVec chips = tx.modulate({rate, payload});
+  dsp::CVec padded(600, dsp::Cplx{0.0, 0.0});
+  padded.insert(padded.end(), chips.begin(), chips.end());
+  padded.insert(padded.end(), 300, dsp::Cplx{0.0, 0.0});
+
+  // Chip DAC: zero-order hold onto the 80 Msps grid (rectangular chips,
+  // the real DSSS transmit waveform; a bandlimited interpolator would
+  // destroy the chip edges).
+  const double ratio = 80.0 / 11.0;
+  dsp::CVec at80(static_cast<std::size_t>(padded.size() * ratio));
+  for (std::size_t k = 0; k < at80.size(); ++k) {
+    const auto idx = static_cast<std::size_t>(static_cast<double>(k) / ratio);
+    at80[k] = padded[std::min(idx, padded.size() - 1)];
+  }
+
+  // Antenna thermal floor.
+  dsp::Rng nrng = rng.fork();
+  at80 = channel::add_awgn(at80, dsp::kBoltzmann * dsp::kT0 * 80e6, nrng);
+
+  // The paper's double-conversion front-end in its DSSS mode: channel
+  // filter opened to the 11b bandwidth (25 MHz channel spacing) and the
+  // interstage DC notch backed off to 20 kHz/1st order — unlike OFDM, the
+  // DSSS spectrum has low-frequency content and CCK's short 8-chip
+  // correlation cannot absorb the notch's baseline wander.
+  rf::DoubleConversionConfig rfc;
+  rfc.sample_rate_hz = 80e6;
+  rfc.bb_filter_edge_hz = 14e6;
+  rfc.hpf_cutoff_hz = 20e3;
+  rfc.hpf_order = 1;
+  rf::DoubleConversionReceiver chain(rfc, rng.fork());
+  const dsp::CVec out80 = chain.process(at80);
+
+  // Chip-rate integrate-and-dump with sub-chip timing search (chip-timing
+  // recovery): average over each chip interval at a few trial phases.
+  phy11b::Receiver11b rx;
+  for (std::size_t off : {0u, 2u, 4u, 6u}) {
+    dsp::CVec out11(
+        static_cast<std::size_t>((out80.size() - off) / ratio));
+    for (std::size_t k = 0; k < out11.size(); ++k) {
+      const auto lo =
+          off + static_cast<std::size_t>(static_cast<double>(k) * ratio);
+      const auto hi = std::min(
+          out80.size(),
+          off + static_cast<std::size_t>(static_cast<double>(k + 1) * ratio));
+      dsp::Cplx acc{0.0, 0.0};
+      for (std::size_t i = lo; i < hi; ++i) acc += out80[i];
+      out11[k] = acc / static_cast<double>(std::max<std::size_t>(1, hi - lo));
+    }
+    const phy11b::RxResult11b res = rx.receive(out11);
+    if (res.header_ok && res.psdu == payload) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("DSSSRF", "802.11b DSSS through the double-conversion "
+                          "front-end",
+                "the legacy modem survives the modern analog chain at "
+                "operating levels and dies at the thermal floor");
+
+  std::printf("%-26s", "level");
+  const phy11b::Rate11b rates[] = {phy11b::Rate11b::kMbps1,
+                                   phy11b::Rate11b::kMbps2,
+                                   phy11b::Rate11b::kMbps5_5,
+                                   phy11b::Rate11b::kMbps11};
+  for (auto r : rates) std::printf("  %8.1f", phy11b::rate_bps(r) / 1e6);
+  std::printf("  (Mbps, frames delivered / 4)\n");
+
+  int delivered_nominal = 0;
+  int delivered_weak = 0;
+  for (double dbm : {-60.0, -88.0, -97.0}) {
+    std::printf("%-24.0f dBm", dbm);
+    for (auto r : rates) {
+      int ok = 0;
+      for (std::uint64_t s = 0; s < 4; ++s)
+        ok += run_frame(r, dbm, 100 * s + static_cast<int>(r)) ? 1 : 0;
+      std::printf("  %8d", ok);
+      if (dbm == -60.0) delivered_nominal += ok;
+      if (dbm == -97.0) delivered_weak += ok;
+    }
+    std::printf("\n");
+  }
+
+  // Shape: clean at -60 dBm, mostly dead at -97 dBm (below the DSSS
+  // sensitivity even with the Barker processing gain).
+  const bool ok = delivered_nominal >= 14 && delivered_weak <= 8;
+  std::printf("\nnominal level: %d/16 frames, near floor: %d/16\n",
+              delivered_nominal, delivered_weak);
+  std::printf("\nresult: %s\n", ok ? "SHAPE REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+// PERF — paper §4.1/§6: "the simulator is able to analyze very large
+// systems in a sufficient time. It provides simulations in interpreted or
+// compiled mode. The compiled mode (SPB-C) is suggested for long
+// simulation times."
+//
+// Google-benchmark microbenches of the engine and the hot kernels.
+#include <benchmark/benchmark.h>
+
+#include "core/link.h"
+#include "core/experiments.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+#include "phy80211a/convcode.h"
+#include "phy80211b/chips.h"
+#include "rf/receiver_chain.h"
+#include "sim/graph.h"
+
+namespace {
+
+using namespace wlansim;
+
+void BM_Fft64(benchmark::State& state) {
+  dsp::Fft fft(64);
+  dsp::Rng rng(1);
+  dsp::CVec x(64);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  for (auto _ : state) {
+    fft.forward(std::span<dsp::Cplx>(x));
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  dsp::Rng rng(2);
+  phy::Bits info(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : info) b = rng.bit() ? 1 : 0;
+  for (int i = 0; i < 6; ++i) info.push_back(0);
+  const phy::Bits coded = phy::convolutional_encode(info);
+  phy::SoftBits soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    soft[i] = coded[i] ? -1.0 : 1.0;
+  for (auto _ : state) {
+    auto out = phy::viterbi_decode(soft);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(info.size()));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(1024)->Arg(4096);
+
+void BM_RfChainThroughput(benchmark::State& state) {
+  rf::DoubleConversionConfig cfg;
+  rf::DoubleConversionReceiver rx(cfg, dsp::Rng(3));
+  dsp::Rng rng(4);
+  dsp::CVec in(4096);
+  for (auto& v : in) v = 1e-4 * rng.cgaussian(1.0);
+  for (auto _ : state) {
+    auto out = rx.process(in);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RfChainThroughput);
+
+/// The SPW interpreted-vs-compiled comparison on a representative graph.
+void run_graph(sim::ExecutionMode mode) {
+  dsp::Rng rng(5);
+  dsp::CVec wave(8192);
+  for (auto& v : wave) v = rng.cgaussian(1e-6);
+  sim::Graph g;
+  auto* src = g.add<sim::SourceNode>("src", std::move(wave));
+  auto* up = g.add<sim::UpsampleNode>("up", 4);
+  auto* gain = g.add<sim::GainNode>("gain", dsp::Cplx{0.5, 0.0});
+  auto* down = g.add<sim::DecimateNode>("down", 4);
+  auto* sink = g.add<sim::SinkNode>("sink");
+  g.connect(src, up);
+  g.connect(up, gain);
+  g.connect(gain, down);
+  g.connect(down, sink);
+  g.run(mode, 512);
+  benchmark::DoNotOptimize(sink->data().data());
+}
+
+void BM_GraphCompiled(benchmark::State& state) {
+  for (auto _ : state) run_graph(sim::ExecutionMode::kCompiled);
+}
+BENCHMARK(BM_GraphCompiled);
+
+void BM_GraphInterpreted(benchmark::State& state) {
+  for (auto _ : state) run_graph(sim::ExecutionMode::kInterpreted);
+}
+BENCHMARK(BM_GraphInterpreted);
+
+void BM_BarkerMatchedFilter(benchmark::State& state) {
+  dsp::Rng rng(6);
+  dsp::CVec rx(8192);
+  for (auto& v : rx) v = rng.cgaussian(1.0);
+  const auto& b = phy11b::barker_sequence();
+  for (auto _ : state) {
+    dsp::Cplx acc_total{0.0, 0.0};
+    for (std::size_t n = 0; n + phy11b::kBarkerLen <= rx.size(); ++n) {
+      dsp::Cplx acc{0.0, 0.0};
+      for (std::size_t k = 0; k < phy11b::kBarkerLen; ++k)
+        acc += rx[n + k] * b[k];
+      acc_total += acc;
+    }
+    benchmark::DoNotOptimize(acc_total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(rx.size()));
+}
+BENCHMARK(BM_BarkerMatchedFilter);
+
+void BM_Cck64Correlator(benchmark::State& state) {
+  // One 11 Mbps CCK symbol decision: 64 codeword correlations of 8 chips.
+  dsp::Rng rng(7);
+  std::vector<dsp::CVec> codes;
+  for (int v = 0; v < 64; ++v) {
+    codes.push_back(phy11b::cck_codeword(
+        0.0, phy11b::cck_dibit_phase(v & 1, (v >> 1) & 1),
+        phy11b::cck_dibit_phase((v >> 2) & 1, (v >> 3) & 1),
+        phy11b::cck_dibit_phase((v >> 4) & 1, (v >> 5) & 1)));
+  }
+  dsp::CVec sym(phy11b::kCckLen);
+  for (auto& v : sym) v = rng.cgaussian(1.0);
+  for (auto _ : state) {
+    double best = -1.0;
+    for (const auto& c : codes) {
+      dsp::Cplx acc{0.0, 0.0};
+      for (std::size_t k = 0; k < phy11b::kCckLen; ++k)
+        acc += sym[k] * std::conj(c[k]);
+      best = std::max(best, std::norm(acc));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Cck64Correlator);
+
+void BM_FullPacketSystemLevel(benchmark::State& state) {
+  core::LinkConfig cfg = core::default_link_config();
+  core::WlanLink link(cfg);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = link.run_packet(i++);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_FullPacketSystemLevel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

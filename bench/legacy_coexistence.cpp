@@ -1,0 +1,125 @@
+// COEX — legacy coexistence: the paper's Table 1 world has 11 Mbit/s
+// DSSS (802.11b) gear "widely used today" next to the new high-speed
+// OFDM WLAN. This bench runs the 802.11a link with an 802.11b DSSS
+// interferer in the adjacent channel and compares against the OFDM
+// interferer of Fig. 5/6, and also produces the 802.11b AWGN waterfall
+// (the second complete modem substrate in this repository).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/awgn.h"
+#include "dsp/mathutil.h"
+#include "core/experiments.h"
+#include "phy80211b/chips.h"
+#include "phy80211b/receiver.h"
+#include "phy80211b/transmitter.h"
+#include "sim/node.h"
+
+namespace {
+
+using namespace wlansim;
+
+/// 802.11a BER with a DSSS blocker at +20 MHz injected via the custom path.
+core::BerResult run_with_dsss(double level_db, std::size_t packets) {
+  // The stock interferer machinery generates OFDM traffic; inject the DSSS
+  // blocker by wrapping the RF front-end: add the blocker at its input.
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.rf_engine = core::RfEngine::kCustom;
+  const double fs = phy::kSampleRate * cfg.oversample;
+  const double p_sig = dsp::dbm_to_watts(cfg.rx_power_dbm);
+  cfg.custom_rf = [=](dsp::Rng rng) -> std::unique_ptr<rf::RfBlock> {
+    struct Wrapper : rf::RfBlock {
+      std::unique_ptr<rf::RfBlock> inner;
+      dsp::Rng rng;
+      double fs, p_sig, level_db;
+      dsp::CVec process(std::span<const dsp::Cplx> in) override {
+        dsp::CVec jam = channel::make_dsss_interferer(
+            in.size(), fs, p_sig, 20e6, level_db, rng);
+        for (std::size_t i = 0; i < in.size(); ++i) jam[i] += in[i];
+        return inner->process(jam);
+      }
+      void reset() override { inner->reset(); }
+      std::string name() const override { return "dsss_jam+rf"; }
+    };
+    auto w = std::make_unique<Wrapper>();
+    w->rng = rng.fork();
+    w->fs = fs;
+    w->p_sig = p_sig;
+    w->level_db = level_db;
+    rf::DoubleConversionConfig rfc;
+    rfc.sample_rate_hz = fs;
+    w->inner = std::make_unique<rf::DoubleConversionReceiver>(rfc, rng.fork());
+    return w;
+  };
+  core::WlanLink link(cfg);
+  return link.run_ber(packets);
+}
+
+/// 802.11b PER at a chip SNR [dB] (AWGN, one-sample-per-chip).
+double per11b(phy11b::Rate11b rate, double chip_snr_db, std::size_t frames) {
+  dsp::Rng rng(7 + static_cast<int>(rate));
+  phy11b::Transmitter11b tx;
+  phy11b::Receiver11b rx;
+  std::size_t errors = 0;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const phy::Bytes payload = phy::random_bytes(100, rng);
+    dsp::CVec wave = tx.modulate({rate, payload});
+    dsp::CVec in(200, dsp::Cplx{0.0, 0.0});
+    in.insert(in.end(), wave.begin(), wave.end());
+    in.insert(in.end(), 100, dsp::Cplx{0.0, 0.0});
+    const double noise = dsp::dbm_to_watts(0.0) / dsp::from_db(chip_snr_db);
+    in = channel::add_awgn(in, noise, rng);
+    const auto res = rx.receive(in);
+    if (!res.header_ok || res.psdu != payload) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(frames);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("COEX", "legacy 802.11b coexistence with the 802.11a link",
+                "a DSSS blocker in the adjacent channel behaves like the "
+                "OFDM one; the 802.11b modem's own waterfall is ordered "
+                "1 < 2 < 5.5 < 11 Mbps");
+
+  const std::size_t packets = 8;
+  std::printf("802.11a (24 Mbps) with an 11 Mchip/s DSSS blocker at "
+              "+20 MHz (%zu packets):\n", packets);
+  std::printf("%16s  %10s  %8s\n", "blocker [dB]", "ber", "evm%");
+  double ber_low = 0.0, ber_high = 0.0;
+  for (double level : {0.0, 16.0, 36.0}) {
+    const core::BerResult r = run_with_dsss(level, packets);
+    std::printf("%16.0f  %10.2e  %8.2f\n", level, r.ber(),
+                100.0 * r.evm_rms_avg);
+    if (level == 16.0) ber_low = r.ber();
+    if (level == 36.0) ber_high = r.ber();
+  }
+
+  std::printf("\n802.11b packet error rate vs chip SNR (AWGN, 12 frames "
+              "each):\n");
+  std::printf("%12s  %8s %8s %8s %8s\n", "chip SNR", "1M", "2M", "5.5M",
+              "11M");
+  double per11_at_low = 0.0, per1_at_low = 0.0;
+  for (double snr : {-4.0, 0.0, 4.0, 8.0}) {
+    std::printf("%12.0f", snr);
+    for (phy11b::Rate11b r :
+         {phy11b::Rate11b::kMbps1, phy11b::Rate11b::kMbps2,
+          phy11b::Rate11b::kMbps5_5, phy11b::Rate11b::kMbps11}) {
+      const double per = per11b(r, snr, 12);
+      std::printf(" %8.2f", per);
+      if (snr == 0.0 && r == phy11b::Rate11b::kMbps1) per1_at_low = per;
+      if (snr == 0.0 && r == phy11b::Rate11b::kMbps11) per11_at_low = per;
+    }
+    std::printf("\n");
+  }
+
+  // Shape: the 802.11a receiver meets +16 dB against the DSSS blocker and
+  // breaks at an extreme level; the 11b ladder is ordered (Barker's
+  // processing gain carries 1 Mbps through SNRs where CCK-11 fails).
+  const bool a_ok = ber_low < 1e-2 && ber_high > 0.1;
+  const bool b_ok = per1_at_low <= per11_at_low;
+  std::printf("\nresult: %s\n", (a_ok && b_ok) ? "SHAPE REPRODUCED"
+                                               : "MISMATCH");
+  return (a_ok && b_ok) ? 0 : 1;
+}

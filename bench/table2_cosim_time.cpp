@@ -1,0 +1,45 @@
+// TAB2 — "Comparison of simulation time" (paper Table 2).
+// Times the identical BER run with the system-level RF model (SPW-style)
+// and through the co-simulation engine (AMS-Designer-style fine-timestep
+// analog evaluation with per-sample event synchronization).
+//
+// The paper measured 30-40x on a Sun Sparc Enterprise; only the ratio and
+// its flatness across packet counts are meaningful, not absolute seconds.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace wlansim;
+  bench::banner("TAB2", "simulation time: system-level vs co-simulation",
+                "co-simulation is 30-40x slower than the pure system "
+                "simulation; time grows linearly with packets");
+
+  core::LinkConfig cfg = core::default_link_config();
+  const std::vector<std::size_t> counts = {1, 2, 5};
+  const auto rows = core::experiment_table2_timing(cfg, counts);
+
+  std::printf("analog refinement: %zu steps/sample, sync overhead %zu "
+              "ops/sample\n\n", cfg.cosim.analog_oversample,
+              cfg.cosim.sync_overhead_ops);
+  std::printf("%10s  %14s  %14s  %8s\n", "packets", "system [s]",
+              "co-sim [s]", "ratio");
+  for (const auto& r : rows) {
+    std::printf("%10zu  %14.3f  %14.3f  %7.1fx\n", r.packets,
+                r.system_seconds, r.cosim_seconds, r.ratio);
+  }
+
+  // Shape checks: ratio >> 1, same order of magnitude as the paper's
+  // 30-40x, and roughly flat across packet counts (both scale linearly).
+  bool ok = true;
+  for (const auto& r : rows) ok = ok && r.ratio > 8.0;
+  const double spread = rows.back().ratio / rows.front().ratio;
+  ok = ok && spread > 0.5 && spread < 2.0;
+  std::printf("\npaper reported 30-40x on its testbed; our behavioral "
+              "analog evaluation is cheaper per step than a circuit "
+              "solver, so >8x with a flat profile reproduces the claim's "
+              "shape.\n");
+  std::printf("\nresult: %s\n", ok ? "SHAPE REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Adjacent-channel study: the scenario motivating the paper's §2.2
+// receiver requirements. Sweeps the adjacent-channel level over the
+// double-conversion front-end and reports BER/EVM — showing where the
+// +16 dB spec point sits relative to the receiver's breaking point.
+//
+//   build/examples/adjacent_channel_study
+#include <cstdio>
+
+#include "core/experiments.h"
+#include "core/link.h"
+
+int main() {
+  using namespace wlansim;
+
+  std::printf("adjacent-channel robustness of the double-conversion "
+              "receiver\n");
+  std::printf("wanted: 24 Mbps at -65 dBm; interferer at +20 MHz\n\n");
+  std::printf("%18s  %10s  %8s  %6s\n", "interferer [dB]", "BER", "EVM %",
+              "PER");
+
+  bool spec_point_ok = false;
+  for (double level : {0.0, 8.0, 16.0, 24.0, 32.0, 40.0}) {
+    core::LinkConfig cfg = core::default_link_config();
+    cfg.interferer =
+        channel::InterfererConfig{.offset_hz = 20e6, .level_db = level};
+    core::WlanLink link(cfg);
+    const core::BerResult r = link.run_ber(8);
+    std::printf("%18.0f  %10.2e  %8.2f  %6.2f\n", level, r.ber(),
+                100.0 * r.evm_rms_avg, r.per());
+    if (level == 16.0 && r.ber() < 1e-2) spec_point_ok = true;
+  }
+
+  std::printf("\nIEEE 802.11a spec point: first adjacent channel may be "
+              "16 dB above the wanted signal.\n");
+  std::printf("receiver meets the +16 dB point: %s\n",
+              spec_point_ok ? "yes" : "NO");
+  return spec_point_ok ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Block-diagram API demo: assemble a custom scene with the dataflow graph
+// (the SPW-schematic style of working), probe an internal signal, and
+// inspect its spectrum — the workflow behind the paper's Fig. 3/Fig. 4.
+//
+//   build/examples/block_diagram
+#include <cstdio>
+
+#include "channel/interferer.h"
+#include "dsp/mathutil.h"
+#include "dsp/spectrum.h"
+#include "phy80211a/bits.h"
+#include "phy80211a/transmitter.h"
+#include "rf/receiver_chain.h"
+#include "sim/graph.h"
+
+int main() {
+  using namespace wlansim;
+  dsp::Rng rng(7);
+
+  // A transmitter frame at 20 Msps, like dropping the TX block on the
+  // schematic.
+  phy::Transmitter tx({.scrambler_seed = 0x5D, .output_power_dbm = -60.0});
+  dsp::CVec frame = tx.modulate({phy::Rate::kMbps12, phy::random_bytes(300, rng)});
+  frame.insert(frame.begin(), 400, dsp::Cplx{0.0, 0.0});
+
+  const std::size_t over = 4;
+  const double fs = phy::kSampleRate * over;
+
+  // Interferer branch, already at the oversampled rate.
+  dsp::Rng jrng = rng.fork();
+  dsp::CVec jam = channel::make_interferer(
+      frame.size() * over, fs, dsp::dbm_to_watts(-60.0),
+      {.offset_hz = 20e6, .level_db = 16.0, .rate = phy::Rate::kMbps24,
+       .psdu_bytes = 200},
+      jrng);
+
+  // Wire the schematic.
+  sim::Graph g;
+  auto* src = g.add<sim::SourceNode>("wanted_tx", std::move(frame));
+  auto* up = g.add<sim::UpsampleNode>("oversample_x4", over);
+  auto* jsrc = g.add<sim::SourceNode>("adjacent_tx", std::move(jam));
+  jsrc->set_rate_weight(over);
+  auto* air = g.add<sim::AddNode>("air", 2);
+  auto* probe = g.add<sim::ProbeNode>("antenna_probe");
+  auto* rf = g.add<sim::RfNode>(
+      "rf_rx", std::make_unique<rf::DoubleConversionReceiver>(
+                   rf::DoubleConversionConfig{}, rng.fork()));
+  auto* out_probe = g.add<sim::ProbeNode>("baseband_probe");
+  auto* sink = g.add<sim::SinkNode>("to_dsp");
+
+  g.connect(src, up);
+  g.connect(up, 0, air, 0);
+  g.connect(jsrc, 0, air, 1);
+  g.connect(air, probe);
+  g.connect(probe, rf);
+  g.connect(rf, out_probe);
+  g.connect(out_probe, sink);
+
+  g.run(sim::ExecutionMode::kCompiled, 512, 64);
+
+  // Inspect the probed antenna signal: wanted at 0 Hz, adjacent at +20 MHz.
+  const dsp::PsdEstimate psd = dsp::welch_psd(probe->data(), {.nfft = 1024});
+  const double wanted = psd.band_power(0.0, 16.6e6 / fs);
+  const double adjacent = psd.band_power(20e6 / fs, 16.6e6 / fs);
+  std::printf("graph ran %zu nodes; probe captured %zu samples\n",
+              g.num_nodes(), probe->data().size());
+  std::printf("antenna probe: wanted %.1f dBm, adjacent %.1f dBm "
+              "(delta %.1f dB)\n",
+              dsp::watts_to_dbm(wanted), dsp::watts_to_dbm(adjacent),
+              dsp::to_db(adjacent / wanted));
+
+  // After the RF front-end the adjacent channel is gone. Skip the AGC
+  // acquisition transient (lead + early preamble) — its gain swings smear
+  // broadband energy across the analysis band.
+  const std::size_t skip = 6000;
+  const std::span<const dsp::Cplx> settled(
+      out_probe->data().data() + skip, out_probe->data().size() - skip);
+  const dsp::PsdEstimate bb = dsp::welch_psd(settled, {.nfft = 1024});
+  const double bb_wanted = bb.band_power(0.0, 16.6e6 / fs);
+  const double bb_adjacent = bb.band_power(20e6 / fs, 16.6e6 / fs);
+  std::printf("baseband probe: wanted-to-adjacent ratio %.1f dB after "
+              "channel selection\n",
+              dsp::to_db(bb_wanted / bb_adjacent));
+  return dsp::to_db(bb_wanted / bb_adjacent) > 20.0 ? 0 : 1;
+}

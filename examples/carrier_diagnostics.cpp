@@ -1,0 +1,89 @@
+// Per-carrier diagnostics: localize RF impairments spectrally. Runs the
+// link with the second mixer's flicker noise cranked up and plots the
+// per-subcarrier EVM profile — the 1/f products hit the innermost
+// carriers, the channel-filter edge hits the outermost. Also exports the
+// received baseband and its PSD as CSV (the SigCalc-viewer workflow of the
+// paper's §4.3).
+//
+//   build/examples/carrier_diagnostics [output_dir]
+#include <cstdio>
+#include <string>
+
+#include "core/experiments.h"
+#include "core/link.h"
+#include "dsp/spectrum.h"
+#include "phy80211a/mapper.h"
+#include "phy80211a/measure.h"
+#include "phy80211a/transmitter.h"
+#include "sim/waveio.h"
+
+int main(int argc, char** argv) {
+  using namespace wlansim;
+  const std::string outdir = argc > 1 ? argv[1] : "/tmp";
+
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.rate = phy::Rate::kMbps54;
+  cfg.snr_db = 30.0;
+  cfg.rf.mixer2_flicker_power_dbm = -52.0;  // strong 1/f for the demo
+  cfg.rf.flicker_corner_hz = 800e3;         // reaches the inner carriers
+
+  // Run one long packet, then profile its equalized constellation against
+  // decision-directed references (per-carrier, like a vector signal
+  // analyzer would).
+  cfg.psdu_bytes = 1500;
+  phy::PerCarrierEvm profile;
+  core::WlanLink link(cfg);
+  const core::PacketResult pkt = link.run_packet(0);
+  if (!pkt.decoded) {
+    std::printf("packet did not decode; cannot profile\n");
+    return 1;
+  }
+  const phy::Receiver rx(cfg.receiver);
+  const phy::RxResult res = rx.receive(link.last_rx_baseband());
+  const phy::Mapper mapper(phy::Modulation::kQam64);
+  for (const auto& pts : res.data_points) {
+    dsp::CVec ref(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      ref[i] = mapper.nearest_point(pts[i]);
+    profile.add_symbol(pts, ref);
+  }
+
+  std::printf("per-carrier EVM over %zu OFDM symbols (64-QAM, hot 1/f "
+              "noise):\n\n", profile.symbols());
+  const auto evm = profile.evm_per_carrier();
+  for (std::size_t i = 0; i < evm.size(); ++i) {
+    const int k = phy::PerCarrierEvm::carrier_index(i);
+    const int bars = static_cast<int>(evm[i] * 400);
+    std::printf("  k=%+3d  %5.1f %%  |%.*s\n", k, 100.0 * evm[i],
+                std::min(bars, 60), "###########################################################");
+  }
+
+  // Inner-vs-outer comparison (carriers |k| <= 4 vs |k| >= 20).
+  double inner = 0.0, outer = 0.0;
+  int ni = 0, no = 0;
+  for (std::size_t i = 0; i < evm.size(); ++i) {
+    const int k = std::abs(phy::PerCarrierEvm::carrier_index(i));
+    if (k <= 4) {
+      inner += evm[i];
+      ++ni;
+    } else if (k >= 20) {
+      outer += evm[i];
+      ++no;
+    }
+  }
+  std::printf("\ninner carriers (|k|<=4) mean EVM %.1f %%, outer (|k|>=20) "
+              "%.1f %%\n", 100.0 * inner / ni, 100.0 * outer / no);
+  std::printf("the 1/f products concentrate on the inner carriers.\n");
+
+  // Export waveforms for offline viewing.
+  const std::string wave_path = outdir + "/rx_baseband.csv";
+  const std::string psd_path = outdir + "/rx_psd.csv";
+  sim::write_waveform_csv(wave_path, link.last_rx_baseband(),
+                          phy::kSampleRate);
+  const dsp::PsdEstimate psd =
+      dsp::welch_psd(link.last_rf_input(), {.nfft = 1024});
+  sim::write_psd_csv(psd_path, psd, phy::kSampleRate * cfg.oversample);
+  std::printf("\nwrote %s and %s\n", wave_path.c_str(), psd_path.c_str());
+
+  return inner / ni > outer / no ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Rate adaptation over a fading indoor channel: runs every 802.11a rate
+// through a multipath channel at several SNRs and picks the highest rate
+// whose packet error rate stays under 10 % — the link-adaptation question
+// the 802.11a rate ladder exists to answer.
+//
+//   build/examples/rate_adaptation_fading
+#include <cstdio>
+
+#include "core/experiments.h"
+#include "core/link.h"
+
+int main() {
+  using namespace wlansim;
+
+  const phy::Rate rates[] = {phy::Rate::kMbps6,  phy::Rate::kMbps12,
+                             phy::Rate::kMbps24, phy::Rate::kMbps36,
+                             phy::Rate::kMbps54};
+
+  std::printf("rate adaptation over a 50 ns RMS delay-spread channel\n");
+  std::printf("(8 packets per rate/SNR point, RF front-end in the loop)\n\n");
+  std::printf("%10s", "SNR [dB]");
+  for (phy::Rate r : rates)
+    std::printf("  %11.0f", phy::rate_params(r).rate_mbps);
+  std::printf("   best rate\n");
+
+  for (double snr : {10.0, 15.0, 20.0, 28.0}) {
+    std::printf("%10.0f", snr);
+    double best = 0.0;
+    for (phy::Rate r : rates) {
+      core::LinkConfig cfg = core::default_link_config();
+      cfg.rate = r;
+      cfg.snr_db = snr;
+      channel::FadingConfig fc;
+      fc.rms_delay_spread_s = 50e-9;
+      cfg.fading = fc;
+      core::WlanLink link(cfg);
+      const core::BerResult res = link.run_ber(8);
+      std::printf("  %10.2f%%", 100.0 * res.per());
+      if (res.per() < 0.1) best = phy::rate_params(r).rate_mbps;
+    }
+    if (best > 0) {
+      std::printf("   %4.0f Mbps\n", best);
+    } else {
+      std::printf("   (none)\n");
+    }
+  }
+
+  std::printf("\ncolumns show packet error rate per rate; the usable rate "
+              "climbs with SNR.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "channel/awgn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::channel {
+
+dsp::CVec add_awgn(std::span<const dsp::Cplx> in, double noise_power_watts,
+                   dsp::Rng& rng) {
+  if (noise_power_watts < 0.0)
+    throw std::invalid_argument("add_awgn: negative noise power");
+  dsp::CVec out(in.begin(), in.end());
+  if (noise_power_watts > 0.0) {
+    for (auto& v : out) v += rng.cgaussian(noise_power_watts);
+  }
+  return out;
+}
+
+dsp::CVec add_awgn_snr(std::span<const dsp::Cplx> in,
+                       std::span<const dsp::Cplx> reference, double snr_db,
+                       dsp::Rng& rng) {
+  const double p_sig = dsp::mean_power(reference);
+  const double p_noise = p_sig / dsp::from_db(snr_db);
+  return add_awgn(in, p_noise, rng);
+}
+
+double thermal_noise_power(double bandwidth_hz, double nf_db) {
+  return dsp::kBoltzmann * dsp::kT0 * bandwidth_hz * dsp::from_db(nf_db);
+}
+
+}  // namespace wlansim::channel

@@ -1,0 +1,25 @@
+// AWGN channel — the baseline channel of the SPW 802.11a demo system.
+#pragma once
+
+#include <span>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace wlansim::channel {
+
+/// Add complex white Gaussian noise of the given total variance [W].
+dsp::CVec add_awgn(std::span<const dsp::Cplx> in, double noise_power_watts,
+                   dsp::Rng& rng);
+
+/// Add noise sized for a target SNR [dB] relative to the mean power of the
+/// *reference* span (usually the wanted signal before interferers).
+dsp::CVec add_awgn_snr(std::span<const dsp::Cplx> in,
+                       std::span<const dsp::Cplx> reference, double snr_db,
+                       dsp::Rng& rng);
+
+/// Thermal noise power [W] for a bandwidth and noise figure
+/// (kT0 * B * 10^{NF/10}).
+double thermal_noise_power(double bandwidth_hz, double nf_db = 0.0);
+
+}  // namespace wlansim::channel

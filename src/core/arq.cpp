@@ -1,0 +1,65 @@
+#include "core/arq.h"
+
+namespace wlansim::core {
+
+double ppdu_airtime_s(phy::Rate rate, std::size_t psdu_bytes) {
+  const std::size_t nsym = phy::num_data_symbols(rate, psdu_bytes);
+  const std::size_t samples =
+      phy::kPreambleLen + phy::kSymbolLen * (1 + nsym);  // SIGNAL + data
+  return static_cast<double>(samples) / phy::kSampleRate;
+}
+
+ArqResult run_arq(const LinkConfig& link_cfg, const ArqConfig& arq_cfg) {
+  ArqResult res;
+  res.frames_offered = arq_cfg.num_frames;
+
+  LinkConfig cfg = link_cfg;
+  cfg.psdu_bytes =
+      phy::kMacHeaderBytes + arq_cfg.payload_bytes + phy::kFcsBytes;
+  WlanLink link(cfg);
+
+  const phy::MacAddress sta = phy::MacAddress::from_id(1);
+  const phy::MacAddress ap = phy::MacAddress::from_id(2);
+  dsp::Rng payload_rng(cfg.seed ^ 0xA5A5A5A5ull);
+
+  std::uint64_t packet_index = 0;
+  for (std::size_t f = 0; f < arq_cfg.num_frames; ++f) {
+    phy::MacHeader hdr;
+    hdr.addr1 = ap;
+    hdr.addr2 = sta;
+    hdr.addr3 = ap;
+    hdr.set_sequence_number(static_cast<std::uint16_t>(f));
+    const phy::Bytes llc =
+        phy::random_bytes(arq_cfg.payload_bytes, payload_rng);
+
+    bool delivered = false;
+    for (std::size_t attempt = 0; attempt <= arq_cfg.max_retries; ++attempt) {
+      hdr.frame_control =
+          static_cast<std::uint16_t>(0x0008 | (attempt > 0 ? 0x0800 : 0));
+      const phy::Bytes psdu = phy::build_data_mpdu(hdr, llc);
+
+      ++res.attempts;
+      res.air_time_s += ppdu_airtime_s(cfg.rate, psdu.size()) +
+                        arq_cfg.per_attempt_overhead_s;
+
+      phy::Bytes rx_psdu;
+      const PacketResult r =
+          link.run_packet_with_payload(psdu, packet_index++, &rx_psdu);
+      if (!r.decoded) {
+        ++res.phy_losses;
+        continue;
+      }
+      const auto parsed = phy::parse_mpdu(rx_psdu);
+      if (!parsed || parsed->payload != llc) {
+        ++res.fcs_failures;
+        continue;
+      }
+      delivered = true;
+      break;
+    }
+    if (delivered) ++res.frames_delivered;
+  }
+  return res;
+}
+
+}  // namespace wlansim::core

@@ -1,0 +1,82 @@
+#include "core/cliargs.h"
+
+#include <stdexcept>
+
+namespace wlansim::core {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv, int start) {
+  CliArgs out;
+  int i = start;
+  while (i < argc) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0 || key.size() < 3)
+      throw std::invalid_argument("expected --key, got '" + key + "'");
+    const std::string name = key.substr(2);
+    if (out.kv_.count(name))
+      throw std::invalid_argument("duplicate option --" + name);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.kv_[name] = argv[i + 1];
+      i += 2;
+    } else {
+      out.kv_[name] = "";  // boolean flag
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  used_.insert(key);
+  return true;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  used_.insert(key);
+  return it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  used_.insert(key);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+long CliArgs::get_long(const std::string& key, long fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  used_.insert(key);
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (!used_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace wlansim::core

@@ -1,0 +1,39 @@
+// Minimal command-line argument parsing for the wlansim CLI tool:
+// `--key value` and `--flag` pairs after a subcommand, with typed lookup
+// and unknown-key detection. No external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wlansim::core {
+
+class CliArgs {
+ public:
+  /// Parse argv past the subcommand. Keys must start with "--"; a key
+  /// followed by another key (or end of argv) is a boolean flag.
+  /// Throws std::invalid_argument on malformed input.
+  static CliArgs parse(int argc, const char* const* argv, int start);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters; throw std::invalid_argument on unparsable values.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key) const { return has(key); }
+
+  /// Keys that were provided but never read — surfaced as usage errors so
+  /// typos don't silently do nothing.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace wlansim::core

@@ -1,0 +1,261 @@
+#include "core/link.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/awgn.h"
+#include "dsp/mathutil.h"
+#include "dsp/resample.h"
+#include "phy80211a/bits.h"
+
+namespace wlansim::core {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t idx) {
+  std::uint64_t z = seed + (idx + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+WlanLink::WlanLink(LinkConfig cfg) : cfg_(std::move(cfg)), rx_(cfg_.receiver) {
+  if (cfg_.oversample == 0)
+    throw std::invalid_argument("WlanLink: zero oversampling factor");
+  cfg_.rf.sample_rate_hz =
+      phy::kSampleRate * static_cast<double>(cfg_.oversample);
+  if (cfg_.psdu_bytes == 0 || cfg_.psdu_bytes > 4095)
+    throw std::invalid_argument("WlanLink: PSDU must be 1..4095 bytes");
+}
+
+PacketResult WlanLink::run_packet(std::uint64_t packet_index) {
+  return run_packet_with_payload({}, packet_index, nullptr);
+}
+
+PacketResult WlanLink::run_packet_with_payload(
+    std::span<const std::uint8_t> psdu, std::uint64_t packet_index,
+    phy::Bytes* rx_psdu) {
+  dsp::Rng rng(mix_seed(cfg_.seed, packet_index));
+
+  // --- Transmit side (20 Msps) --------------------------------------------
+  phy::Transmitter::Config txc;
+  txc.scrambler_seed =
+      static_cast<std::uint8_t>(1 + rng.uniform_int(0, 126));
+  txc.output_power_dbm = cfg_.rx_power_dbm;
+  phy::Transmitter tx(txc);
+  const phy::Bytes payload =
+      psdu.empty() ? phy::random_bytes(cfg_.psdu_bytes, rng)
+                   : phy::Bytes(psdu.begin(), psdu.end());
+  const phy::Frame frame{cfg_.rate, payload};
+  dsp::CVec wave = tx.modulate(frame);
+
+  // Optional multipath (block-static per packet, applied at 20 Msps).
+  if (cfg_.fading.has_value()) {
+    channel::FadingConfig fc = *cfg_.fading;
+    fc.sample_rate_hz = phy::kSampleRate;
+    const channel::MultipathChannel mp(fc, rng);
+    wave = mp.apply(wave);
+  }
+
+  dsp::CVec padded;
+  padded.reserve(cfg_.lead_samples + wave.size() + cfg_.tail_samples);
+  padded.insert(padded.end(), cfg_.lead_samples, dsp::Cplx{0.0, 0.0});
+  padded.insert(padded.end(), wave.begin(), wave.end());
+  padded.insert(padded.end(), cfg_.tail_samples, dsp::Cplx{0.0, 0.0});
+
+  const double p_sig = dsp::dbm_to_watts(cfg_.rx_power_dbm);
+  const double fs_over = cfg_.rf.sample_rate_hz;
+  const std::size_t over_len = padded.size() * cfg_.oversample;
+
+  // --- Assemble the block diagram ------------------------------------------
+  sim::Graph g;
+  sim::Node* head = nullptr;
+  if (cfg_.sco_ppm != 0.0) {
+    // Sampling-clock offset: stretch the oversampled waveform by the ppm
+    // ratio before it enters the scene (the transmit DAC clock error).
+    dsp::CVec wave_over = dsp::upsample(padded, cfg_.oversample);
+    wave_over = dsp::fractional_resample(wave_over, 1.0 + cfg_.sco_ppm * 1e-6);
+    auto* src = g.add<sim::SourceNode>("tx_wave_sco", std::move(wave_over));
+    src->set_rate_weight(cfg_.oversample);
+    head = src;
+  } else {
+    auto* src = g.add<sim::SourceNode>("tx_wave", std::move(padded));
+    head = src;
+    if (cfg_.oversample > 1) {
+      auto* up = g.add<sim::UpsampleNode>("oversample", cfg_.oversample);
+      g.connect(head, up);
+      head = up;
+    }
+  }
+
+  if (cfg_.tx_pa_backoff_db.has_value()) {
+    rf::AmplifierConfig pa;
+    pa.label = "tx_pa";
+    pa.gain_db = 0.0;
+    pa.model = cfg_.tx_pa_model;
+    pa.p1db_in_dbm = cfg_.rx_power_dbm + *cfg_.tx_pa_backoff_db;
+    pa.am_pm_max_deg = cfg_.tx_pa_am_pm_max_deg;
+    pa.noise_enabled = false;  // PA noise is negligible next to its distortion
+    auto* pa_node = g.add<sim::RfNode>(
+        "tx_pa", std::make_unique<rf::Amplifier>(pa, fs_over, rng.fork()));
+    g.connect(head, pa_node);
+    head = pa_node;
+  }
+
+  if (cfg_.tx_iq_gain_imbalance_db != 0.0 ||
+      cfg_.tx_iq_phase_error_deg != 0.0 || cfg_.tx_lo_leakage_rel != 0.0) {
+    rf::MixerConfig up;
+    up.label = "tx_upconverter";
+    up.iq_gain_imbalance_db = cfg_.tx_iq_gain_imbalance_db;
+    up.iq_phase_error_deg = cfg_.tx_iq_phase_error_deg;
+    up.dc_offset = cfg_.tx_lo_leakage_rel * std::sqrt(p_sig);
+    up.noise_enabled = false;
+    auto* up_node = g.add<sim::RfNode>(
+        "tx_upconverter",
+        std::make_unique<rf::Mixer>(up, fs_over, rng.fork()));
+    g.connect(head, up_node);
+    head = up_node;
+  }
+
+  if (cfg_.interferer.has_value()) {
+    dsp::Rng irng = rng.fork();
+    dsp::CVec jam = channel::make_interferer(over_len, fs_over, p_sig,
+                                             *cfg_.interferer, irng);
+    auto* isrc = g.add<sim::SourceNode>("interferer", std::move(jam));
+    isrc->set_rate_weight(cfg_.oversample);
+    auto* add = g.add<sim::AddNode>("air_sum", 2);
+    g.connect(head, 0, add, 0);
+    g.connect(isrc, 0, add, 1);
+    head = add;
+  }
+
+  // Channel noise: the antenna thermal floor plus (optionally) excess AWGN
+  // sized for the requested SNR. SNR is defined against the in-band
+  // (20 MHz) noise; the full-rate white noise carries `oversample` times
+  // that power.
+  double n_total =
+      cfg_.antenna_noise_density_dbm_hz > -250.0
+          ? dsp::dbm_to_watts(cfg_.antenna_noise_density_dbm_hz) * fs_over
+          : 0.0;
+  if (cfg_.snr_db.has_value()) {
+    n_total += p_sig / dsp::from_db(*cfg_.snr_db) *
+               static_cast<double>(cfg_.oversample);
+  }
+  if (n_total > 0.0) {
+    dsp::Rng nrng = rng.fork();
+    auto* awgn = g.add<sim::FunctionNode>(
+        "awgn", [n_total, nrng](std::span<const dsp::Cplx> in) mutable {
+          return channel::add_awgn(in, n_total, nrng);
+        });
+    g.connect(head, awgn);
+    head = awgn;
+  }
+
+  auto* rf_probe = g.add<sim::ProbeNode>("rf_input_probe");
+  g.connect(head, rf_probe);
+  head = rf_probe;
+
+  switch (cfg_.rf_engine) {
+    case RfEngine::kNone:
+      break;
+    case RfEngine::kSystemLevel: {
+      auto* rf = g.add<sim::RfNode>(
+          "rf_frontend",
+          std::make_unique<rf::DoubleConversionReceiver>(cfg_.rf, rng.fork()));
+      g.connect(head, rf);
+      head = rf;
+      break;
+    }
+    case RfEngine::kCosim: {
+      auto* rf = g.add<sim::RfNode>(
+          "rf_frontend_cosim",
+          std::make_unique<sim::CosimRfReceiver>(cfg_.rf, cfg_.cosim,
+                                                 rng.fork()));
+      g.connect(head, rf);
+      head = rf;
+      break;
+    }
+    case RfEngine::kCustom: {
+      if (!cfg_.custom_rf)
+        throw std::invalid_argument("WlanLink: kCustom needs custom_rf");
+      auto* rf =
+          g.add<sim::RfNode>("rf_frontend_custom", cfg_.custom_rf(rng.fork()));
+      g.connect(head, rf);
+      head = rf;
+      break;
+    }
+  }
+
+  if (cfg_.oversample > 1) {
+    sim::Node* down = nullptr;
+    if (cfg_.rf_engine == RfEngine::kNone) {
+      // Idealized front-end: a perfect digital anti-alias + decimate.
+      down = g.add<sim::DownsampleNode>("ideal_decimate", cfg_.oversample);
+    } else {
+      // Physical ADC sampling: whatever the analog channel-select filter
+      // left beyond Nyquist aliases into band.
+      down = g.add<sim::DecimateNode>("adc_sampling", cfg_.oversample);
+    }
+    g.connect(head, down);
+    head = down;
+  }
+  auto* sink = g.add<sim::SinkNode>("rx_wave");
+  g.connect(head, sink);
+
+  g.run(cfg_.mode, 512, /*tail=*/64);
+
+  last_rx_ = sink->data();
+  last_rf_input_ = rf_probe->data();
+
+  // --- DSP receiver -----------------------------------------------------------
+  const phy::RxResult res = rx_.receive(last_rx_);
+
+  PacketResult out;
+  out.bits = 8 * payload.size();
+  out.cfo_norm = res.cfo_norm;
+  const bool ok = res.header_ok && res.signal.length == payload.size() &&
+                  res.psdu.size() == payload.size();
+  out.decoded = ok;
+  if (!ok) {
+    out.bit_errors = out.bits / 2;  // undecoded: half the bits on average
+    return out;
+  }
+  phy::BerCounter ctr;
+  ctr.add_packet(payload, res.psdu, true);
+  out.bit_errors = ctr.bit_errors();
+  if (rx_psdu != nullptr) *rx_psdu = res.psdu;
+
+  // EVM against the transmitted constellation (the equalizer's channel
+  // estimate removes the chain gain, so points are directly comparable).
+  const auto ref = tx.data_symbol_points(frame);
+  phy::EvmCounter evm;
+  const std::size_t nsym = std::min(ref.size(), res.data_points.size());
+  for (std::size_t s = 0; s < nsym; ++s) evm.add(res.data_points[s], ref[s]);
+  out.evm_rms = evm.evm_rms();
+  return out;
+}
+
+BerResult WlanLink::run_ber(std::size_t num_packets) {
+  BerResult agg;
+  double evm_acc = 0.0;
+  std::size_t evm_n = 0;
+  for (std::size_t i = 0; i < num_packets; ++i) {
+    const PacketResult r = run_packet(i);
+    ++agg.packets;
+    agg.bits += r.bits;
+    agg.bit_errors += r.bit_errors;
+    if (r.bit_errors > 0 || !r.decoded) ++agg.packet_errors;
+    if (!r.decoded) {
+      ++agg.packets_lost;
+    } else {
+      evm_acc += r.evm_rms;
+      ++evm_n;
+    }
+  }
+  agg.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  return agg;
+}
+
+}  // namespace wlansim::core

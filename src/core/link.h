@@ -1,0 +1,87 @@
+// End-to-end WLAN link: the verification testbench of the paper —
+// "the model of the double conversion receiver ... is inserted in front of
+// the DSP receiver part" of the IEEE 802.11a demo system (§4.1, Fig. 3).
+//
+// Each packet run assembles a dataflow graph
+//
+//   TX source (20 Msps) -> upsample -> [+ interferer] -> [+ AWGN]
+//     -> RF front-end (system-level or co-simulated) -> downsample
+//     -> DSP receiver (sync, channel est., Viterbi)
+//
+// and reports bit errors and constellation quality.
+#pragma once
+
+#include "core/linkconfig.h"
+#include "phy80211a/measure.h"
+#include "phy80211a/receiver.h"
+#include "phy80211a/transmitter.h"
+
+namespace wlansim::core {
+
+/// Outcome of one packet through the link.
+struct PacketResult {
+  bool decoded = false;       ///< header decoded and payload length matched
+  std::size_t bits = 0;       ///< payload bits transmitted
+  std::size_t bit_errors = 0; ///< payload bit errors (bits/2 when undecoded)
+  double evm_rms = 0.0;       ///< EVM vs. the transmitted constellation
+  double cfo_norm = 0.0;      ///< receiver CFO estimate
+};
+
+/// Aggregate of a multi-packet measurement.
+struct BerResult {
+  std::size_t packets = 0;
+  std::size_t packets_lost = 0;    ///< header/sync failures (nothing decoded)
+  std::size_t packet_errors = 0;   ///< lost or decoded with bit errors
+  std::size_t bits = 0;
+  std::size_t bit_errors = 0;
+  double evm_rms_avg = 0.0;
+
+  double ber() const {
+    return bits ? static_cast<double>(bit_errors) / static_cast<double>(bits)
+                : 0.0;
+  }
+  double per() const {
+    return packets ? static_cast<double>(packet_errors) /
+                         static_cast<double>(packets)
+                   : 0.0;
+  }
+};
+
+class WlanLink {
+ public:
+  explicit WlanLink(LinkConfig cfg);
+
+  /// Run one packet; `packet_index` seeds the per-packet randomness so
+  /// runs are reproducible and sweep points can share random numbers.
+  PacketResult run_packet(std::uint64_t packet_index);
+
+  /// Run one packet carrying a caller-supplied PSDU (e.g. a framed MPDU
+  /// with FCS). The payload length overrides cfg.psdu_bytes for this
+  /// packet; channel/noise randomness still derives from `packet_index`.
+  /// On success `rx_psdu` receives the decoded PSDU bytes.
+  PacketResult run_packet_with_payload(std::span<const std::uint8_t> psdu,
+                                       std::uint64_t packet_index,
+                                       phy::Bytes* rx_psdu = nullptr);
+
+  /// Run `num_packets` packets and aggregate.
+  BerResult run_ber(std::size_t num_packets);
+
+  /// The received baseband (20 Msps, post-RF) of the last packet — for
+  /// spectrum plots and debugging.
+  const dsp::CVec& last_rx_baseband() const { return last_rx_; }
+
+  const LinkConfig& config() const { return cfg_; }
+
+  /// The composite oversampled waveform (wanted + interferer + noise) the
+  /// RF front-end saw on the last packet — input of Fig. 4's spectrum.
+  const dsp::CVec& last_rf_input() const { return last_rf_input_; }
+
+ private:
+  LinkConfig cfg_;
+  phy::Transmitter tx_;
+  phy::Receiver rx_;
+  dsp::CVec last_rx_;
+  dsp::CVec last_rf_input_;
+};
+
+}  // namespace wlansim::core

@@ -1,0 +1,66 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace wlansim::core {
+
+BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
+                           std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<std::size_t>(threads, std::max<std::size_t>(1, num_packets));
+
+  struct Partial {
+    std::size_t packets = 0, lost = 0, errors = 0, bits = 0, bit_errors = 0;
+    double evm_acc = 0.0;
+    std::size_t evm_n = 0;
+  };
+  std::vector<Partial> partials(threads);
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&](std::size_t tid) {
+    WlanLink link(cfg);  // each worker owns an independent link
+    Partial& p = partials[tid];
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= num_packets) break;
+      const PacketResult r = link.run_packet(i);
+      ++p.packets;
+      p.bits += r.bits;
+      p.bit_errors += r.bit_errors;
+      if (r.bit_errors > 0 || !r.decoded) ++p.errors;
+      if (!r.decoded) {
+        ++p.lost;
+      } else {
+        p.evm_acc += r.evm_rms;
+        ++p.evm_n;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
+
+  BerResult out;
+  double evm_acc = 0.0;
+  std::size_t evm_n = 0;
+  for (const Partial& p : partials) {
+    out.packets += p.packets;
+    out.packets_lost += p.lost;
+    out.packet_errors += p.errors;
+    out.bits += p.bits;
+    out.bit_errors += p.bit_errors;
+    evm_acc += p.evm_acc;
+    evm_n += p.evm_n;
+  }
+  out.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  return out;
+}
+
+}  // namespace wlansim::core

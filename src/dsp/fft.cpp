@@ -1,0 +1,87 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::dsp {
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (!is_pow2(n) || n < 2)
+    throw std::invalid_argument("Fft: size must be a power of two >= 2");
+  bitrev_.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+    bitrev_[i] = r;
+  }
+  twiddle_fwd_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_fwd_[k] = {std::cos(ang), std::sin(ang)};
+  }
+}
+
+void Fft::transform(std::span<Cplx> x, bool inv) const {
+  if (x.size() != n_) throw std::invalid_argument("Fft: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (j > i) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n_ / len;
+    for (std::size_t base = 0; base < n_; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Cplx w = twiddle_fwd_[k * step];
+        if (inv) w = std::conj(w);
+        const Cplx u = x[base + k];
+        const Cplx v = x[base + k + half] * w;
+        x[base + k] = u + v;
+        x[base + k + half] = u - v;
+      }
+    }
+  }
+  if (inv) {
+    const double s = 1.0 / static_cast<double>(n_);
+    for (Cplx& v : x) v *= s;
+  }
+}
+
+void Fft::forward(std::span<Cplx> x) const { transform(x, false); }
+void Fft::inverse(std::span<Cplx> x) const { transform(x, true); }
+
+CVec Fft::forward(std::span<const Cplx> x) const {
+  CVec out(x.begin(), x.end());
+  forward(std::span<Cplx>(out));
+  return out;
+}
+
+CVec Fft::inverse(std::span<const Cplx> x) const {
+  CVec out(x.begin(), x.end());
+  inverse(std::span<Cplx>(out));
+  return out;
+}
+
+CVec fft(std::span<const Cplx> x) { return Fft(x.size()).forward(x); }
+CVec ifft(std::span<const Cplx> x) { return Fft(x.size()).inverse(x); }
+
+CVec fftshift(std::span<const Cplx> x) {
+  CVec out(x.size());
+  const std::size_t h = x.size() / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[(i + h) % x.size()];
+  return out;
+}
+
+RVec fftshift(std::span<const double> x) {
+  RVec out(x.size());
+  const std::size_t h = x.size() / 2;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[(i + h) % x.size()];
+  return out;
+}
+
+}  // namespace wlansim::dsp

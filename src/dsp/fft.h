@@ -1,0 +1,55 @@
+// Radix-2 decimation-in-time FFT with cached twiddle tables.
+//
+// 802.11a OFDM uses 64-point transforms; spectral measurements use up to a
+// few thousand points. An iterative radix-2 kernel with per-size twiddle
+// caching is sufficient and allocation-free on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace wlansim::dsp {
+
+/// FFT engine for one fixed power-of-two size. Reusable and cheap to copy.
+class Fft {
+ public:
+  /// `n` must be a power of two >= 2.
+  explicit Fft(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward transform (engineering sign convention:
+  /// X[k] = sum_n x[n] e^{-j 2 pi k n / N}); `x.size()` must equal size().
+  void forward(std::span<Cplx> x) const;
+
+  /// In-place inverse transform including the 1/N factor, so that
+  /// inverse(forward(x)) == x.
+  void inverse(std::span<Cplx> x) const;
+
+  /// Out-of-place convenience wrappers.
+  CVec forward(std::span<const Cplx> x) const;
+  CVec inverse(std::span<const Cplx> x) const;
+
+ private:
+  void transform(std::span<Cplx> x, bool inv) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;
+  CVec twiddle_fwd_;  // e^{-j 2 pi k / N}, k = 0..N/2-1
+};
+
+/// One-shot FFT of any power-of-two-length signal.
+CVec fft(std::span<const Cplx> x);
+
+/// One-shot inverse FFT (includes 1/N).
+CVec ifft(std::span<const Cplx> x);
+
+/// Rotate a spectrum so DC is centered (bin N/2), matching analyzer plots.
+CVec fftshift(std::span<const Cplx> x);
+
+/// fftshift for real vectors (e.g. PSD arrays).
+RVec fftshift(std::span<const double> x);
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,153 @@
+#include "dsp/fir.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::dsp {
+
+namespace {
+
+void check_design(std::size_t taps, double cutoff_norm) {
+  if (taps < 3 || taps % 2 == 0)
+    throw std::invalid_argument("FIR design: taps must be odd and >= 3");
+  if (cutoff_norm <= 0.0 || cutoff_norm >= 0.5)
+    throw std::invalid_argument("FIR design: cutoff must be in (0, 0.5)");
+}
+
+}  // namespace
+
+RVec design_lowpass_fir(std::size_t taps, double cutoff_norm, WindowType window,
+                        double kaiser_beta) {
+  check_design(taps, cutoff_norm);
+  const RVec w = make_window(window, taps, kaiser_beta);
+  RVec h(taps);
+  const double m = (static_cast<double>(taps) - 1.0) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - m;
+    h[i] = 2.0 * cutoff_norm * sinc(2.0 * cutoff_norm * t) * w[i];
+    sum += h[i];
+  }
+  // Normalize to unity DC gain.
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+RVec design_highpass_fir(std::size_t taps, double cutoff_norm, WindowType window,
+                         double kaiser_beta) {
+  RVec h = design_lowpass_fir(taps, cutoff_norm, window, kaiser_beta);
+  // Spectral inversion: delta[n - m] - lowpass.
+  for (double& v : h) v = -v;
+  h[(taps - 1) / 2] += 1.0;
+  return h;
+}
+
+RVec design_bandpass_fir(std::size_t taps, double lo_norm, double hi_norm,
+                         WindowType window, double kaiser_beta) {
+  if (lo_norm >= hi_norm)
+    throw std::invalid_argument("FIR design: bandpass needs lo < hi");
+  const RVec hl = design_lowpass_fir(taps, hi_norm, window, kaiser_beta);
+  const RVec hs = design_lowpass_fir(taps, lo_norm, window, kaiser_beta);
+  RVec h(taps);
+  for (std::size_t i = 0; i < taps; ++i) h[i] = hl[i] - hs[i];
+  return h;
+}
+
+RVec design_kaiser_lowpass(double cutoff_norm, double transition_norm,
+                           double atten_db) {
+  const std::size_t taps = kaiser_length(atten_db, transition_norm);
+  const double beta = kaiser_beta_for_attenuation(atten_db);
+  return design_lowpass_fir(taps, cutoff_norm, WindowType::kKaiser, beta);
+}
+
+FirFilter::FirFilter(RVec taps) : taps_(std::move(taps)), pos_(0) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+}
+
+Cplx FirFilter::step(Cplx in) {
+  delay_[pos_] = in;
+  Cplx acc{0.0, 0.0};
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * delay_[idx];
+    idx = (idx == 0) ? taps_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % taps_.size();
+  return acc;
+}
+
+CVec FirFilter::process(std::span<const Cplx> in) {
+  CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  return out;
+}
+
+void FirFilter::reset() {
+  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+  pos_ = 0;
+}
+
+Cplx FirFilter::response(double f_norm) const {
+  Cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    const double ang = -kTwoPi * f_norm * static_cast<double>(k);
+    acc += taps_[k] * Cplx{std::cos(ang), std::sin(ang)};
+  }
+  return acc;
+}
+
+CFirFilter::CFirFilter(CVec taps) : taps_(std::move(taps)), pos_(0) {
+  if (taps_.empty()) throw std::invalid_argument("CFirFilter: empty taps");
+  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+}
+
+Cplx CFirFilter::step(Cplx in) {
+  delay_[pos_] = in;
+  Cplx acc{0.0, 0.0};
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * delay_[idx];
+    idx = (idx == 0) ? taps_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % taps_.size();
+  return acc;
+}
+
+CVec CFirFilter::process(std::span<const Cplx> in) {
+  CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  return out;
+}
+
+void CFirFilter::reset() {
+  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+  pos_ = 0;
+}
+
+Cplx CFirFilter::response(double f_norm) const {
+  Cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    const double ang = -kTwoPi * f_norm * static_cast<double>(k);
+    acc += taps_[k] * Cplx{std::cos(ang), std::sin(ang)};
+  }
+  return acc;
+}
+
+CVec filter_aligned(const RVec& taps, std::span<const Cplx> in) {
+  FirFilter f(taps);
+  const std::size_t delay = (taps.size() - 1) / 2;
+  CVec out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const Cplx y = f.step(in[i]);
+    if (i >= delay) out.push_back(y);
+  }
+  // Flush: feed zeros to recover the last `delay` aligned outputs.
+  for (std::size_t i = 0; i < delay; ++i) out.push_back(f.step(Cplx{0.0, 0.0}));
+  return out;
+}
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,93 @@
+// FIR filter design (windowed-sinc) and streaming FIR filtering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace wlansim::dsp {
+
+/// Lowpass FIR taps via windowed sinc. `cutoff_norm` is the -6 dB cutoff as
+/// a fraction of the sample rate (0 < cutoff_norm < 0.5). `taps` must be odd.
+RVec design_lowpass_fir(std::size_t taps, double cutoff_norm,
+                        WindowType window = WindowType::kHamming,
+                        double kaiser_beta = 8.6);
+
+/// Highpass FIR taps (spectral inversion of the lowpass). `taps` must be odd.
+RVec design_highpass_fir(std::size_t taps, double cutoff_norm,
+                         WindowType window = WindowType::kHamming,
+                         double kaiser_beta = 8.6);
+
+/// Bandpass FIR taps between `lo_norm` and `hi_norm` (fractions of fs).
+RVec design_bandpass_fir(std::size_t taps, double lo_norm, double hi_norm,
+                         WindowType window = WindowType::kHamming,
+                         double kaiser_beta = 8.6);
+
+/// Kaiser-designed lowpass meeting `atten_db` stopband attenuation with the
+/// given transition width (fraction of fs). Tap count chosen automatically.
+RVec design_kaiser_lowpass(double cutoff_norm, double transition_norm,
+                           double atten_db);
+
+/// Streaming FIR filter over complex samples with real taps. Keeps state
+/// across process() calls so a long signal can be filtered in chunks.
+class FirFilter {
+ public:
+  explicit FirFilter(RVec taps);
+
+  std::size_t num_taps() const { return taps_.size(); }
+  const RVec& taps() const { return taps_; }
+
+  /// Group delay in samples ((taps-1)/2 for the symmetric designs above).
+  double group_delay() const {
+    return (static_cast<double>(taps_.size()) - 1.0) / 2.0;
+  }
+
+  /// Filter one sample.
+  Cplx step(Cplx in);
+
+  /// Filter a block; output has the same length (streaming convolution).
+  CVec process(std::span<const Cplx> in);
+
+  /// Clear the delay line.
+  void reset();
+
+  /// Complex frequency response at normalized frequency f (fraction of fs,
+  /// may be negative).
+  Cplx response(double f_norm) const;
+
+ private:
+  RVec taps_;
+  CVec delay_;       // circular delay line
+  std::size_t pos_;  // next write index
+};
+
+/// Convolve then trim the tails so the output aligns with and matches the
+/// input length (group delay removed). For one-shot whole-signal filtering.
+CVec filter_aligned(const RVec& taps, std::span<const Cplx> in);
+
+/// Streaming FIR with complex taps — needed for baseband-equivalent
+/// responses of passband systems, which are not conjugate-symmetric.
+class CFirFilter {
+ public:
+  explicit CFirFilter(CVec taps);
+
+  std::size_t num_taps() const { return taps_.size(); }
+  const CVec& taps() const { return taps_; }
+
+  Cplx step(Cplx in);
+  CVec process(std::span<const Cplx> in);
+  void reset();
+
+  /// Complex frequency response at normalized frequency f (may be
+  /// negative).
+  Cplx response(double f_norm) const;
+
+ private:
+  CVec taps_;
+  CVec delay_;
+  std::size_t pos_;
+};
+
+}  // namespace wlansim::dsp

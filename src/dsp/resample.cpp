@@ -1,0 +1,83 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fir.h"
+#include "dsp/mathutil.h"
+
+namespace wlansim::dsp {
+
+namespace {
+
+RVec resampling_filter(std::size_t factor, double atten_db) {
+  // Cut at half the original Nyquist band in the high-rate domain, with a
+  // transition band that keeps tap counts moderate.
+  const double cutoff = 0.5 / static_cast<double>(factor);
+  const double transition = 0.25 * cutoff;
+  return design_kaiser_lowpass(cutoff - transition / 2.0, transition, atten_db);
+}
+
+}  // namespace
+
+CVec upsample(std::span<const Cplx> in, std::size_t factor, double atten_db) {
+  if (factor == 0) throw std::invalid_argument("upsample: factor must be >= 1");
+  if (factor == 1) return CVec(in.begin(), in.end());
+  CVec stuffed(in.size() * factor, Cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    stuffed[i * factor] = in[i] * static_cast<double>(factor);  // keep amplitude
+  const RVec taps = resampling_filter(factor, atten_db);
+  return filter_aligned(taps, stuffed);
+}
+
+CVec downsample(std::span<const Cplx> in, std::size_t factor, double atten_db) {
+  if (factor == 0) throw std::invalid_argument("downsample: factor must be >= 1");
+  if (factor == 1) return CVec(in.begin(), in.end());
+  const RVec taps = resampling_filter(factor, atten_db);
+  const CVec filtered = filter_aligned(taps, in);
+  CVec out;
+  out.reserve(filtered.size() / factor);
+  for (std::size_t i = 0; i < filtered.size(); i += factor)
+    out.push_back(filtered[i]);
+  return out;
+}
+
+CVec frequency_shift(std::span<const Cplx> in, double freq_norm,
+                     double start_phase) {
+  CVec out(in.size());
+  double phase = start_phase;
+  const double dphi = kTwoPi * freq_norm;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] * Cplx{std::cos(phase), std::sin(phase)};
+    phase += dphi;
+    if (phase > kPi * 64.0 || phase < -kPi * 64.0) phase = wrap_phase(phase);
+  }
+  return out;
+}
+
+CVec fractional_resample(std::span<const Cplx> in, double ratio) {
+  if (ratio <= 0.0)
+    throw std::invalid_argument("fractional_resample: ratio must be > 0");
+  if (in.size() < 4) return {};
+  const std::size_t out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(in.size() - 3) * ratio));
+  CVec out(out_len);
+  for (std::size_t k = 0; k < out_len; ++k) {
+    const double t = static_cast<double>(k) / ratio;
+    const auto i = static_cast<std::size_t>(t);
+    const double mu = t - static_cast<double>(i);
+    // Catmull-Rom over the four points around t (i maps to p1).
+    const Cplx p0 = in[i == 0 ? 0 : i - 1];
+    const Cplx p1 = in[i];
+    const Cplx p2 = in[i + 1];
+    const Cplx p3 = in[i + 2];
+    const double mu2 = mu * mu;
+    const double mu3 = mu2 * mu;
+    out[k] = 0.5 * ((2.0 * p1) + (-p0 + p2) * mu +
+                    (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * mu2 +
+                    (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * mu3);
+  }
+  return out;
+}
+
+}  // namespace wlansim::dsp

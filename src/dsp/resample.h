@@ -1,0 +1,40 @@
+// Integer-factor resampling with anti-alias/anti-image FIR filtering.
+//
+// The 802.11a baseband runs at 20 Msps; the RF front-end model runs
+// oversampled (typically 4x = 80 Msps) so that adjacent channels at
+// +/-20 MHz are representable. These helpers move signals between rates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace wlansim::dsp {
+
+/// Upsample by an integer factor: zero-stuff then image-reject lowpass.
+/// Output length is factor * input length; amplitude is preserved.
+CVec upsample(std::span<const Cplx> in, std::size_t factor,
+              double atten_db = 60.0);
+
+/// Downsample by an integer factor: anti-alias lowpass then decimate.
+/// Output length is input length / factor (floor).
+CVec downsample(std::span<const Cplx> in, std::size_t factor,
+                double atten_db = 60.0);
+
+/// Frequency-shift a signal by `freq_norm` cycles/sample (fraction of fs):
+/// y[n] = x[n] * exp(j 2 pi freq_norm (n + phase0/2pi...)). `start_phase`
+/// is the oscillator phase at the first sample, in radians.
+CVec frequency_shift(std::span<const Cplx> in, double freq_norm,
+                     double start_phase = 0.0);
+
+/// Arbitrary-ratio resampling by cubic (Catmull-Rom) interpolation:
+/// output sample k is the input evaluated at t = k / ratio. Used to move
+/// between unrelated rates (e.g. the 11 Mchip/s DSSS modem into an
+/// 80 Msps RF scene) and to model sampling-clock offset (ratio = 1 + ppm).
+/// The input must be adequately oversampled relative to its bandwidth —
+/// cubic interpolation adds no anti-alias filtering. Output length is
+/// floor((in.size() - 3) * ratio).
+CVec fractional_resample(std::span<const Cplx> in, double ratio);
+
+}  // namespace wlansim::dsp

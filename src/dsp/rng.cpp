@@ -1,0 +1,44 @@
+#include "dsp/rng.h"
+
+#include <cmath>
+
+namespace wlansim::dsp {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double Rng::gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::gaussian(double sigma) { return sigma * gaussian(); }
+
+Cplx Rng::cgaussian(double variance) {
+  const double s = std::sqrt(variance / 2.0);
+  return {gaussian(s), gaussian(s)};
+}
+
+bool Rng::bit() { return (gen_() & 1u) != 0; }
+
+void Rng::bytes(std::uint8_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(gen_() & 0xff);
+  }
+}
+
+Rng Rng::fork() {
+  // Mix the next raw draw so sibling forks are decorrelated.
+  const std::uint64_t s = gen_() ^ 0x9e3779b97f4a7c15ull;
+  return Rng(s);
+}
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,59 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component (noise sources, channels, data sources) takes an
+// explicit Rng so that a whole link run is reproducible from a single seed,
+// and so that parameter sweeps can use common random numbers across points.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "dsp/types.h"
+
+namespace wlansim::dsp {
+
+/// Seedable random source wrapping a 64-bit Mersenne Twister.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  /// Re-seed; the stream restarts deterministically.
+  void seed(std::uint64_t s) { gen_.seed(s); }
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal (mean 0, variance 1).
+  double gaussian();
+
+  /// Normal with the given standard deviation.
+  double gaussian(double sigma);
+
+  /// Circularly-symmetric complex Gaussian with total variance
+  /// E|x|^2 == variance (variance/2 per rail).
+  Cplx cgaussian(double variance);
+
+  /// A single fair random bit.
+  bool bit();
+
+  /// Fill a byte buffer with random bytes.
+  void bytes(std::uint8_t* dst, std::size_t n);
+
+  /// Derive an independent child generator (for giving each block its own
+  /// stream while keeping the whole run a function of one master seed).
+  Rng fork();
+
+  /// Direct access for std:: distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,77 @@
+#include "dsp/spectrum.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/mathutil.h"
+
+namespace wlansim::dsp {
+
+double PsdEstimate::dbm_at(double f_norm) const {
+  if (power.empty()) throw std::logic_error("PsdEstimate: empty");
+  std::size_t best = 0;
+  double bestd = 1e300;
+  for (std::size_t i = 0; i < freq_norm.size(); ++i) {
+    const double d = std::abs(freq_norm[i] - f_norm);
+    if (d < bestd) {
+      bestd = d;
+      best = i;
+    }
+  }
+  return watts_to_dbm(std::max(power[best], 1e-30));
+}
+
+double PsdEstimate::band_power(double f_center_norm, double bw_norm) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    if (std::abs(freq_norm[i] - f_center_norm) <= bw_norm / 2.0)
+      acc += power[i];
+  }
+  return acc;
+}
+
+PsdEstimate welch_psd(std::span<const Cplx> x, const WelchConfig& cfg) {
+  if (!is_pow2(cfg.nfft) || cfg.nfft < 8)
+    throw std::invalid_argument("welch_psd: nfft must be a power of two >= 8");
+  if (cfg.overlap < 0.0 || cfg.overlap >= 1.0)
+    throw std::invalid_argument("welch_psd: overlap must be in [0, 1)");
+  if (x.size() < cfg.nfft)
+    throw std::invalid_argument("welch_psd: signal shorter than nfft");
+
+  const std::size_t n = cfg.nfft;
+  const std::size_t hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround((1.0 - cfg.overlap) * n)));
+  const RVec w = make_window(cfg.window, n);
+  double wpow = 0.0;
+  for (double v : w) wpow += v * v;
+  wpow /= static_cast<double>(n);
+
+  const Fft engine(n);
+  RVec acc(n, 0.0);
+  std::size_t segments = 0;
+  CVec seg(n);
+  for (std::size_t start = 0; start + n <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < n; ++i) seg[i] = x[start + i] * w[i];
+    engine.forward(std::span<Cplx>(seg));
+    for (std::size_t i = 0; i < n; ++i) acc[i] += std::norm(seg[i]);
+    ++segments;
+  }
+  // Normalize so that the bin powers sum to the mean signal power:
+  // periodogram |X[k]|^2 / N^2, corrected for the window's power loss.
+  const double scale =
+      1.0 / (static_cast<double>(segments) * static_cast<double>(n) *
+             static_cast<double>(n) * wpow);
+  for (double& v : acc) v *= scale;
+
+  PsdEstimate out;
+  out.power = fftshift(std::span<const double>(acc));
+  out.freq_norm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.freq_norm[i] =
+        (static_cast<double>(i) - static_cast<double>(n / 2)) / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,38 @@
+// Power spectral density estimation (Welch's method) — the measurement
+// behind the paper's Fig. 4 (OFDM signal with adjacent channel).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace wlansim::dsp {
+
+struct PsdEstimate {
+  /// PSD bins in watts/bin, DC-centered (fftshifted).
+  RVec power;
+  /// Normalized frequency of each bin (fraction of fs, in [-0.5, 0.5)).
+  RVec freq_norm;
+
+  std::size_t size() const { return power.size(); }
+
+  /// PSD value in dBm at the bin nearest `f_norm`.
+  double dbm_at(double f_norm) const;
+
+  /// Total power (watts) integrated over bins with |f - f_center| <= bw/2.
+  double band_power(double f_center_norm, double bw_norm) const;
+};
+
+struct WelchConfig {
+  std::size_t nfft = 1024;           ///< segment length (power of two)
+  double overlap = 0.5;              ///< fractional overlap between segments
+  WindowType window = WindowType::kHann;
+};
+
+/// Welch-averaged periodogram. Bin powers sum to the total signal power
+/// (Parseval-consistent: sum(power) == mean |x|^2).
+PsdEstimate welch_psd(std::span<const Cplx> x, const WelchConfig& cfg = {});
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,32 @@
+// Basic numeric types shared by every wlansim library.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace wlansim::dsp {
+
+/// Complex baseband sample. Double precision throughout: link-level BER work
+/// is dominated by FFT/Viterbi cost, not by arithmetic width, and double
+/// removes quantization as a confounder when measuring RF impairments.
+using Cplx = std::complex<double>;
+
+/// Contiguous complex signal buffer.
+using CVec = std::vector<Cplx>;
+
+/// Contiguous real signal buffer.
+using RVec = std::vector<double>;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Boltzmann constant [J/K]; used for thermal noise floors.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Reference temperature for noise-figure definitions [K].
+inline constexpr double kT0 = 290.0;
+
+}  // namespace wlansim::dsp

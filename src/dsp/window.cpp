@@ -1,0 +1,57 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::dsp {
+
+RVec make_window(WindowType type, std::size_t n, double kaiser_beta) {
+  if (n == 0) throw std::invalid_argument("make_window: n must be >= 1");
+  RVec w(n, 1.0);
+  if (n == 1) return w;
+  const double m = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / m;  // 0..1
+    switch (type) {
+      case WindowType::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) + 0.08 * std::cos(2 * kTwoPi * x);
+        break;
+      case WindowType::kKaiser: {
+        const double r = 2.0 * x - 1.0;  // -1..1
+        w[i] = bessel_i0(kaiser_beta * std::sqrt(std::max(0.0, 1.0 - r * r))) /
+               bessel_i0(kaiser_beta);
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+double kaiser_beta_for_attenuation(double atten_db) {
+  if (atten_db > 50.0) return 0.1102 * (atten_db - 8.7);
+  if (atten_db >= 21.0)
+    return 0.5842 * std::pow(atten_db - 21.0, 0.4) + 0.07886 * (atten_db - 21.0);
+  return 0.0;
+}
+
+std::size_t kaiser_length(double atten_db, double transition_norm) {
+  if (transition_norm <= 0.0)
+    throw std::invalid_argument("kaiser_length: transition width must be > 0");
+  const double n = (atten_db - 7.95) / (2.285 * kTwoPi * transition_norm) + 1.0;
+  auto taps = static_cast<std::size_t>(std::ceil(std::max(3.0, n)));
+  if (taps % 2 == 0) ++taps;  // odd length -> integer group delay
+  return taps;
+}
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,25 @@
+// Window functions for FIR design and spectral estimation.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace wlansim::dsp {
+
+enum class WindowType { kRect, kHann, kHamming, kBlackman, kKaiser };
+
+/// Generate an n-point symmetric window. `kaiser_beta` is only used for
+/// WindowType::kKaiser.
+RVec make_window(WindowType type, std::size_t n, double kaiser_beta = 8.6);
+
+/// Kaiser beta giving approximately `atten_db` of sidelobe attenuation
+/// (standard Kaiser design formula).
+double kaiser_beta_for_attenuation(double atten_db);
+
+/// Number of taps a Kaiser-window FIR needs for `atten_db` stopband
+/// attenuation and `transition_norm` transition width (fraction of the
+/// sample rate). Always returns an odd count >= 3.
+std::size_t kaiser_length(double atten_db, double transition_norm);
+
+}  // namespace wlansim::dsp

@@ -1,0 +1,40 @@
+#include "phy80211a/bits.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wlansim::phy {
+
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes)
+    for (int i = 0; i < 8; ++i) bits.push_back((b >> i) & 1);
+  return bits;
+}
+
+Bytes bits_to_bytes(std::span<const std::uint8_t> bits) {
+  if (bits.size() % 8 != 0)
+    throw std::invalid_argument("bits_to_bytes: size must be a multiple of 8");
+  Bytes bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bytes[i / 8] |= static_cast<std::uint8_t>((bits[i] & 1) << (i % 8));
+  return bytes;
+}
+
+Bytes random_bytes(std::size_t n, dsp::Rng& rng) {
+  Bytes out(n);
+  rng.bytes(out.data(), n);
+  return out;
+}
+
+std::size_t count_bit_errors(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t errs = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if ((a[i] & 1) != (b[i] & 1)) ++errs;
+  return errs;
+}
+
+}  // namespace wlansim::phy

@@ -1,0 +1,29 @@
+// Bit-vector helpers. Bits travel as one bit per byte (0/1) — simple,
+// debuggable, and fast enough since link simulations are FFT/Viterbi bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/rng.h"
+
+namespace wlansim::phy {
+
+using Bits = std::vector<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Expand bytes to bits, LSB of each byte first (802.11 bit ordering).
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Pack bits (LSB first) back into bytes; size must be a multiple of 8.
+Bytes bits_to_bytes(std::span<const std::uint8_t> bits);
+
+/// Generate `n` random payload bytes.
+Bytes random_bytes(std::size_t n, dsp::Rng& rng);
+
+/// Count positions where a and b differ (up to the shorter length).
+std::size_t count_bit_errors(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+}  // namespace wlansim::phy

@@ -1,0 +1,91 @@
+#include "phy80211a/conformance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::phy {
+
+double spectral_mask_dbr(double f_hz) {
+  const double f = std::abs(f_hz);
+  struct Point {
+    double f, dbr;
+  };
+  // Std 802.11a Figure 120 breakpoints.
+  static constexpr Point kMask[] = {
+      {0.0, 0.0}, {9e6, 0.0}, {11e6, -20.0}, {20e6, -28.0}, {30e6, -40.0}};
+  if (f >= 30e6) return -40.0;
+  for (std::size_t i = 1; i < std::size(kMask); ++i) {
+    if (f <= kMask[i].f) {
+      const double w = (f - kMask[i - 1].f) / (kMask[i].f - kMask[i - 1].f);
+      return kMask[i - 1].dbr + w * (kMask[i].dbr - kMask[i - 1].dbr);
+    }
+  }
+  return -40.0;
+}
+
+MaskCheckResult check_spectral_mask(const dsp::PsdEstimate& psd,
+                                    double sample_rate_hz,
+                                    double min_offset_hz) {
+  // Bin the PSD into 100 kHz resolution cells, find the in-band maximum as
+  // the 0 dBr reference, then compare every cell against the mask.
+  const double cell_hz = 100e3;
+  const double cell_norm = cell_hz / sample_rate_hz;
+  const double half = sample_rate_hz / 2.0;
+
+  double ref = 0.0;
+  for (double f = -9e6; f <= 9e6; f += cell_hz) {
+    ref = std::max(ref, psd.band_power(f / sample_rate_hz, cell_norm));
+  }
+  MaskCheckResult out;
+  if (ref <= 0.0) {
+    out.pass = false;
+    return out;
+  }
+  for (double f = -half + cell_hz; f < half - cell_hz; f += cell_hz) {
+    if (std::abs(f) < min_offset_hz) continue;
+    const double p = psd.band_power(f / sample_rate_hz, cell_norm);
+    const double dbr = dsp::to_db(std::max(p, 1e-30) / ref);
+    const double limit = spectral_mask_dbr(f);
+    const double margin = limit - dbr;
+    if (margin < out.worst_margin_db) {
+      out.worst_margin_db = margin;
+      out.worst_offset_hz = f;
+    }
+  }
+  out.pass = out.worst_margin_db >= 0.0;
+  return out;
+}
+
+double required_tx_evm_db(Rate rate) {
+  // Std 802.11a Table 90 (relative constellation error).
+  switch (rate) {
+    case Rate::kMbps6: return -5.0;
+    case Rate::kMbps9: return -8.0;
+    case Rate::kMbps12: return -10.0;
+    case Rate::kMbps18: return -13.0;
+    case Rate::kMbps24: return -16.0;
+    case Rate::kMbps36: return -19.0;
+    case Rate::kMbps48: return -22.0;
+    case Rate::kMbps54: return -25.0;
+  }
+  return 0.0;
+}
+
+double required_sensitivity_dbm(Rate rate) {
+  // Std 802.11a Table 91.
+  switch (rate) {
+    case Rate::kMbps6: return -82.0;
+    case Rate::kMbps9: return -81.0;
+    case Rate::kMbps12: return -79.0;
+    case Rate::kMbps18: return -77.0;
+    case Rate::kMbps24: return -74.0;
+    case Rate::kMbps36: return -70.0;
+    case Rate::kMbps48: return -66.0;
+    case Rate::kMbps54: return -65.0;
+  }
+  return 0.0;
+}
+
+}  // namespace wlansim::phy

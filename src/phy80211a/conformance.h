@@ -1,0 +1,43 @@
+// Transmit and receive conformance limits of IEEE 802.11a-1999:
+// the transmit spectral mask (17.3.9.2) and the minimum receiver
+// sensitivity table (17.3.10.1). Used by the conformance benches and by
+// anyone validating a modified front-end against the standard.
+#pragma once
+
+#include "dsp/spectrum.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+/// Transmit spectral mask limit [dBr relative to the in-band maximum] at
+/// frequency offset `f_hz` from the channel center (Std Fig. 120:
+/// 0 dBr to +/-9 MHz, -20 dBr at 11 MHz, -28 dBr at 20 MHz, -40 dBr at
+/// 30 MHz and beyond; linear interpolation in between).
+double spectral_mask_dbr(double f_hz);
+
+struct MaskCheckResult {
+  bool pass = true;
+  double worst_margin_db = 1e9;  ///< min(limit - measured); negative = fail
+  double worst_offset_hz = 0.0;
+};
+
+/// Check a PSD (of a transmit waveform at `sample_rate_hz`) against the
+/// mask. The 0 dBr reference is the maximum 100 kHz-binned in-band level,
+/// per the standard's measurement description. `min_offset_hz` restricts
+/// the check to offsets beyond it (the in-band peak touches 0 dBr by
+/// construction, so out-of-band checks usually start at 9 MHz).
+MaskCheckResult check_spectral_mask(const dsp::PsdEstimate& psd,
+                                    double sample_rate_hz,
+                                    double min_offset_hz = 0.0);
+
+/// Minimum receiver sensitivity [dBm] required for a rate
+/// (Std Table 91; 10 % PER at 1000-byte PSDU, assuming 10 dB NF and 5 dB
+/// implementation margin).
+double required_sensitivity_dbm(Rate rate);
+
+/// Maximum allowed transmit relative constellation error (TX EVM) [dB]
+/// for a rate (Std 17.3.9.6.3, Table 90: -5 dB at 6 Mbps down to -25 dB
+/// at 54 Mbps).
+double required_tx_evm_db(Rate rate);
+
+}  // namespace wlansim::phy

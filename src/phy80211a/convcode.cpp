@@ -1,0 +1,188 @@
+#include "phy80211a/convcode.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+namespace wlansim::phy {
+
+namespace {
+
+// Generator polynomials g0 = 133o, g1 = 171o expressed as tap masks over the
+// 7-bit window (bit 0 = current input, bit k = input k steps ago):
+// g0: 1 + D^2 + D^3 + D^5 + D^6, g1: 1 + D + D^2 + D^3 + D^6.
+constexpr std::uint32_t kMaskA = 0x6D;
+constexpr std::uint32_t kMaskB = 0x4F;
+constexpr std::size_t kNumStates = 64;
+
+inline std::uint8_t parity(std::uint32_t v) {
+  return static_cast<std::uint8_t>(std::popcount(v) & 1);
+}
+
+// Puncturing patterns over one period of mother-coded bits (A/B interlaced).
+// kR23: keep A1 B1 A2, drop B2. kR34: keep A1 B1 A2 B3, drop B2 A3.
+constexpr std::array<std::uint8_t, 4> kKeep23 = {1, 1, 1, 0};
+constexpr std::array<std::uint8_t, 6> kKeep34 = {1, 1, 1, 0, 0, 1};
+
+std::span<const std::uint8_t> keep_pattern(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kR12: return {};
+    case CodeRate::kR23: return kKeep23;
+    case CodeRate::kR34: return kKeep34;
+  }
+  throw std::invalid_argument("keep_pattern: bad rate");
+}
+
+}  // namespace
+
+Bits convolutional_encode(const Bits& in) {
+  Bits out;
+  out.reserve(in.size() * 2);
+  std::uint32_t state = 0;  // last six input bits, newest at bit 0
+  for (std::uint8_t b : in) {
+    const std::uint32_t full = (state << 1) | (b & 1);
+    out.push_back(parity(full & kMaskA));
+    out.push_back(parity(full & kMaskB));
+    state = full & 0x3F;
+  }
+  return out;
+}
+
+Bits puncture(const Bits& coded, CodeRate rate) {
+  const auto keep = keep_pattern(rate);
+  if (keep.empty()) return coded;
+  if (coded.size() % keep.size() != 0)
+    throw std::invalid_argument("puncture: length not a pattern multiple");
+  Bits out;
+  out.reserve(punctured_length(coded.size() / 2, rate));
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    if (keep[i % keep.size()]) out.push_back(coded[i]);
+  return out;
+}
+
+std::size_t punctured_length(std::size_t input_bits, CodeRate rate) {
+  const std::size_t coded = 2 * input_bits;
+  switch (rate) {
+    case CodeRate::kR12: return coded;
+    case CodeRate::kR23:
+      if (coded % 4 != 0)
+        throw std::invalid_argument("punctured_length: bad length for 2/3");
+      return coded / 4 * 3;
+    case CodeRate::kR34:
+      if (coded % 6 != 0)
+        throw std::invalid_argument("punctured_length: bad length for 3/4");
+      return coded / 6 * 4;
+  }
+  throw std::invalid_argument("punctured_length: bad rate");
+}
+
+SoftBits depuncture(const SoftBits& soft, CodeRate rate) {
+  const auto keep = keep_pattern(rate);
+  if (keep.empty()) return soft;
+  const std::size_t kept_per_period =
+      static_cast<std::size_t>(std::count(keep.begin(), keep.end(), 1));
+  if (soft.size() % kept_per_period != 0)
+    throw std::invalid_argument("depuncture: length not a pattern multiple");
+  const std::size_t periods = soft.size() / kept_per_period;
+  SoftBits out;
+  out.reserve(periods * keep.size());
+  std::size_t src = 0;
+  for (std::size_t p = 0; p < periods; ++p) {
+    for (std::uint8_t k : keep) {
+      out.push_back(k ? soft[src++] : 0.0);
+    }
+  }
+  return out;
+}
+
+Bits viterbi_decode(const SoftBits& soft, bool terminated) {
+  if (soft.size() % 2 != 0)
+    throw std::invalid_argument("viterbi_decode: need A/B pairs");
+  const std::size_t steps = soft.size() / 2;
+
+  // Precompute per-state/per-input expected output pair and next state.
+  struct Branch {
+    std::uint8_t next;
+    std::uint8_t out_a, out_b;
+  };
+  static const auto kBranches = [] {
+    std::array<std::array<Branch, 2>, kNumStates> t{};
+    for (std::uint32_t s = 0; s < kNumStates; ++s) {
+      for (std::uint32_t b = 0; b < 2; ++b) {
+        const std::uint32_t full = (s << 1) | b;
+        t[s][b] = {static_cast<std::uint8_t>(full & 0x3F),
+                   parity(full & kMaskA), parity(full & kMaskB)};
+      }
+    }
+    return t;
+  }();
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::array<double, kNumStates> metric{};
+  metric.fill(kNegInf);
+  metric[0] = 0.0;  // encoder starts in the zero state
+
+  // One predecessor-decision word per step: bit s = chosen input bit that
+  // led into state s (the input bit equals next_state bit 0, so we instead
+  // record which of the two predecessors won).
+  std::vector<std::uint64_t> decisions(steps, 0);
+
+  std::array<double, kNumStates> next_metric{};
+  for (std::size_t t = 0; t < steps; ++t) {
+    next_metric.fill(kNegInf);
+    const double la = soft[2 * t];      // positive -> bit A likely 0
+    const double lb = soft[2 * t + 1];  // positive -> bit B likely 0
+    std::uint64_t dec = 0;
+    for (std::uint32_t s = 0; s < kNumStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (std::uint32_t b = 0; b < 2; ++b) {
+        const Branch& br = kBranches[s][b];
+        const double m = metric[s] + (br.out_a ? -la : la) + (br.out_b ? -lb : lb);
+        if (m > next_metric[br.next]) {
+          next_metric[br.next] = m;
+          // Predecessor of `next` is s; record its oldest bit (bit 5),
+          // which is the one bit the two predecessors differ in.
+          if (s & 0x20)
+            dec |= (std::uint64_t{1} << br.next);
+          else
+            dec &= ~(std::uint64_t{1} << br.next);
+        }
+      }
+    }
+    decisions[t] = dec;
+    metric = next_metric;
+  }
+
+  // Traceback start: the zero state for exactly-terminated streams, the
+  // best-metric survivor otherwise.
+  Bits out(steps, 0);
+  std::uint32_t state = 0;
+  if (!terminated) {
+    double best = metric[0];
+    for (std::uint32_t s = 1; s < kNumStates; ++s) {
+      if (metric[s] > best) {
+        best = metric[s];
+        state = s;
+      }
+    }
+  }
+  for (std::size_t t = steps; t-- > 0;) {
+    out[t] = static_cast<std::uint8_t>(state & 1);  // input bit = state bit 0
+    const std::uint32_t old_bit5 =
+        static_cast<std::uint32_t>((decisions[t] >> state) & 1);
+    state = (state >> 1) | (old_bit5 << 5);
+  }
+  return out;
+}
+
+Bits viterbi_decode_hard(const Bits& coded, bool terminated) {
+  SoftBits soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    soft[i] = (coded[i] & 1) ? -1.0 : 1.0;
+  return viterbi_decode(soft, terminated);
+}
+
+}  // namespace wlansim::phy

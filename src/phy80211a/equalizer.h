@@ -1,0 +1,64 @@
+// Channel estimation from the long training field and pilot-based common
+// phase error tracking (the "Channel Correction" block of the paper's
+// Fig. 1 receiver diagram).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "dsp/types.h"
+#include "phy80211a/ofdm.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+/// Frequency-domain channel estimate over the 53 occupied carriers
+/// (-26..26; index k+26).
+struct ChannelEstimate {
+  std::array<dsp::Cplx, 53> h{};
+
+  dsp::Cplx at_carrier(int k) const { return h[static_cast<std::size_t>(k + 26)]; }
+
+  /// Per-data-carrier estimate in transmission order.
+  std::array<dsp::Cplx, kNumDataCarriers> data_carriers() const;
+
+  /// Per-pilot estimate.
+  std::array<dsp::Cplx, kNumPilots> pilot_carriers() const;
+};
+
+/// Least-squares estimate from the two 64-sample long training symbols
+/// (already time- and frequency-aligned). `lts` must hold 128 samples.
+ChannelEstimate estimate_channel(std::span<const dsp::Cplx> lts);
+
+/// Smooth an estimate across carriers with a short moving average
+/// (odd `window` >= 1; 1 = no-op). Averaging neighboring carriers reduces
+/// the estimation noise by ~window, at the cost of bias when the channel
+/// is frequency-selective — the classic smoothing tradeoff, exposed as a
+/// receiver option and quantified by bench/ablation_chanest.
+ChannelEstimate smooth_channel(const ChannelEstimate& est, std::size_t window);
+
+/// An ideal flat channel estimate (gain 1) for genie-aided reception.
+ChannelEstimate flat_channel();
+
+/// Result of equalizing one OFDM data symbol.
+struct EqualizedSymbol {
+  std::array<dsp::Cplx, kNumDataCarriers> points;   ///< equalized data points
+  std::array<double, kNumDataCarriers> weights;     ///< |H|^2 demap weights
+  double common_phase_error = 0.0;                  ///< radians, from pilots
+  double phase_slope = 0.0;  ///< radians/carrier (timing drift), from pilots
+};
+
+/// Equalize a demodulated symbol against `est`, removing the pilot-derived
+/// common phase error when `track_phase` is set, and — when `track_timing`
+/// is also set — the pilot-derived linear phase slope across carriers
+/// (sampling-clock / window drift: a timing shift of d samples rotates
+/// carrier k by 2 pi k d / 64, which common-phase tracking cannot absorb).
+/// `symbol_index` selects the expected pilot polarity (0 = SIGNAL,
+/// n+1 = DATA n).
+EqualizedSymbol equalize_symbol(const DemodulatedSymbol& sym,
+                                const ChannelEstimate& est,
+                                std::size_t symbol_index,
+                                bool track_phase = true,
+                                bool track_timing = true);
+
+}  // namespace wlansim::phy

@@ -1,0 +1,51 @@
+#include "phy80211a/interleaver.h"
+
+#include <stdexcept>
+
+namespace wlansim::phy {
+
+Interleaver::Interleaver(std::size_t ncbps, std::size_t nbpsc) {
+  if (ncbps == 0 || ncbps % 16 != 0)
+    throw std::invalid_argument("Interleaver: NCBPS must be a multiple of 16");
+  const std::size_t s = std::max<std::size_t>(nbpsc / 2, 1);
+  fwd_.resize(ncbps);
+  inv_.resize(ncbps);
+  for (std::size_t k = 0; k < ncbps; ++k) {
+    // First permutation (Std 802.11a Eq. 15).
+    const std::size_t i = (ncbps / 16) * (k % 16) + k / 16;
+    // Second permutation (Eq. 16).
+    const std::size_t j =
+        s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+    fwd_[k] = j;
+    inv_[j] = k;
+  }
+}
+
+Interleaver::Interleaver(Rate r)
+    : Interleaver(rate_params(r).ncbps, rate_params(r).nbpsc) {}
+
+Bits Interleaver::interleave(const Bits& in) const {
+  if (in.size() != fwd_.size())
+    throw std::invalid_argument("Interleaver: block size mismatch");
+  Bits out(in.size());
+  for (std::size_t k = 0; k < in.size(); ++k) out[fwd_[k]] = in[k];
+  return out;
+}
+
+Bits Interleaver::deinterleave(const Bits& in) const {
+  if (in.size() != inv_.size())
+    throw std::invalid_argument("Interleaver: block size mismatch");
+  Bits out(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) out[inv_[j]] = in[j];
+  return out;
+}
+
+SoftBits Interleaver::deinterleave_soft(const SoftBits& in) const {
+  if (in.size() != inv_.size())
+    throw std::invalid_argument("Interleaver: block size mismatch");
+  SoftBits out(in.size());
+  for (std::size_t j = 0; j < in.size(); ++j) out[inv_[j]] = in[j];
+  return out;
+}
+
+}  // namespace wlansim::phy

@@ -1,0 +1,43 @@
+// Block interleaver over one OFDM symbol's coded bits — the two-permutation
+// scheme of IEEE 802.11a-1999, 17.3.5.6: the first permutation spreads
+// adjacent coded bits onto nonadjacent subcarriers; the second alternates
+// them between more and less significant constellation bits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "phy80211a/bits.h"
+#include "phy80211a/convcode.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+/// Precomputed interleaving permutation for one (NCBPS, NBPSC) pair.
+class Interleaver {
+ public:
+  Interleaver(std::size_t ncbps, std::size_t nbpsc);
+
+  /// Convenience: build from a rate's parameters.
+  explicit Interleaver(Rate r);
+
+  std::size_t block_size() const { return fwd_.size(); }
+
+  /// Interleave exactly one symbol block (size must equal block_size()).
+  Bits interleave(const Bits& in) const;
+
+  /// De-interleave one symbol block of hard bits.
+  Bits deinterleave(const Bits& in) const;
+
+  /// De-interleave one symbol block of soft metrics.
+  SoftBits deinterleave_soft(const SoftBits& in) const;
+
+  /// fwd()[k] is the post-interleaving position of input bit k.
+  const std::vector<std::size_t>& fwd() const { return fwd_; }
+
+ private:
+  std::vector<std::size_t> fwd_;
+  std::vector<std::size_t> inv_;
+};
+
+}  // namespace wlansim::phy

@@ -1,0 +1,146 @@
+#include "phy80211a/mapper.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wlansim::phy {
+
+namespace {
+
+/// Axis levels indexed by the gray-coded bit group (b_first..b_last read as
+/// an integer with the first bit as MSB), per Std 802.11a Tables 81-84.
+std::vector<double> gray_levels(std::size_t bits_per_axis) {
+  switch (bits_per_axis) {
+    case 1: return {-1.0, 1.0};                    // 0 -> -1, 1 -> +1
+    case 2: return {-3.0, -1.0, 3.0, 1.0};          // 00,01,10,11
+    case 3: return {-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0};
+    default: throw std::invalid_argument("gray_levels: bad width");
+  }
+}
+
+double norm_factor(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1.0;
+    case Modulation::kQpsk: return 1.0 / std::sqrt(2.0);
+    case Modulation::kQam16: return 1.0 / std::sqrt(10.0);
+    case Modulation::kQam64: return 1.0 / std::sqrt(42.0);
+  }
+  throw std::invalid_argument("norm_factor: bad modulation");
+}
+
+}  // namespace
+
+Mapper::Mapper(Modulation mod)
+    : mod_(mod),
+      nbpsc_(bits_per_symbol(mod)),
+      bits_per_axis_(mod == Modulation::kBpsk ? 1 : nbpsc_ / 2),
+      norm_(norm_factor(mod)),
+      levels_(gray_levels(bits_per_axis_)) {}
+
+double Mapper::axis_level(std::span<const std::uint8_t> axis_bits) const {
+  std::size_t g = 0;
+  for (std::uint8_t b : axis_bits) g = (g << 1) | (b & 1);
+  return levels_[g];
+}
+
+dsp::Cplx Mapper::map_point(std::span<const std::uint8_t> bits) const {
+  if (bits.size() != nbpsc_)
+    throw std::invalid_argument("Mapper: wrong number of bits");
+  const double i = axis_level(bits.first(bits_per_axis_));
+  const double q = (mod_ == Modulation::kBpsk)
+                       ? 0.0
+                       : axis_level(bits.subspan(bits_per_axis_));
+  return norm_ * dsp::Cplx{i, q};
+}
+
+dsp::CVec Mapper::map(const Bits& bits) const {
+  if (bits.size() % nbpsc_ != 0)
+    throw std::invalid_argument("Mapper: bit count not a multiple of NBPSC");
+  dsp::CVec out;
+  out.reserve(bits.size() / nbpsc_);
+  for (std::size_t i = 0; i < bits.size(); i += nbpsc_)
+    out.push_back(map_point(std::span<const std::uint8_t>(bits).subspan(i, nbpsc_)));
+  return out;
+}
+
+void Mapper::demap_axis_hard(double y, Bits* out) const {
+  std::size_t best = 0;
+  double bestd = std::numeric_limits<double>::max();
+  for (std::size_t g = 0; g < levels_.size(); ++g) {
+    const double d = std::abs(y - levels_[g] * norm_);
+    if (d < bestd) {
+      bestd = d;
+      best = g;
+    }
+  }
+  for (std::size_t i = 0; i < bits_per_axis_; ++i)
+    out->push_back(
+        static_cast<std::uint8_t>((best >> (bits_per_axis_ - 1 - i)) & 1));
+}
+
+Bits Mapper::demap_hard_point(dsp::Cplx y) const {
+  Bits out;
+  out.reserve(nbpsc_);
+  demap_axis_hard(y.real(), &out);
+  if (mod_ != Modulation::kBpsk) demap_axis_hard(y.imag(), &out);
+  return out;
+}
+
+Bits Mapper::demap_hard(std::span<const dsp::Cplx> pts) const {
+  Bits out;
+  out.reserve(pts.size() * nbpsc_);
+  for (dsp::Cplx p : pts) {
+    const Bits b = demap_hard_point(p);
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+void Mapper::demap_axis_soft(double y, double weight, SoftBits* out) const {
+  // Max-log: LLR_i = w * (min_{s:bit=1} (y-s)^2 - min_{s:bit=0} (y-s)^2);
+  // positive favors bit 0.
+  for (std::size_t i = 0; i < bits_per_axis_; ++i) {
+    double d0 = std::numeric_limits<double>::max();
+    double d1 = std::numeric_limits<double>::max();
+    for (std::size_t g = 0; g < levels_.size(); ++g) {
+      const double diff = y - levels_[g] * norm_;
+      const double d = diff * diff;
+      const bool bit = ((g >> (bits_per_axis_ - 1 - i)) & 1) != 0;
+      if (bit) {
+        if (d < d1) d1 = d;
+      } else {
+        if (d < d0) d0 = d;
+      }
+    }
+    out->push_back(weight * (d1 - d0));
+  }
+}
+
+SoftBits Mapper::demap_soft_point(dsp::Cplx y, double weight) const {
+  SoftBits out;
+  out.reserve(nbpsc_);
+  demap_axis_soft(y.real(), weight, &out);
+  if (mod_ != Modulation::kBpsk) demap_axis_soft(y.imag(), weight, &out);
+  return out;
+}
+
+SoftBits Mapper::demap_soft(std::span<const dsp::Cplx> pts,
+                            std::span<const double> weights) const {
+  if (pts.size() != weights.size())
+    throw std::invalid_argument("Mapper: weights size mismatch");
+  SoftBits out;
+  out.reserve(pts.size() * nbpsc_);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const SoftBits s = demap_soft_point(pts[i], weights[i]);
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+dsp::Cplx Mapper::nearest_point(dsp::Cplx y) const {
+  const Bits b = demap_hard_point(y);
+  return map_point(b);
+}
+
+}  // namespace wlansim::phy

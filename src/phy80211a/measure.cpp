@@ -1,0 +1,138 @@
+#include "phy80211a/measure.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+#include "phy80211a/mapper.h"
+#include "phy80211a/ofdm.h"
+
+namespace wlansim::phy {
+
+void BerCounter::add_packet(std::span<const std::uint8_t> tx_bytes,
+                            std::span<const std::uint8_t> rx_bytes, bool rx_ok) {
+  const std::size_t nbits = 8 * tx_bytes.size();
+  bits_total_ += nbits;
+  ++packets_total_;
+  if (!rx_ok || rx_bytes.size() != tx_bytes.size()) {
+    // Treat an undecodable packet as fully errored: one random guess per
+    // bit would average nbits/2, but counting all keeps BER monotone with
+    // packet loss and matches the worst-case convention. Use half to stay
+    // closer to the information-loss view.
+    bit_errors_ += nbits / 2;
+    ++packet_errors_;
+    return;
+  }
+  std::size_t errs = 0;
+  for (std::size_t i = 0; i < tx_bytes.size(); ++i) {
+    std::uint8_t x = static_cast<std::uint8_t>(tx_bytes[i] ^ rx_bytes[i]);
+    while (x) {
+      errs += x & 1;
+      x >>= 1;
+    }
+  }
+  bit_errors_ += errs;
+  if (errs > 0) ++packet_errors_;
+}
+
+void BerCounter::add_lost_packet(std::size_t tx_bytes) {
+  bits_total_ += 8 * tx_bytes;
+  bit_errors_ += 8 * tx_bytes / 2;
+  ++packets_total_;
+  ++packet_errors_;
+}
+
+double BerCounter::ber() const {
+  return bits_total_ ? static_cast<double>(bit_errors_) /
+                           static_cast<double>(bits_total_)
+                     : 0.0;
+}
+
+double BerCounter::per() const {
+  return packets_total_ ? static_cast<double>(packet_errors_) /
+                              static_cast<double>(packets_total_)
+                        : 0.0;
+}
+
+void EvmCounter::add(std::span<const dsp::Cplx> rx,
+                     std::span<const dsp::Cplx> ref) {
+  if (rx.size() != ref.size())
+    throw std::invalid_argument("EvmCounter: size mismatch");
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    err_acc_ += std::norm(rx[i] - ref[i]);
+    ref_acc_ += std::norm(ref[i]);
+    ++count_;
+  }
+}
+
+void EvmCounter::add_decision_directed(std::span<const dsp::Cplx> rx,
+                                       Modulation mod) {
+  const Mapper mapper(mod);
+  for (const dsp::Cplx& y : rx) {
+    const dsp::Cplx ref = mapper.nearest_point(y);
+    err_acc_ += std::norm(y - ref);
+    ref_acc_ += std::norm(ref);
+    ++count_;
+  }
+}
+
+double EvmCounter::evm_rms() const {
+  if (ref_acc_ <= 0.0) return 0.0;
+  return std::sqrt(err_acc_ / ref_acc_);
+}
+
+double EvmCounter::evm_percent() const { return 100.0 * evm_rms(); }
+
+double EvmCounter::evm_db() const {
+  const double e = evm_rms();
+  return e > 0.0 ? 20.0 * std::log10(e) : -200.0;
+}
+
+double papr_db(std::span<const dsp::Cplx> x) {
+  const double mean = dsp::mean_power(x);
+  if (mean <= 0.0) return 0.0;
+  double peak = 0.0;
+  for (const auto& v : x) peak = std::max(peak, std::norm(v));
+  return dsp::to_db(peak / mean);
+}
+
+std::vector<double> papr_ccdf(std::span<const dsp::Cplx> x,
+                              std::span<const double> thresholds_db) {
+  std::vector<double> out(thresholds_db.size(), 0.0);
+  const double mean = dsp::mean_power(x);
+  if (mean <= 0.0 || x.empty()) return out;
+  for (std::size_t t = 0; t < thresholds_db.size(); ++t) {
+    const double limit = mean * dsp::from_db(thresholds_db[t]);
+    std::size_t count = 0;
+    for (const auto& v : x) {
+      if (std::norm(v) > limit) ++count;
+    }
+    out[t] = static_cast<double>(count) / static_cast<double>(x.size());
+  }
+  return out;
+}
+
+void PerCarrierEvm::add_symbol(std::span<const dsp::Cplx> rx,
+                               std::span<const dsp::Cplx> ref) {
+  if (rx.size() != kNumDataCarriers || ref.size() != kNumDataCarriers)
+    throw std::invalid_argument("PerCarrierEvm: need 48 points per symbol");
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    err_[i] += std::norm(rx[i] - ref[i]);
+    ref_[i] += std::norm(ref[i]);
+  }
+  ++symbols_;
+}
+
+std::array<double, kNumDataCarriers> PerCarrierEvm::evm_per_carrier() const {
+  std::array<double, kNumDataCarriers> out{};
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    out[i] = ref_[i] > 0.0 ? std::sqrt(err_[i] / ref_[i]) : 0.0;
+  }
+  return out;
+}
+
+int PerCarrierEvm::carrier_index(std::size_t i) {
+  return data_carrier_indices().at(i);
+}
+
+}  // namespace wlansim::phy

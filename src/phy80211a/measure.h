@@ -1,0 +1,96 @@
+// Link-quality measurements: bit/packet error counters and error vector
+// magnitude (paper §5.1 / §5.2).
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+#include "phy80211a/bits.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+/// Accumulating bit/packet error-rate counter.
+class BerCounter {
+ public:
+  /// Compare a transmitted and received payload; a missing/failed packet
+  /// counts every bit as errored.
+  void add_packet(std::span<const std::uint8_t> tx_bytes,
+                  std::span<const std::uint8_t> rx_bytes, bool rx_ok);
+
+  /// Record a packet that was never decoded (all bits errored).
+  void add_lost_packet(std::size_t tx_bytes);
+
+  std::size_t bits_total() const { return bits_total_; }
+  std::size_t bit_errors() const { return bit_errors_; }
+  std::size_t packets_total() const { return packets_total_; }
+  std::size_t packet_errors() const { return packet_errors_; }
+
+  double ber() const;
+  double per() const;
+
+ private:
+  std::size_t bits_total_ = 0;
+  std::size_t bit_errors_ = 0;
+  std::size_t packets_total_ = 0;
+  std::size_t packet_errors_ = 0;
+};
+
+/// Error vector magnitude between received and reference constellation
+/// points: EVM_rms = sqrt(mean |y - ref|^2 / mean |ref|^2).
+class EvmCounter {
+ public:
+  /// Add one symbol's worth of points against explicit references.
+  void add(std::span<const dsp::Cplx> rx, std::span<const dsp::Cplx> ref);
+
+  /// Add points against the nearest ideal constellation point (decision-
+  /// directed EVM, used when the transmitted data is unknown).
+  void add_decision_directed(std::span<const dsp::Cplx> rx, Modulation mod);
+
+  std::size_t count() const { return count_; }
+  double evm_rms() const;       ///< fraction (0.1 == 10 %)
+  double evm_percent() const;   ///< percent
+  double evm_db() const;        ///< 20 log10(evm_rms)
+
+ private:
+  double err_acc_ = 0.0;
+  double ref_acc_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Peak-to-average power ratio of a waveform [dB].
+double papr_db(std::span<const dsp::Cplx> x);
+
+/// CCDF of the instantaneous PAPR: for each threshold [dB], the fraction
+/// of samples whose instantaneous power exceeds the mean by more than the
+/// threshold — the standard OFDM PAPR plot.
+std::vector<double> papr_ccdf(std::span<const dsp::Cplx> x,
+                              std::span<const double> thresholds_db);
+
+/// Per-carrier EVM accumulator: resolves constellation error onto the 48
+/// data subcarriers. The profile localizes impairments spectrally —
+/// flicker/DC products hit the innermost carriers, channel-filter rolloff
+/// and group-delay ripple hit the outermost (paper §5.2's EVM idea, taken
+/// one step further).
+class PerCarrierEvm {
+ public:
+  /// Add one OFDM symbol: 48 received and 48 reference points in
+  /// transmission order.
+  void add_symbol(std::span<const dsp::Cplx> rx,
+                  std::span<const dsp::Cplx> ref);
+
+  std::size_t symbols() const { return symbols_; }
+
+  /// EVM (rms fraction) per data carrier, transmission order.
+  std::array<double, kNumDataCarriers> evm_per_carrier() const;
+
+  /// Logical subcarrier index (-26..26) for profile axis labeling.
+  static int carrier_index(std::size_t i);
+
+ private:
+  std::array<double, kNumDataCarriers> err_{};
+  std::array<double, kNumDataCarriers> ref_{};
+  std::size_t symbols_ = 0;
+};
+
+}  // namespace wlansim::phy

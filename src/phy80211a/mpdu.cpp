@@ -1,0 +1,99 @@
+#include "phy80211a/mpdu.h"
+
+#include <array>
+#include <cstdio>
+
+namespace wlansim::phy {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t pos) {
+  return static_cast<std::uint16_t>(in[pos] | (in[pos + 1] << 8));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+MacAddress MacAddress::broadcast() {
+  MacAddress a;
+  a.octets.fill(0xFF);
+  return a;
+}
+
+MacAddress MacAddress::from_id(std::uint16_t id) {
+  // Locally administered, unicast: 02:00:57:4C:hi:lo ("WL").
+  MacAddress a;
+  a.octets = {0x02, 0x00, 0x57, 0x4C, static_cast<std::uint8_t>(id >> 8),
+              static_cast<std::uint8_t>(id & 0xff)};
+  return a;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+Bytes build_data_mpdu(const MacHeader& hdr,
+                      std::span<const std::uint8_t> payload) {
+  Bytes out;
+  out.reserve(kMacHeaderBytes + payload.size() + kFcsBytes);
+  put_u16(out, hdr.frame_control);
+  put_u16(out, hdr.duration);
+  for (const MacAddress* a : {&hdr.addr1, &hdr.addr2, &hdr.addr3})
+    out.insert(out.end(), a->octets.begin(), a->octets.end());
+  put_u16(out, hdr.sequence_control);
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t fcs = crc32(out);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xff));
+  return out;
+}
+
+std::optional<ParsedMpdu> parse_mpdu(std::span<const std::uint8_t> psdu) {
+  if (psdu.size() < kMacHeaderBytes + kFcsBytes) return std::nullopt;
+  const std::size_t body = psdu.size() - kFcsBytes;
+  std::uint32_t fcs_rx = 0;
+  for (int i = 0; i < 4; ++i)
+    fcs_rx |= static_cast<std::uint32_t>(psdu[body + i]) << (8 * i);
+  if (crc32(psdu.first(body)) != fcs_rx) return std::nullopt;
+
+  ParsedMpdu out;
+  out.header.frame_control = get_u16(psdu, 0);
+  out.header.duration = get_u16(psdu, 2);
+  for (std::size_t a = 0; a < 3; ++a) {
+    MacAddress* dst = a == 0   ? &out.header.addr1
+                      : a == 1 ? &out.header.addr2
+                               : &out.header.addr3;
+    for (std::size_t i = 0; i < 6; ++i) dst->octets[i] = psdu[4 + 6 * a + i];
+  }
+  out.header.sequence_control = get_u16(psdu, 22);
+  out.payload.assign(psdu.begin() + kMacHeaderBytes,
+                     psdu.begin() + static_cast<std::ptrdiff_t>(body));
+  return out;
+}
+
+}  // namespace wlansim::phy

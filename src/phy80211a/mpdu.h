@@ -1,0 +1,63 @@
+// MAC data-plane framing: the MPDU ("MAC PDU stream" at the right edge of
+// the paper's Fig. 1) that rides inside the PHY's PSDU. Provides the
+// 802.11 data-frame header, IEEE CRC-32 FCS generation/checking, and
+// sequence numbering — enough MAC to measure realistic frame error rates
+// (FCS-validated) instead of genie payload comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "phy80211a/bits.h"
+
+namespace wlansim::phy {
+
+/// IEEE CRC-32 (polynomial 0x04C11DB7, reflected, init/final 0xFFFFFFFF) —
+/// the 802.11 FCS.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  static MacAddress broadcast();
+  /// Deterministic locally-administered address from a small id.
+  static MacAddress from_id(std::uint16_t id);
+
+  std::string to_string() const;
+  bool operator==(const MacAddress&) const = default;
+};
+
+/// Header of an 802.11 data frame (24 bytes on air).
+struct MacHeader {
+  std::uint16_t frame_control = 0x0008;  ///< type=data, subtype=0
+  std::uint16_t duration = 0;
+  MacAddress addr1;  ///< receiver
+  MacAddress addr2;  ///< transmitter
+  MacAddress addr3;  ///< BSSID
+  std::uint16_t sequence_control = 0;  ///< seq << 4 | fragment
+
+  std::uint16_t sequence_number() const { return sequence_control >> 4; }
+  void set_sequence_number(std::uint16_t s) {
+    sequence_control = static_cast<std::uint16_t>((s & 0x0FFF) << 4);
+  }
+};
+
+inline constexpr std::size_t kMacHeaderBytes = 24;
+inline constexpr std::size_t kFcsBytes = 4;
+
+/// Assemble header + payload + FCS into a PSDU.
+Bytes build_data_mpdu(const MacHeader& hdr,
+                      std::span<const std::uint8_t> payload);
+
+/// A successfully FCS-validated received frame.
+struct ParsedMpdu {
+  MacHeader header;
+  Bytes payload;
+};
+
+/// Parse and FCS-check a received PSDU; nullopt on length/FCS failure.
+std::optional<ParsedMpdu> parse_mpdu(std::span<const std::uint8_t> psdu);
+
+}  // namespace wlansim::phy

@@ -1,0 +1,110 @@
+#include "phy80211a/ofdm.h"
+
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace wlansim::phy {
+
+namespace {
+
+std::array<int, kNumDataCarriers> make_data_carriers() {
+  std::array<int, kNumDataCarriers> out{};
+  std::size_t n = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0 || k == -21 || k == -7 || k == 7 || k == 21) continue;
+    out[n++] = k;
+  }
+  return out;
+}
+
+// Pilot polarity sequence p_0..p_126 (Std 802.11a 17.3.5.9).
+constexpr std::array<int, 127> kPolarity = {
+    1, 1, 1, 1, -1, -1, -1, 1,  -1, -1, -1, -1, 1,  1,  -1, 1,
+    -1, -1, 1, 1, -1, 1, 1, -1, 1,  1,  1,  1,  1,  1,  -1, 1,
+    1, 1, -1, 1, 1, -1, -1, 1,  1,  1,  -1, 1,  -1, -1, -1, 1,
+    -1, 1, -1, -1, 1, -1, -1, 1, 1,  1,  1,  1,  -1, -1, 1,  1,
+    -1, -1, 1, -1, 1, -1, 1, 1,  -1, -1, -1, 1,  1,  -1, -1, -1,
+    -1, 1, -1, -1, 1, -1, 1, 1,  1,  1,  -1, 1,  -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1, -1, 1, 1,  -1, 1,  -1, 1,  1,  1,  -1,
+    -1, 1, -1, -1, -1, 1, 1, 1,  -1, -1, -1, -1, -1, -1, -1};
+
+const dsp::Fft& fft64() {
+  static const dsp::Fft engine(kNfft);
+  return engine;
+}
+
+}  // namespace
+
+const std::array<int, kNumDataCarriers>& data_carrier_indices() {
+  static const auto table = make_data_carriers();
+  return table;
+}
+
+const std::array<int, kNumPilots>& pilot_carrier_indices() {
+  static const std::array<int, kNumPilots> table = {-21, -7, 7, 21};
+  return table;
+}
+
+const std::array<double, kNumPilots>& pilot_base_values() {
+  static const std::array<double, kNumPilots> table = {1.0, 1.0, 1.0, -1.0};
+  return table;
+}
+
+double pilot_polarity(std::size_t symbol_index) {
+  return static_cast<double>(kPolarity[symbol_index % kPolarity.size()]);
+}
+
+std::size_t carrier_to_bin(int carrier) {
+  if (carrier < -32 || carrier > 31)
+    throw std::invalid_argument("carrier_to_bin: out of range");
+  return static_cast<std::size_t>((carrier + kNfft) % kNfft);
+}
+
+dsp::CVec ofdm_modulate_symbol(std::span<const dsp::Cplx> data48,
+                               std::size_t symbol_index) {
+  if (data48.size() != kNumDataCarriers)
+    throw std::invalid_argument("ofdm_modulate_symbol: need 48 points");
+  dsp::CVec fd(kNfft, dsp::Cplx{0.0, 0.0});
+  const auto& dc = data_carrier_indices();
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i)
+    fd[carrier_to_bin(dc[i])] = data48[i];
+  const double pol = pilot_polarity(symbol_index);
+  const auto& pc = pilot_carrier_indices();
+  const auto& pv = pilot_base_values();
+  for (std::size_t i = 0; i < kNumPilots; ++i)
+    fd[carrier_to_bin(pc[i])] = pol * pv[i];
+
+  dsp::CVec td = fft64().inverse(std::span<const dsp::Cplx>(fd));
+  // The 64-point IFFT with 52 unit-power carriers yields mean power 52/64;
+  // no extra scaling — the transmitter normalizes the whole frame.
+  dsp::CVec out;
+  out.reserve(kSymbolLen);
+  out.insert(out.end(), td.end() - kCpLen, td.end());  // cyclic prefix
+  out.insert(out.end(), td.begin(), td.end());
+  return out;
+}
+
+DemodulatedSymbol ofdm_demodulate_symbol(std::span<const dsp::Cplx> time64) {
+  if (time64.size() != kNfft)
+    throw std::invalid_argument("ofdm_demodulate_symbol: need 64 samples");
+  const dsp::CVec fd = fft64().forward(time64);
+  DemodulatedSymbol out;
+  const auto& dc = data_carrier_indices();
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i)
+    out.data[i] = fd[carrier_to_bin(dc[i])];
+  const auto& pc = pilot_carrier_indices();
+  for (std::size_t i = 0; i < kNumPilots; ++i)
+    out.pilots[i] = fd[carrier_to_bin(pc[i])];
+  return out;
+}
+
+std::array<dsp::Cplx, 53> extract_occupied_bins(std::span<const dsp::Cplx> fd64) {
+  if (fd64.size() != kNfft)
+    throw std::invalid_argument("extract_occupied_bins: need 64 bins");
+  std::array<dsp::Cplx, 53> out;
+  for (int k = -26; k <= 26; ++k) out[k + 26] = fd64[carrier_to_bin(k)];
+  return out;
+}
+
+}  // namespace wlansim::phy

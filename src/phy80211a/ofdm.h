@@ -1,0 +1,49 @@
+// OFDM symbol assembly/disassembly: subcarrier mapping (48 data + 4 pilot
+// carriers on a 64-point FFT), cyclic prefix, and the pilot polarity
+// sequence (IEEE 802.11a-1999, 17.3.5.8 / 17.3.5.9).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "dsp/types.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+/// Logical subcarrier indices (-26..26, excluding 0 and pilots) of the 48
+/// data carriers, in transmission order.
+const std::array<int, kNumDataCarriers>& data_carrier_indices();
+
+/// Pilot subcarrier indices {-21, -7, 7, 21}.
+const std::array<int, kNumPilots>& pilot_carrier_indices();
+
+/// Base pilot values {1, 1, 1, -1} before polarity scrambling.
+const std::array<double, kNumPilots>& pilot_base_values();
+
+/// 127-periodic pilot polarity sequence p_n (Std 17.3.5.9); the SIGNAL
+/// symbol uses index 0, DATA symbol n uses index n+1.
+double pilot_polarity(std::size_t symbol_index);
+
+/// Assemble one time-domain OFDM symbol (CP + 64 samples) from 48 data
+/// constellation points. `symbol_index` selects the pilot polarity (0 for
+/// SIGNAL, n+1 for DATA symbol n).
+dsp::CVec ofdm_modulate_symbol(std::span<const dsp::Cplx> data48,
+                               std::size_t symbol_index);
+
+/// FFT of one received symbol (64 samples, CP already removed) and
+/// extraction of the 48 data bins and 4 pilot bins.
+struct DemodulatedSymbol {
+  std::array<dsp::Cplx, kNumDataCarriers> data;
+  std::array<dsp::Cplx, kNumPilots> pilots;
+};
+DemodulatedSymbol ofdm_demodulate_symbol(std::span<const dsp::Cplx> time64);
+
+/// Map a logical subcarrier index (-32..31) to its FFT bin (0..63).
+std::size_t carrier_to_bin(int carrier);
+
+/// Full 53-entry frequency-domain view used by channel estimation:
+/// carriers -26..26 (index i corresponds to carrier i-26).
+std::array<dsp::Cplx, 53> extract_occupied_bins(std::span<const dsp::Cplx> fd64);
+
+}  // namespace wlansim::phy

@@ -1,0 +1,72 @@
+#include "phy80211a/params.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace wlansim::phy {
+
+namespace {
+
+constexpr std::array<RateParams, kNumRates> kTable = {{
+    //  Mbps   modulation            code rate        NBPSC NCBPS NDBPS RATE
+    {6.0,  Modulation::kBpsk,  CodeRate::kR12, 1, 48,  24,  0b1101},
+    {9.0,  Modulation::kBpsk,  CodeRate::kR34, 1, 48,  36,  0b1111},
+    {12.0, Modulation::kQpsk,  CodeRate::kR12, 2, 96,  48,  0b0101},
+    {18.0, Modulation::kQpsk,  CodeRate::kR34, 2, 96,  72,  0b0111},
+    {24.0, Modulation::kQam16, CodeRate::kR12, 4, 192, 96,  0b1001},
+    {36.0, Modulation::kQam16, CodeRate::kR34, 4, 192, 144, 0b1011},
+    {48.0, Modulation::kQam64, CodeRate::kR23, 6, 288, 192, 0b0001},
+    {54.0, Modulation::kQam64, CodeRate::kR34, 6, 288, 216, 0b0011},
+}};
+
+constexpr std::array<std::string_view, kNumRates> kNames = {
+    "6 Mbps (BPSK 1/2)",    "9 Mbps (BPSK 3/4)",
+    "12 Mbps (QPSK 1/2)",   "18 Mbps (QPSK 3/4)",
+    "24 Mbps (16-QAM 1/2)", "36 Mbps (16-QAM 3/4)",
+    "48 Mbps (64-QAM 2/3)", "54 Mbps (64-QAM 3/4)",
+};
+
+}  // namespace
+
+const RateParams& rate_params(Rate r) {
+  return kTable[static_cast<std::size_t>(r)];
+}
+
+bool rate_from_field(std::uint8_t field, Rate* out) {
+  for (std::size_t i = 0; i < kNumRates; ++i) {
+    if (kTable[i].rate_field == field) {
+      *out = static_cast<Rate>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view rate_name(Rate r) { return kNames[static_cast<std::size_t>(r)]; }
+
+std::size_t bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  throw std::invalid_argument("bits_per_symbol: bad modulation");
+}
+
+void code_rate_fraction(CodeRate r, std::size_t* num, std::size_t* den) {
+  switch (r) {
+    case CodeRate::kR12: *num = 1; *den = 2; return;
+    case CodeRate::kR23: *num = 2; *den = 3; return;
+    case CodeRate::kR34: *num = 3; *den = 4; return;
+  }
+  throw std::invalid_argument("code_rate_fraction: bad rate");
+}
+
+std::size_t num_data_symbols(Rate r, std::size_t psdu_bytes) {
+  const RateParams& p = rate_params(r);
+  const std::size_t total_bits = kServiceBits + 8 * psdu_bytes + kTailBits;
+  return (total_bits + p.ndbps - 1) / p.ndbps;
+}
+
+}  // namespace wlansim::phy

@@ -1,0 +1,91 @@
+// IEEE 802.11a-1999 PHY constants and rate-dependent parameters
+// (Std 802.11a Table 78 and related clauses).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wlansim::phy {
+
+/// Baseband sample rate of the 20 MHz channelization [Hz].
+inline constexpr double kSampleRate = 20e6;
+
+/// FFT size of the OFDM modulator.
+inline constexpr std::size_t kNfft = 64;
+
+/// Cyclic prefix (guard interval) length in samples.
+inline constexpr std::size_t kCpLen = 16;
+
+/// Total samples per OFDM symbol (4.0 us at 20 Msps).
+inline constexpr std::size_t kSymbolLen = kNfft + kCpLen;
+
+/// Number of data subcarriers.
+inline constexpr std::size_t kNumDataCarriers = 48;
+
+/// Number of pilot subcarriers.
+inline constexpr std::size_t kNumPilots = 4;
+
+/// Short training field length in samples (10 x 16).
+inline constexpr std::size_t kShortPreambleLen = 160;
+
+/// Long training field length in samples (32 CP + 2 x 64).
+inline constexpr std::size_t kLongPreambleLen = 160;
+
+/// Total PLCP preamble length in samples.
+inline constexpr std::size_t kPreambleLen = kShortPreambleLen + kLongPreambleLen;
+
+/// Number of SERVICE field bits (all zero on air; first 7 carry the
+/// scrambler state to the receiver).
+inline constexpr std::size_t kServiceBits = 16;
+
+/// Number of tail bits terminating the convolutional code.
+inline constexpr std::size_t kTailBits = 6;
+
+/// Channel spacing of the 5 GHz band plan [Hz] (adjacent channel offset).
+inline constexpr double kChannelSpacing = 20e6;
+
+/// Modulation of the data subcarriers.
+enum class Modulation : std::uint8_t { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Convolutional code rate after puncturing.
+enum class CodeRate : std::uint8_t { kR12, kR23, kR34 };
+
+/// One row of the 802.11a rate table.
+struct RateParams {
+  double rate_mbps;        ///< nominal data rate
+  Modulation modulation;   ///< subcarrier modulation
+  CodeRate code_rate;      ///< punctured code rate
+  std::size_t nbpsc;       ///< coded bits per subcarrier
+  std::size_t ncbps;       ///< coded bits per OFDM symbol
+  std::size_t ndbps;       ///< data bits per OFDM symbol
+  std::uint8_t rate_field; ///< 4-bit RATE field of the SIGNAL symbol
+};
+
+/// The eight mandatory/optional 802.11a rates.
+enum class Rate : std::uint8_t {
+  kMbps6, kMbps9, kMbps12, kMbps18, kMbps24, kMbps36, kMbps48, kMbps54
+};
+
+inline constexpr std::size_t kNumRates = 8;
+
+/// Look up the parameter row for a rate.
+const RateParams& rate_params(Rate r);
+
+/// Decode a SIGNAL-field RATE value; returns false if invalid.
+bool rate_from_field(std::uint8_t field, Rate* out);
+
+/// Human-readable rate name, e.g. "54 Mbps (64-QAM 3/4)".
+std::string_view rate_name(Rate r);
+
+/// Bits per subcarrier for a modulation.
+std::size_t bits_per_symbol(Modulation m);
+
+/// Numerator/denominator of a code rate (e.g. kR34 -> 3, 4).
+void code_rate_fraction(CodeRate r, std::size_t* num, std::size_t* den);
+
+/// Number of OFDM data symbols needed for `psdu_bytes` of payload at rate
+/// `r` (includes SERVICE, tail, and padding; Std 802.11a 17.3.5.3).
+std::size_t num_data_symbols(Rate r, std::size_t psdu_bytes);
+
+}  // namespace wlansim::phy

@@ -1,0 +1,98 @@
+#include "phy80211a/preamble.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "phy80211a/ofdm.h"
+
+namespace wlansim::phy {
+
+namespace {
+
+/// Build the 53-entry (carriers -26..26) short training sequence.
+dsp::CVec make_short_freq() {
+  dsp::CVec s(53, dsp::Cplx{0.0, 0.0});
+  const double a = std::sqrt(13.0 / 6.0);
+  const dsp::Cplx pp{a, a};    // (1+j) * sqrt(13/6)
+  const dsp::Cplx mm{-a, -a};  // (-1-j) * sqrt(13/6)
+  auto set = [&](int k, dsp::Cplx v) { s[k + 26] = v; };
+  set(-24, pp); set(-20, mm); set(-16, pp); set(-12, mm);
+  set(-8, mm);  set(-4, pp);  set(4, mm);   set(8, mm);
+  set(12, pp);  set(16, pp);  set(20, pp);  set(24, pp);
+  return s;
+}
+
+/// Long training sequence values for carriers -26..26 (Std Eq. 8).
+dsp::CVec make_long_freq() {
+  static constexpr int kL[53] = {
+      1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1,
+      1, -1, 1, -1, 1, 1, 1, 1, 0, 1, -1, -1, 1, 1, -1, 1, -1, 1,
+      -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1};
+  dsp::CVec l(53);
+  for (int i = 0; i < 53; ++i) l[i] = dsp::Cplx{static_cast<double>(kL[i]), 0.0};
+  return l;
+}
+
+/// 64-point IFFT of a 53-entry carrier loading (carriers -26..26).
+dsp::CVec ifft_of_carriers(const dsp::CVec& carriers53) {
+  dsp::CVec fd(kNfft, dsp::Cplx{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) fd[carrier_to_bin(k)] = carriers53[k + 26];
+  static const dsp::Fft engine(kNfft);
+  return engine.inverse(std::span<const dsp::Cplx>(fd));
+}
+
+}  // namespace
+
+const dsp::CVec& short_training_freq() {
+  static const dsp::CVec s = make_short_freq();
+  return s;
+}
+
+const dsp::CVec& long_training_freq() {
+  static const dsp::CVec l = make_long_freq();
+  return l;
+}
+
+const dsp::CVec& short_preamble() {
+  static const dsp::CVec t = [] {
+    const dsp::CVec period64 = ifft_of_carriers(short_training_freq());
+    // The IFFT output is 16-periodic (only every 4th carrier loaded); emit
+    // ten repetitions of the first 16 samples.
+    dsp::CVec out;
+    out.reserve(kShortPreambleLen);
+    for (std::size_t r = 0; r < 10; ++r)
+      out.insert(out.end(), period64.begin(), period64.begin() + 16);
+    return out;
+  }();
+  return t;
+}
+
+const dsp::CVec& long_training_symbol() {
+  static const dsp::CVec t = ifft_of_carriers(long_training_freq());
+  return t;
+}
+
+const dsp::CVec& long_preamble() {
+  static const dsp::CVec t = [] {
+    const dsp::CVec& sym = long_training_symbol();
+    dsp::CVec out;
+    out.reserve(kLongPreambleLen);
+    out.insert(out.end(), sym.end() - 32, sym.end());  // guard interval
+    out.insert(out.end(), sym.begin(), sym.end());
+    out.insert(out.end(), sym.begin(), sym.end());
+    return out;
+  }();
+  return t;
+}
+
+dsp::CVec full_preamble() {
+  dsp::CVec out;
+  out.reserve(kPreambleLen);
+  const dsp::CVec& s = short_preamble();
+  const dsp::CVec& l = long_preamble();
+  out.insert(out.end(), s.begin(), s.end());
+  out.insert(out.end(), l.begin(), l.end());
+  return out;
+}
+
+}  // namespace wlansim::phy

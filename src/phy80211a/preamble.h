@@ -1,0 +1,34 @@
+// PLCP preamble generation: short training field (packet detect, AGC,
+// coarse frequency) and long training field (channel estimation, fine
+// frequency/timing) — IEEE 802.11a-1999, 17.3.3.
+#pragma once
+
+#include "dsp/types.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+/// Frequency-domain short training sequence on carriers -26..26
+/// (index i = carrier i-26), already scaled by sqrt(13/6).
+const dsp::CVec& short_training_freq();
+
+/// Frequency-domain long training sequence on carriers -26..26 (+/-1
+/// values, 0 at DC).
+const dsp::CVec& long_training_freq();
+
+/// 160-sample short training field (ten repetitions of the 16-sample
+/// pattern).
+const dsp::CVec& short_preamble();
+
+/// 160-sample long training field (32-sample guard + two 64-sample
+/// training symbols).
+const dsp::CVec& long_preamble();
+
+/// One 64-sample long training symbol (the cross-correlation reference
+/// used by timing synchronization).
+const dsp::CVec& long_training_symbol();
+
+/// Complete 320-sample PLCP preamble.
+dsp::CVec full_preamble();
+
+}  // namespace wlansim::phy

@@ -1,0 +1,152 @@
+#include "phy80211a/receiver.h"
+
+#include <cmath>
+
+#include "phy80211a/convcode.h"
+#include "phy80211a/interleaver.h"
+#include "phy80211a/mapper.h"
+#include "phy80211a/ofdm.h"
+#include "phy80211a/scrambler.h"
+#include "phy80211a/sync.h"
+
+namespace wlansim::phy {
+
+namespace {
+
+/// Take the FFT window a few samples into the guard interval; the resulting
+/// linear phase is common to channel estimate and data symbols and cancels
+/// in equalization, while small timing errors and channel delay spread no
+/// longer push the window past the symbol boundary.
+constexpr std::size_t kTimingBackoff = 3;
+
+}  // namespace
+
+Receiver::Receiver() : Receiver(Config()) {}
+
+Receiver::Receiver(Config cfg) : cfg_(cfg) {}
+
+RxResult Receiver::decode_from(std::span<const dsp::Cplx> rx,
+                               std::size_t lts_start, double cfo_total) const {
+  RxResult res;
+  res.detected = true;
+  res.cfo_norm = cfo_total;
+  res.frame_start = (lts_start >= kShortPreambleLen + 32)
+                        ? lts_start - kShortPreambleLen - 32
+                        : 0;
+
+  if (lts_start < kTimingBackoff) return res;
+  const std::size_t lts_win = lts_start - kTimingBackoff;
+  if (lts_win + 2 * kNfft > rx.size()) return res;
+
+  // With the FFT windows shifted into the guard by the same backoff, the
+  // induced phase ramp is common to LTS and data and cancels out. The LTS
+  // copies are contiguous, so shift both windows identically by taking
+  // 128 samples starting at the backed-off position.
+  ChannelEstimate est = estimate_channel(rx.subspan(lts_win, 2 * kNfft));
+  if (cfg_.chanest_smoothing > 1)
+    est = smooth_channel(est, cfg_.chanest_smoothing);
+
+  // SIGNAL symbol.
+  const std::size_t sig_fft = lts_start + 2 * kNfft + kCpLen - kTimingBackoff;
+  if (sig_fft + kNfft > rx.size()) return res;
+  const DemodulatedSymbol sig_sym =
+      ofdm_demodulate_symbol(rx.subspan(sig_fft, kNfft));
+  const EqualizedSymbol sig_eq =
+      equalize_symbol(sig_sym, est, /*symbol_index=*/0, cfg_.track_phase,
+                      cfg_.track_timing);
+  const auto header = decode_signal_field(sig_eq.points, sig_eq.weights);
+  if (!header) return res;
+  res.header_ok = true;
+  res.signal = *header;
+
+  const RateParams& p = rate_params(header->rate);
+  const std::size_t nsym = num_data_symbols(header->rate, header->length);
+  const std::size_t data_base = lts_start + 2 * kNfft + kSymbolLen;
+
+  const Interleaver il(header->rate);
+  const Mapper mapper(p.modulation);
+  SoftBits soft_all;
+  soft_all.reserve(nsym * p.ncbps);
+  res.data_points.reserve(nsym);
+
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const std::size_t fft_pos = data_base + s * kSymbolLen + kCpLen - kTimingBackoff;
+    if (fft_pos + kNfft > rx.size()) {
+      res.header_ok = false;  // truncated frame
+      return res;
+    }
+    const DemodulatedSymbol sym =
+        ofdm_demodulate_symbol(rx.subspan(fft_pos, kNfft));
+    const EqualizedSymbol eq =
+        equalize_symbol(sym, est, /*symbol_index=*/s + 1, cfg_.track_phase,
+                        cfg_.track_timing);
+    res.data_points.emplace_back(eq.points.begin(), eq.points.end());
+
+    const SoftBits soft = mapper.demap_soft(
+        std::span<const dsp::Cplx>(eq.points),
+        std::span<const double>(eq.weights));
+    const SoftBits deint = il.deinterleave_soft(soft);
+    soft_all.insert(soft_all.end(), deint.begin(), deint.end());
+  }
+
+  const SoftBits mother = depuncture(soft_all, p.code_rate);
+  // Scrambled pad bits after the tail leave the encoder in an arbitrary
+  // state: start the traceback from the best survivor.
+  Bits decoded = viterbi_decode(mother, /*terminated=*/false);
+
+  // Descramble: recover the seed from the seven zero SERVICE bits.
+  const Bits first7(decoded.begin(), decoded.begin() + 7);
+  Scrambler descr(recover_scrambler_seed(first7));
+  descr.process(decoded);
+
+  const std::size_t psdu_bits = 8 * header->length;
+  if (kServiceBits + psdu_bits > decoded.size()) {
+    res.header_ok = false;
+    return res;
+  }
+  const Bits payload(decoded.begin() + kServiceBits,
+                     decoded.begin() + kServiceBits + psdu_bits);
+  res.psdu = bits_to_bytes(payload);
+  return res;
+}
+
+RxResult Receiver::receive(std::span<const dsp::Cplx> rx) const {
+  RxResult res;
+  const auto det = detect_packet(rx, cfg_.detect_threshold);
+  if (!det) return res;
+
+  // Work on a CFO-corrected copy starting at the detection point.
+  dsp::CVec buf(rx.begin() + static_cast<std::ptrdiff_t>(det->detect_index),
+                rx.end());
+  correct_cfo(buf, det->coarse_cfo_norm);
+
+  // The long preamble begins no later than ~352 samples past detection
+  // (detection can fire a little before the true frame start).
+  const std::size_t search_end = std::min<std::size_t>(buf.size(), 420);
+  const auto lts = locate_long_training(buf, 0, search_end);
+  if (!lts) return res;
+
+  const double residual = fine_cfo(buf, *lts);
+  correct_cfo(buf, residual);
+
+  RxResult out = decode_from(buf, *lts, det->coarse_cfo_norm + residual);
+  out.frame_start += det->detect_index;
+  return out;
+}
+
+RxResult Receiver::receive_at(std::span<const dsp::Cplx> rx,
+                              std::size_t frame_start, double cfo_norm) const {
+  dsp::CVec buf(rx.begin() + static_cast<std::ptrdiff_t>(frame_start), rx.end());
+  if (cfo_norm != 0.0) correct_cfo(buf, cfo_norm);
+  const std::size_t lts_start = kShortPreambleLen + 32;
+  if (buf.size() > lts_start + 2 * kNfft) {
+    const double residual = fine_cfo(buf, lts_start);
+    correct_cfo(buf, residual);
+    RxResult out = decode_from(buf, lts_start, cfo_norm + residual);
+    out.frame_start = frame_start;
+    return out;
+  }
+  return {};
+}
+
+}  // namespace wlansim::phy

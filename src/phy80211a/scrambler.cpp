@@ -1,0 +1,45 @@
+#include "phy80211a/scrambler.h"
+
+#include <stdexcept>
+
+namespace wlansim::phy {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(seed & 0x7F) {
+  if (state_ == 0)
+    throw std::invalid_argument("Scrambler: seed must be non-zero");
+}
+
+std::uint8_t Scrambler::next_bit() {
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return fb;
+}
+
+void Scrambler::process(Bits& bits) {
+  for (std::uint8_t& b : bits) b = (b ^ next_bit()) & 1;
+}
+
+std::uint8_t recover_scrambler_seed(const Bits& first7_scrambled) {
+  if (first7_scrambled.size() < 7)
+    throw std::invalid_argument("recover_scrambler_seed: need 7 bits");
+  // The SERVICE field starts with seven zero bits, so the received scrambled
+  // bits equal the scrambling sequence itself. 127 candidate seeds is a
+  // trivially small search.
+  for (int seed = 1; seed < 128; ++seed) {
+    Scrambler s(static_cast<std::uint8_t>(seed));
+    bool match = true;
+    for (int i = 0; i < 7; ++i) {
+      if (s.next_bit() != (first7_scrambled[i] & 1)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return static_cast<std::uint8_t>(seed);
+  }
+  // All-zero observation can only arise from heavy corruption; fall back to
+  // an arbitrary seed so decoding proceeds (the frame will fail CRC anyway).
+  return 0x5D;
+}
+
+}  // namespace wlansim::phy

@@ -1,0 +1,38 @@
+// Frame-synchronous scrambler, generator x^7 + x^4 + 1
+// (IEEE 802.11a-1999, 17.3.5.4). The same structure scrambles and
+// descrambles; the receiver recovers the transmit seed from the seven
+// leading zero SERVICE bits.
+#pragma once
+
+#include <cstdint>
+
+#include "phy80211a/bits.h"
+
+namespace wlansim::phy {
+
+class Scrambler {
+ public:
+  /// `seed` is the 7-bit initial state; must be non-zero.
+  explicit Scrambler(std::uint8_t seed = 0x5D);
+
+  /// Next pseudo-random bit (advances the state).
+  std::uint8_t next_bit();
+
+  /// Scramble (== descramble) a bit sequence in place.
+  void process(Bits& bits);
+
+  /// Current 7-bit state.
+  std::uint8_t state() const { return state_; }
+
+ private:
+  std::uint8_t state_;
+};
+
+/// Recover the transmitter's scrambler seed from the first 7 descrambler
+/// input bits, exploiting that SERVICE bits 0..6 are transmitted as zero.
+/// (Std 802.11a 17.3.5.4: "the seven LSBs of the SERVICE field will be set
+/// to all zeros prior to scrambling to enable estimation of the initial
+/// state of the scrambler in the receiver.")
+std::uint8_t recover_scrambler_seed(const Bits& first7_scrambled);
+
+}  // namespace wlansim::phy

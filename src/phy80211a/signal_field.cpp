@@ -1,0 +1,67 @@
+#include "phy80211a/signal_field.h"
+
+#include <stdexcept>
+
+#include "phy80211a/interleaver.h"
+#include "phy80211a/mapper.h"
+#include "phy80211a/ofdm.h"
+
+namespace wlansim::phy {
+
+Bits signal_field_bits(const SignalField& sf) {
+  if (sf.length == 0 || sf.length > 4095)
+    throw std::invalid_argument("signal_field_bits: LENGTH must be 1..4095");
+  Bits b;
+  b.reserve(24);
+  const std::uint8_t rate_field = rate_params(sf.rate).rate_field;
+  for (int i = 3; i >= 0; --i) b.push_back((rate_field >> i) & 1);  // R1..R4
+  b.push_back(0);  // reserved
+  for (int i = 0; i < 12; ++i)
+    b.push_back(static_cast<std::uint8_t>((sf.length >> i) & 1));  // LSB first
+  std::uint8_t parity = 0;
+  for (std::uint8_t v : b) parity ^= (v & 1);
+  b.push_back(parity);                  // even parity over bits 0..16
+  for (int i = 0; i < 6; ++i) b.push_back(0);  // tail
+  return b;
+}
+
+std::optional<SignalField> parse_signal_field(const Bits& bits) {
+  if (bits.size() != 24) return std::nullopt;
+  std::uint8_t parity = 0;
+  for (std::size_t i = 0; i < 18; ++i) parity ^= (bits[i] & 1);
+  if (parity != 0) return std::nullopt;  // even parity violated
+  std::uint8_t rate_field = 0;
+  for (int i = 0; i < 4; ++i)
+    rate_field = static_cast<std::uint8_t>((rate_field << 1) | (bits[i] & 1));
+  Rate rate;
+  if (!rate_from_field(rate_field, &rate)) return std::nullopt;
+  std::size_t length = 0;
+  for (int i = 0; i < 12; ++i)
+    length |= static_cast<std::size_t>(bits[5 + i] & 1) << i;
+  if (length == 0) return std::nullopt;
+  return SignalField{rate, length};
+}
+
+dsp::CVec modulate_signal_field(const SignalField& sf) {
+  const Bits info = signal_field_bits(sf);
+  const Bits coded = convolutional_encode(info);  // 48 bits, R=1/2
+  const Interleaver il(48, 1);
+  const Bits inter = il.interleave(coded);
+  const Mapper mapper(Modulation::kBpsk);
+  const dsp::CVec pts = mapper.map(inter);
+  return ofdm_modulate_symbol(pts, /*symbol_index=*/0);
+}
+
+std::optional<SignalField> decode_signal_field(
+    std::span<const dsp::Cplx> data48, std::span<const double> weights) {
+  if (data48.size() != kNumDataCarriers || weights.size() != kNumDataCarriers)
+    throw std::invalid_argument("decode_signal_field: need 48 points");
+  const Mapper mapper(Modulation::kBpsk);
+  const SoftBits soft = mapper.demap_soft(data48, weights);
+  const Interleaver il(48, 1);
+  const SoftBits deinter = il.deinterleave_soft(soft);
+  const Bits info = viterbi_decode(deinter);
+  return parse_signal_field(info);
+}
+
+}  // namespace wlansim::phy

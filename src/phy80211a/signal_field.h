@@ -1,0 +1,36 @@
+// SIGNAL field: the one-symbol PLCP header carrying RATE and LENGTH,
+// always sent at 6 Mbps BPSK R=1/2 and never scrambled
+// (IEEE 802.11a-1999, 17.3.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dsp/types.h"
+#include "phy80211a/convcode.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::phy {
+
+struct SignalField {
+  Rate rate = Rate::kMbps6;
+  std::size_t length = 0;  ///< PSDU length in bytes (1..4095)
+};
+
+/// Assemble the 24 SIGNAL bits: RATE(4) | reserved(1) | LENGTH(12, LSB
+/// first) | even parity(1) | tail(6 zeros).
+Bits signal_field_bits(const SignalField& sf);
+
+/// Parse 24 decoded SIGNAL bits; empty on parity failure or invalid RATE.
+std::optional<SignalField> parse_signal_field(const Bits& bits);
+
+/// Encode the SIGNAL field to one 80-sample OFDM symbol (pilot polarity
+/// index 0).
+dsp::CVec modulate_signal_field(const SignalField& sf);
+
+/// Decode one received SIGNAL symbol from equalized data-carrier points.
+/// `weights` are the per-carrier demapper weights (|H|^2 scaling).
+std::optional<SignalField> decode_signal_field(
+    std::span<const dsp::Cplx> data48, std::span<const double> weights);
+
+}  // namespace wlansim::phy

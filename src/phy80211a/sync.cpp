@@ -1,0 +1,126 @@
+#include "phy80211a/sync.h"
+
+#include <cmath>
+
+#include "dsp/mathutil.h"
+#include "phy80211a/params.h"
+#include "phy80211a/preamble.h"
+
+namespace wlansim::phy {
+
+namespace {
+constexpr std::size_t kLag = 16;      // short-preamble periodicity
+constexpr std::size_t kCorrLen = 32;  // detection correlation window
+}  // namespace
+
+std::optional<DetectionResult> detect_packet(std::span<const dsp::Cplx> rx,
+                                             double threshold) {
+  if (rx.size() < kCorrLen + kLag + 1) return std::nullopt;
+  // m(n) = |sum r[n+k+16] conj(r[n+k])| / sum |r[n+k+16]|^2; a plateau near
+  // 1 marks the short preamble. Require the metric to hold for 32
+  // consecutive positions to reject noise spikes.
+  std::size_t run = 0;
+  const std::size_t last = rx.size() - kCorrLen - kLag;
+  for (std::size_t n = 0; n < last; ++n) {
+    dsp::Cplx c{0.0, 0.0};
+    dsp::Cplx mean{0.0, 0.0};
+    double p = 0.0;
+    for (std::size_t k = 0; k < kCorrLen; ++k) {
+      c += rx[n + k + kLag] * std::conj(rx[n + k]);
+      p += std::norm(rx[n + k + kLag]);
+      mean += rx[n + k + kLag];
+    }
+    double m = (p > 0.0) ? std::abs(c) / p : 0.0;
+    // A DC offset (LO self-mixing residue) is periodic at every lag and
+    // would fire the detector; the short preamble itself carries no DC
+    // subcarrier, so reject windows whose energy is mostly at 0 Hz.
+    const double dc_frac =
+        (p > 0.0) ? std::norm(mean) / (static_cast<double>(kCorrLen) * p) : 0.0;
+    if (dc_frac > 0.5) m = 0.0;
+    if (m > threshold) {
+      ++run;
+      if (run >= 32) {
+        const std::size_t det = n + 1 - run;
+        return DetectionResult{det, coarse_cfo(rx, det)};
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+double coarse_cfo(std::span<const dsp::Cplx> rx, std::size_t start,
+                  std::size_t len) {
+  dsp::Cplx c{0.0, 0.0};
+  const std::size_t end = std::min(rx.size(), start + len);
+  for (std::size_t n = start; n + kLag < end; ++n)
+    c += rx[n + kLag] * std::conj(rx[n]);
+  // r[n+16] = r[n] e^{j 2 pi f 16}  =>  f = arg(c) / (2 pi 16).
+  return std::arg(c) / (dsp::kTwoPi * static_cast<double>(kLag));
+}
+
+double fine_cfo(std::span<const dsp::Cplx> rx, std::size_t lts_start) {
+  dsp::Cplx c{0.0, 0.0};
+  for (std::size_t n = 0; n < kNfft; ++n) {
+    const std::size_t i = lts_start + n;
+    if (i + kNfft >= rx.size()) break;
+    c += rx[i + kNfft] * std::conj(rx[i]);
+  }
+  return std::arg(c) / (dsp::kTwoPi * static_cast<double>(kNfft));
+}
+
+std::optional<std::size_t> locate_long_training(std::span<const dsp::Cplx> rx,
+                                                std::size_t search_start,
+                                                std::size_t search_end) {
+  const dsp::CVec& ref = long_training_symbol();
+  if (search_end > rx.size() + 1) search_end = rx.size() >= kNfft ? rx.size() - kNfft + 1 : 0;
+  if (search_start >= search_end) return std::nullopt;
+
+  // Normalized cross-correlation peaks at the two LTS copies; take the
+  // first of the two (they are 64 samples apart).
+  double best = 0.0;
+  std::size_t best_idx = 0;
+  for (std::size_t n = search_start; n < search_end; ++n) {
+    if (n + kNfft > rx.size()) break;
+    dsp::Cplx c{0.0, 0.0};
+    double p = 0.0;
+    for (std::size_t k = 0; k < kNfft; ++k) {
+      c += rx[n + k] * std::conj(ref[k]);
+      p += std::norm(rx[n + k]);
+    }
+    const double m = (p > 0.0) ? std::norm(c) / p : 0.0;
+    if (m > best) {
+      best = m;
+      best_idx = n;
+    }
+  }
+  if (best <= 0.0) return std::nullopt;
+  // best_idx may be the first or the second LTS copy; disambiguate by
+  // testing the correlation 64 samples earlier.
+  if (best_idx >= search_start + kNfft) {
+    const std::size_t prev = best_idx - kNfft;
+    dsp::Cplx c{0.0, 0.0};
+    double p = 0.0;
+    for (std::size_t k = 0; k < kNfft; ++k) {
+      c += rx[prev + k] * std::conj(ref[k]);
+      p += std::norm(rx[prev + k]);
+    }
+    const double m = (p > 0.0) ? std::norm(c) / p : 0.0;
+    if (m > 0.5 * best) return prev;
+  }
+  return best_idx;
+}
+
+void correct_cfo(std::span<dsp::Cplx> rx, double cfo_norm) {
+  double phase = 0.0;
+  const double dphi = -dsp::kTwoPi * cfo_norm;
+  for (dsp::Cplx& v : rx) {
+    v *= dsp::Cplx{std::cos(phase), std::sin(phase)};
+    phase += dphi;
+    if (phase > 64.0 * dsp::kPi || phase < -64.0 * dsp::kPi)
+      phase = dsp::wrap_phase(phase);
+  }
+}
+
+}  // namespace wlansim::phy

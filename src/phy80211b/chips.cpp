@@ -1,0 +1,69 @@
+#include "phy80211b/chips.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::phy11b {
+
+const std::array<double, kBarkerLen>& barker_sequence() {
+  // Std 18.4.6.4: +1 -1 +1 +1 -1 +1 +1 +1 -1 -1 -1.
+  static const std::array<double, kBarkerLen> seq = {
+      1.0, -1.0, 1.0, 1.0, -1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0};
+  return seq;
+}
+
+dsp::CVec barker_spread(dsp::Cplx symbol) {
+  const auto& b = barker_sequence();
+  dsp::CVec out(kBarkerLen);
+  // Normalize so one spread symbol carries unit energy per chip on
+  // average: |symbol|^2 per chip.
+  for (std::size_t i = 0; i < kBarkerLen; ++i) out[i] = b[i] * symbol;
+  return out;
+}
+
+dsp::Cplx barker_despread(std::span<const dsp::Cplx> chips11) {
+  if (chips11.size() != kBarkerLen)
+    throw std::invalid_argument("barker_despread: need 11 chips");
+  const auto& b = barker_sequence();
+  dsp::Cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < kBarkerLen; ++i) acc += chips11[i] * b[i];
+  return acc / static_cast<double>(kBarkerLen);
+}
+
+dsp::CVec cck_codeword(double phi1, double phi2, double phi3, double phi4) {
+  auto e = [](double p) { return dsp::Cplx{std::cos(p), std::sin(p)}; };
+  dsp::CVec c(kCckLen);
+  c[0] = e(phi1 + phi2 + phi3 + phi4);
+  c[1] = e(phi1 + phi3 + phi4);
+  c[2] = e(phi1 + phi2 + phi4);
+  c[3] = -e(phi1 + phi4);
+  c[4] = e(phi1 + phi2 + phi3);
+  c[5] = e(phi1 + phi3);
+  c[6] = -e(phi1 + phi2);
+  c[7] = e(phi1);
+  return c;
+}
+
+double cck_dibit_phase(std::uint8_t d0, std::uint8_t d1) {
+  // Dibit pattern (d0 d1), d0 first in time (Std Table 111):
+  // 00->0, 01->pi/2, 10->pi, 11->3pi/2.
+  const int v = ((d0 & 1) << 1) | (d1 & 1);
+  switch (v) {
+    case 0: return 0.0;
+    case 1: return dsp::kPi / 2.0;
+    case 2: return dsp::kPi;
+    case 3: return 3.0 * dsp::kPi / 2.0;
+  }
+  return 0.0;
+}
+
+void cck55_phases(std::uint8_t d2, std::uint8_t d3, double* phi2,
+                  double* phi3, double* phi4) {
+  *phi2 = (d2 & 1) * dsp::kPi + dsp::kPi / 2.0;
+  *phi3 = 0.0;
+  *phi4 = (d3 & 1) * dsp::kPi;
+}
+
+}  // namespace wlansim::phy11b

@@ -1,0 +1,51 @@
+// Spreading sequences of IEEE 802.11b: the 11-chip Barker code used at
+// 1 and 2 Mbps and the 8-chip Complementary Code Keying (CCK) codes used
+// at 5.5 and 11 Mbps (Std 802.11b-1999, 18.4.6.5 / 18.4.6.6).
+//
+// The paper's Table 1 lists these legacy rates alongside 802.11a; this
+// module provides the "widely used today" DSSS PHY as a second, complete
+// modem substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace wlansim::phy11b {
+
+/// Chips per Barker symbol.
+inline constexpr std::size_t kBarkerLen = 11;
+
+/// Chips per CCK symbol.
+inline constexpr std::size_t kCckLen = 8;
+
+/// Chip rate [chips/s].
+inline constexpr double kChipRate = 11e6;
+
+/// The 11-chip Barker sequence (+1/-1), Std 18.4.6.4.
+const std::array<double, kBarkerLen>& barker_sequence();
+
+/// Spread one BPSK/QPSK symbol value onto the Barker sequence.
+dsp::CVec barker_spread(dsp::Cplx symbol);
+
+/// Correlate 11 received chips against the Barker sequence (normalized:
+/// a clean spread symbol returns the symbol value).
+dsp::Cplx barker_despread(std::span<const dsp::Cplx> chips11);
+
+/// CCK code word for the phases (phi1..phi4), Std 18.4.6.5:
+/// c = e^{j(p1+p2+p3+p4)}, e^{j(p1+p3+p4)}, e^{j(p1+p2+p4)}, -e^{j(p1+p4)},
+///     e^{j(p1+p2+p3)}, e^{j(p1+p3)}, -e^{j(p1+p2)}, e^{j(p1)}
+dsp::CVec cck_codeword(double phi1, double phi2, double phi3, double phi4);
+
+/// QPSK phase for a dibit (d0 = LSB first): 00->0, 01->pi/2, 10->pi,
+/// 11->3pi/2 (Std Table 111 ordering for CCK phase encoding).
+double cck_dibit_phase(std::uint8_t d0, std::uint8_t d1);
+
+/// All 4 (phi2,phi3,phi4) triples of the 5.5 Mbps mode indexed by the two
+/// data bits (d2, d3): phi2 = d2*pi + pi/2, phi3 = 0, phi4 = d3*pi.
+void cck55_phases(std::uint8_t d2, std::uint8_t d3, double* phi2,
+                  double* phi3, double* phi4);
+
+}  // namespace wlansim::phy11b

@@ -1,0 +1,167 @@
+#include "phy80211b/plcp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlansim::phy11b {
+
+double rate_bps(Rate11b r) {
+  switch (r) {
+    case Rate11b::kMbps1: return 1e6;
+    case Rate11b::kMbps2: return 2e6;
+    case Rate11b::kMbps5_5: return 5.5e6;
+    case Rate11b::kMbps11: return 11e6;
+  }
+  throw std::invalid_argument("rate_bps: bad rate");
+}
+
+std::uint8_t signal_field_value(Rate11b r) {
+  switch (r) {
+    case Rate11b::kMbps1: return 0x0A;    // 10 x 100 kbps
+    case Rate11b::kMbps2: return 0x14;    // 20
+    case Rate11b::kMbps5_5: return 0x37;  // 55
+    case Rate11b::kMbps11: return 0x6E;   // 110
+  }
+  throw std::invalid_argument("signal_field_value: bad rate");
+}
+
+bool rate_from_signal(std::uint8_t signal, Rate11b* out) {
+  switch (signal) {
+    case 0x0A: *out = Rate11b::kMbps1; return true;
+    case 0x14: *out = Rate11b::kMbps2; return true;
+    case 0x37: *out = Rate11b::kMbps5_5; return true;
+    case 0x6E: *out = Rate11b::kMbps11; return true;
+    default: return false;
+  }
+}
+
+const char* rate11b_name(Rate11b r) {
+  switch (r) {
+    case Rate11b::kMbps1: return "1 Mbps (DBPSK/Barker)";
+    case Rate11b::kMbps2: return "2 Mbps (DQPSK/Barker)";
+    case Rate11b::kMbps5_5: return "5.5 Mbps (CCK)";
+    case Rate11b::kMbps11: return "11 Mbps (CCK)";
+  }
+  return "?";
+}
+
+std::uint8_t Scrambler11b::scramble(std::uint8_t bit) {
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 3) ^ (state_ >> 6)) & 1);
+  const std::uint8_t out = (bit ^ fb) & 1;
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7F);
+  return out;
+}
+
+std::uint8_t Scrambler11b::descramble(std::uint8_t bit) {
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 3) ^ (state_ >> 6)) & 1);
+  const std::uint8_t out = (bit ^ fb) & 1;
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | (bit & 1)) & 0x7F);
+  return out;
+}
+
+void Scrambler11b::scramble(Bits& bits) {
+  for (auto& b : bits) b = scramble(b);
+}
+
+void Scrambler11b::descramble(Bits& bits) {
+  for (auto& b : bits) b = descramble(b);
+}
+
+std::uint16_t plcp_crc16(std::span<const std::uint8_t> bits) {
+  // Bitwise CRC-16-CCITT over the bit stream, preset ones, complemented.
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : bits) {
+    const std::uint16_t msb = (crc >> 15) & 1;
+    const std::uint16_t in = (b & 1) ^ msb;
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (in) crc ^= 0x1021;  // x^16 + x^12 + x^5 + 1
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+void encode_length(Rate11b rate, std::size_t bytes, std::uint16_t* length_us,
+                   bool* extension) {
+  const double us = 8.0 * static_cast<double>(bytes) * 1e6 / rate_bps(rate);
+  *extension = false;
+  double rounded = std::ceil(us);
+  if (rate == Rate11b::kMbps11) {
+    // Std 18.2.3.5: extension bit set when ceil added >= 8/11 us.
+    if (rounded - us >= 8.0 / 11.0) *extension = true;
+  }
+  *length_us = static_cast<std::uint16_t>(rounded);
+}
+
+std::size_t decode_length(Rate11b rate, std::uint16_t length_us,
+                          bool extension) {
+  switch (rate) {
+    case Rate11b::kMbps1: return length_us / 8;
+    case Rate11b::kMbps2: return length_us / 4;
+    case Rate11b::kMbps5_5:
+      return static_cast<std::size_t>(std::floor(length_us * 5.5 / 8.0));
+    case Rate11b::kMbps11: {
+      const auto n = static_cast<std::size_t>(
+          std::floor(static_cast<double>(length_us) * 11.0 / 8.0));
+      return n - (extension ? 1 : 0);
+    }
+  }
+  throw std::invalid_argument("decode_length: bad rate");
+}
+
+namespace {
+
+void append_lsb_first(Bits& out, std::uint32_t value, int bits) {
+  for (int i = 0; i < bits; ++i)
+    out.push_back(static_cast<std::uint8_t>((value >> i) & 1));
+}
+
+std::uint32_t read_lsb_first(const Bits& in, std::size_t pos, int bits) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < bits; ++i)
+    v |= static_cast<std::uint32_t>(in[pos + i] & 1) << i;
+  return v;
+}
+
+}  // namespace
+
+Bits plcp_header_bits(const PlcpHeader& hdr) {
+  std::uint16_t length_us = 0;
+  bool ext = false;
+  encode_length(hdr.rate, hdr.psdu_bytes, &length_us, &ext);
+
+  Bits b;
+  b.reserve(48);
+  append_lsb_first(b, signal_field_value(hdr.rate), 8);
+  std::uint8_t service = 0x04;  // locked-clocks bit, Std 18.2.3.4
+  if (ext) service |= 0x80;
+  append_lsb_first(b, service, 8);
+  append_lsb_first(b, length_us, 16);
+  const std::uint16_t crc = plcp_crc16(std::span<const std::uint8_t>(b));
+  append_lsb_first(b, crc, 16);
+  return b;
+}
+
+std::optional<PlcpHeader> parse_plcp_header(const Bits& bits) {
+  if (bits.size() != 48) return std::nullopt;
+  const Bits body(bits.begin(), bits.begin() + 32);
+  const auto crc_rx = static_cast<std::uint16_t>(read_lsb_first(bits, 32, 16));
+  if (plcp_crc16(std::span<const std::uint8_t>(body)) != crc_rx)
+    return std::nullopt;
+
+  const auto signal = static_cast<std::uint8_t>(read_lsb_first(bits, 0, 8));
+  Rate11b rate;
+  if (!rate_from_signal(signal, &rate)) return std::nullopt;
+  const auto service = static_cast<std::uint8_t>(read_lsb_first(bits, 8, 8));
+  const auto length_us =
+      static_cast<std::uint16_t>(read_lsb_first(bits, 16, 16));
+
+  PlcpHeader hdr;
+  hdr.rate = rate;
+  hdr.length_extension = (service & 0x80) != 0;
+  hdr.psdu_bytes = decode_length(rate, length_us, hdr.length_extension);
+  if (hdr.psdu_bytes == 0) return std::nullopt;
+  return hdr;
+}
+
+}  // namespace wlansim::phy11b

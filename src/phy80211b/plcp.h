@@ -1,0 +1,88 @@
+// 802.11b PLCP layer: self-synchronizing scrambler, CRC-16 header
+// protection, long preamble (SYNC + SFD) and PLCP header fields
+// (Std 802.11b-1999, 18.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy80211a/bits.h"
+
+namespace wlansim::phy11b {
+
+using phy::Bits;
+using phy::Bytes;
+
+/// DSSS/CCK rates.
+enum class Rate11b : std::uint8_t { kMbps1, kMbps2, kMbps5_5, kMbps11 };
+
+/// Data rate in bits per second.
+double rate_bps(Rate11b r);
+
+/// SIGNAL field value (rate in units of 100 kbps; Std 18.2.3.3).
+std::uint8_t signal_field_value(Rate11b r);
+
+/// Decode a SIGNAL field value; false if not a valid rate.
+bool rate_from_signal(std::uint8_t signal, Rate11b* out);
+
+/// Human-readable rate name.
+const char* rate11b_name(Rate11b r);
+
+/// Self-synchronizing scrambler G(z) = z^-7 + z^-4 + 1 (Std 18.2.4).
+/// The descrambler locks onto the transmit state from the received stream
+/// itself after seven bits.
+class Scrambler11b {
+ public:
+  explicit Scrambler11b(std::uint8_t seed = 0x6C) : state_(seed & 0x7F) {}
+
+  /// Scramble one transmit bit.
+  std::uint8_t scramble(std::uint8_t bit);
+
+  /// Descramble one received bit (self-synchronizing).
+  std::uint8_t descramble(std::uint8_t bit);
+
+  void scramble(Bits& bits);
+  void descramble(Bits& bits);
+
+ private:
+  std::uint8_t state_;
+};
+
+/// CRC-16 of the PLCP header (CCITT polynomial x^16+x^12+x^5+1, preset to
+/// ones, result complemented; Std 18.2.3.6).
+std::uint16_t plcp_crc16(std::span<const std::uint8_t> bits);
+
+/// Number of SYNC bits in the long preamble (scrambled ones).
+inline constexpr std::size_t kSyncBits = 128;
+
+/// Start frame delimiter, transmitted LSB first (Std 18.2.3.2).
+inline constexpr std::uint16_t kSfd = 0xF3A0;
+
+/// Short-preamble format (Std 18.2.2.2): 56 scrambled zeros and the
+/// time-reversed SFD; the PLCP header then runs at 2 Mbps DQPSK.
+inline constexpr std::size_t kShortSyncBits = 56;
+inline constexpr std::uint16_t kShortSfd = 0x05CF;
+
+/// PLCP header content.
+struct PlcpHeader {
+  Rate11b rate = Rate11b::kMbps1;
+  std::size_t psdu_bytes = 0;
+  bool length_extension = false;  ///< SERVICE bit 7 (11 Mbps ambiguity)
+};
+
+/// LENGTH field (microseconds) and extension bit for a payload size.
+void encode_length(Rate11b rate, std::size_t bytes, std::uint16_t* length_us,
+                   bool* extension);
+
+/// Payload size in bytes from LENGTH/extension.
+std::size_t decode_length(Rate11b rate, std::uint16_t length_us,
+                          bool extension);
+
+/// Assemble the 48 PLCP header bits (SIGNAL, SERVICE, LENGTH, CRC), all
+/// fields LSB first.
+Bits plcp_header_bits(const PlcpHeader& hdr);
+
+/// Parse and CRC-check 48 received header bits.
+std::optional<PlcpHeader> parse_plcp_header(const Bits& bits);
+
+}  // namespace wlansim::phy11b

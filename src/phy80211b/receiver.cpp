@@ -1,0 +1,326 @@
+#include "phy80211b/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+#include "phy80211b/chips.h"
+
+namespace wlansim::phy11b {
+
+namespace {
+
+/// Nearest DQPSK phase increment -> dibit (inverse of Std Table 110).
+void dqpsk_decide(double delta, std::uint8_t* d0, std::uint8_t* d1) {
+  const double w = dsp::wrap_phase(delta);
+  // Quadrant decision around {0, pi/2, pi, -pi/2}.
+  if (w > -dsp::kPi / 4.0 && w <= dsp::kPi / 4.0) {
+    *d0 = 0; *d1 = 0;                       // 0
+  } else if (w > dsp::kPi / 4.0 && w <= 3.0 * dsp::kPi / 4.0) {
+    *d0 = 0; *d1 = 1;                       // pi/2
+  } else if (w > -3.0 * dsp::kPi / 4.0 && w <= -dsp::kPi / 4.0) {
+    *d0 = 1; *d1 = 0;                       // 3pi/2 == -pi/2
+  } else {
+    *d0 = 1; *d1 = 1;                       // pi
+  }
+}
+
+struct CckCandidate {
+  dsp::CVec code;  ///< codeword at phi1 = 0
+  std::uint8_t bits[6];
+  std::size_t nbits;
+};
+
+std::vector<CckCandidate> make_cck_candidates(Rate11b rate) {
+  std::vector<CckCandidate> out;
+  if (rate == Rate11b::kMbps5_5) {
+    for (int d2 = 0; d2 < 2; ++d2) {
+      for (int d3 = 0; d3 < 2; ++d3) {
+        double p2, p3, p4;
+        cck55_phases(static_cast<std::uint8_t>(d2),
+                     static_cast<std::uint8_t>(d3), &p2, &p3, &p4);
+        CckCandidate c;
+        c.code = cck_codeword(0.0, p2, p3, p4);
+        c.bits[0] = static_cast<std::uint8_t>(d2);
+        c.bits[1] = static_cast<std::uint8_t>(d3);
+        c.nbits = 2;
+        out.push_back(std::move(c));
+      }
+    }
+  } else {
+    for (int v = 0; v < 64; ++v) {
+      const std::uint8_t b[6] = {
+          static_cast<std::uint8_t>(v & 1),
+          static_cast<std::uint8_t>((v >> 1) & 1),
+          static_cast<std::uint8_t>((v >> 2) & 1),
+          static_cast<std::uint8_t>((v >> 3) & 1),
+          static_cast<std::uint8_t>((v >> 4) & 1),
+          static_cast<std::uint8_t>((v >> 5) & 1)};
+      const double p2 = cck_dibit_phase(b[0], b[1]);
+      const double p3 = cck_dibit_phase(b[2], b[3]);
+      const double p4 = cck_dibit_phase(b[4], b[5]);
+      CckCandidate c;
+      c.code = cck_codeword(0.0, p2, p3, p4);
+      for (int i = 0; i < 6; ++i) c.bits[i] = b[i];
+      c.nbits = 6;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Receiver11b::Receiver11b() : Receiver11b(Config()) {}
+Receiver11b::Receiver11b(Config cfg) : cfg_(cfg) {}
+
+RxResult11b Receiver11b::receive(std::span<const dsp::Cplx> rx) const {
+  RxResult11b res;
+  if (rx.size() < 64 * kBarkerLen) return res;
+
+  // --- Barker matched filter ------------------------------------------------
+  const auto& b = barker_sequence();
+  const std::size_t nmf = rx.size() - kBarkerLen + 1;
+  dsp::CVec mf(nmf);
+  for (std::size_t n = 0; n < nmf; ++n) {
+    dsp::Cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < kBarkerLen; ++k) acc += rx[n + k] * b[k];
+    mf[n] = acc / static_cast<double>(kBarkerLen);
+  }
+
+  // --- acquisition: first chip offset with a sustained despread peak --------
+  // Compare the symbol-spaced despread power against the average
+  // matched-filter output power: a Barker-aligned signal concentrates
+  // ~11x more power at the symbol instants (the processing gain).
+  const double mf_mean = dsp::mean_power(mf);
+  if (mf_mean <= 0.0) return res;
+  const std::size_t span_syms = 16;
+  std::size_t lock = SIZE_MAX;
+  for (std::size_t n = 0; n + span_syms * kBarkerLen < nmf; ++n) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < span_syms; ++j)
+      acc += std::norm(mf[n + j * kBarkerLen]);
+    if (acc / static_cast<double>(span_syms) >
+        cfg_.detect_threshold * mf_mean) {
+      lock = n;
+      break;
+    }
+  }
+  if (lock == SIZE_MAX) return res;
+  // Refine: the threshold crossing can fire a little early (the span
+  // window already overlaps the frame); snap to the strongest chip
+  // alignment in the next few symbol periods.
+  {
+    double best = -1.0;
+    std::size_t best_n = lock;
+    const std::size_t hi =
+        std::min(lock + 3 * kBarkerLen, nmf - span_syms * kBarkerLen);
+    for (std::size_t n = lock; n < hi; ++n) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < span_syms; ++j)
+        acc += std::norm(mf[n + j * kBarkerLen]);
+      if (acc > best) {
+        best = acc;
+        best_n = n;
+      }
+    }
+    lock = best_n;
+  }
+  res.detected = true;
+  res.sync_chip = lock;
+
+  // --- optional RAKE: estimate chip-delayed fingers from the SYNC field ---
+  // and MRC-combine the delayed copies into a single chip stream, then
+  // rebuild the matched filter on it. Finger 0 is the lock path (gain 1);
+  // additional fingers are echoes whose relative complex gain is measured
+  // against finger 0 over `span_syms` SYNC symbols.
+  dsp::CVec combined;  // keeps rx alive when RAKE rebuilds the stream
+  if (cfg_.rake_fingers > 1) {
+    struct Finger {
+      std::size_t delay;
+      dsp::Cplx gain;
+      double energy;
+    };
+    std::vector<Finger> fingers;
+    const double e0 = [&] {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < span_syms; ++j)
+        acc += std::norm(mf[lock + j * kBarkerLen]);
+      return acc;
+    }();
+    fingers.push_back({0, {1.0, 0.0}, e0});
+    for (std::size_t d = 1;
+         d <= cfg_.rake_max_delay && lock + d + span_syms * kBarkerLen < nmf;
+         ++d) {
+      dsp::Cplx cross{0.0, 0.0};
+      double e = 0.0;
+      for (std::size_t j = 0; j < span_syms; ++j) {
+        cross += mf[lock + d + j * kBarkerLen] *
+                 std::conj(mf[lock + j * kBarkerLen]);
+        e += std::norm(mf[lock + d + j * kBarkerLen]);
+      }
+      // Keep echoes carrying at least a few percent of the main energy.
+      if (e > 0.02 * e0) fingers.push_back({d, cross / e0, e});
+    }
+    std::sort(fingers.begin() + 1, fingers.end(),
+              [](const Finger& a, const Finger& b) { return a.energy > b.energy; });
+    if (fingers.size() > cfg_.rake_fingers) fingers.resize(cfg_.rake_fingers);
+
+    if (fingers.size() > 1) {
+      combined.assign(rx.size(), dsp::Cplx{0.0, 0.0});
+      for (const Finger& f : fingers) {
+        const dsp::Cplx g = std::conj(f.gain);
+        for (std::size_t n = 0; n + f.delay < rx.size(); ++n)
+          combined[n] += g * rx[n + f.delay];
+      }
+      rx = combined;
+      // Rebuild the matched filter on the combined stream.
+      for (std::size_t n = 0; n < nmf; ++n) {
+        dsp::Cplx acc{0.0, 0.0};
+        for (std::size_t k = 0; k < kBarkerLen; ++k) acc += rx[n + k] * b[k];
+        mf[n] = acc / static_cast<double>(kBarkerLen);
+      }
+    }
+  }
+
+  // --- demodulate 1 Mbps symbols, descramble, hunt for the SFD ---------------
+  Scrambler11b descr(0x7F);  // self-synchronizing: seed is irrelevant
+  dsp::Cplx prev = mf[lock];
+  std::size_t chip = lock + kBarkerLen;
+  auto next_bit = [&]() -> std::optional<std::uint8_t> {
+    if (chip >= nmf) return std::nullopt;
+    const dsp::Cplx y = mf[chip];
+    chip += kBarkerLen;
+    const std::uint8_t sbit = (std::real(y * std::conj(prev)) < 0.0) ? 1 : 0;
+    prev = y;
+    return descr.descramble(sbit);
+  };
+
+  // SFD pattern: the window shifts newest bit into bit 0, so the first
+  // transmitted SFD bit (LSB-first on air) must sit at bit 15 of the match
+  // target. Both preamble formats are hunted simultaneously; the
+  // time-reversed short SFD identifies the short format (header at 2 Mbps).
+  std::uint32_t window = 0;
+  std::uint32_t target_long = 0;
+  std::uint32_t target_short = 0;
+  for (int i = 0; i < 16; ++i) {
+    target_long = (target_long << 1) | ((kSfd >> i) & 1);
+    target_short = (target_short << 1) | ((kShortSfd >> i) & 1);
+  }
+  std::size_t hunted = 0;
+  bool found = false;
+  bool short_fmt = false;
+  while (hunted < kSyncBits + 16 + 64) {
+    const auto bit = next_bit();
+    if (!bit) return res;
+    window = ((window << 1) | *bit) & 0xFFFF;
+    ++hunted;
+    if (hunted >= 16 && (window == target_long || window == target_short)) {
+      found = true;
+      short_fmt = (window == target_short);
+      break;
+    }
+  }
+  if (!found) return res;
+
+  // --- PLCP header: 48 DBPSK bits (long) or 24 DQPSK symbols (short) ----------
+  Bits hdr_bits;
+  if (short_fmt) {
+    for (int s = 0; s < 24; ++s) {
+      if (chip >= nmf) return res;
+      const dsp::Cplx y = mf[chip];
+      chip += kBarkerLen;
+      std::uint8_t d0, d1;
+      dqpsk_decide(std::arg(y * std::conj(prev)), &d0, &d1);
+      prev = y;
+      hdr_bits.push_back(descr.descramble(d0));
+      hdr_bits.push_back(descr.descramble(d1));
+    }
+  } else {
+    for (int i = 0; i < 48; ++i) {
+      const auto bit = next_bit();
+      if (!bit) return res;
+      hdr_bits.push_back(*bit);
+    }
+  }
+  const auto hdr = parse_plcp_header(hdr_bits);
+  if (!hdr) return res;
+  res.header = *hdr;
+  res.header_ok = true;
+
+  // --- payload -----------------------------------------------------------------
+  const std::size_t nbits = 8 * hdr->psdu_bytes;
+  Bits data;
+  data.reserve(nbits);
+
+  if (hdr->rate == Rate11b::kMbps1 || hdr->rate == Rate11b::kMbps2) {
+    const std::size_t bits_per_sym = hdr->rate == Rate11b::kMbps1 ? 1 : 2;
+    while (data.size() < nbits) {
+      if (chip >= nmf) {
+        res.header_ok = false;
+        return res;
+      }
+      const dsp::Cplx y = mf[chip];
+      chip += kBarkerLen;
+      const double delta = std::arg(y * std::conj(prev));
+      prev = y;
+      if (bits_per_sym == 1) {
+        data.push_back(std::abs(dsp::wrap_phase(delta)) > dsp::kPi / 2.0 ? 1
+                                                                          : 0);
+      } else {
+        std::uint8_t d0, d1;
+        dqpsk_decide(delta, &d0, &d1);
+        data.push_back(d0);
+        data.push_back(d1);
+      }
+    }
+  } else {
+    // CCK blocks of 8 chips start right after the header's last Barker
+    // symbol. `chip` already indexes the first sample past that symbol
+    // (the reader advances by 11 after each despread), i.e. the first
+    // payload chip.
+    std::size_t pos = chip;
+    const auto candidates = make_cck_candidates(hdr->rate);
+    const std::size_t bits_per_sym = hdr->rate == Rate11b::kMbps5_5 ? 4 : 8;
+    double phi_prev = std::arg(prev);
+    std::size_t sym = 0;
+    while (data.size() < nbits) {
+      if (pos + kCckLen > rx.size()) {
+        res.header_ok = false;
+        return res;
+      }
+      const CckCandidate* best = nullptr;
+      dsp::Cplx best_corr{0.0, 0.0};
+      for (const auto& cand : candidates) {
+        dsp::Cplx acc{0.0, 0.0};
+        for (std::size_t k = 0; k < kCckLen; ++k)
+          acc += rx[pos + k] * std::conj(cand.code[k]);
+        if (std::norm(acc) > std::norm(best_corr)) {
+          best_corr = acc;
+          best = &cand;
+        }
+      }
+      const double phi1 = std::arg(best_corr);
+      double delta = phi1 - phi_prev;
+      if (sym % 2 == 1) delta -= dsp::kPi;  // odd-symbol rotation
+      std::uint8_t d0, d1;
+      dqpsk_decide(delta, &d0, &d1);
+      data.push_back(d0);
+      data.push_back(d1);
+      for (std::size_t i = 0; i < best->nbits; ++i)
+        data.push_back(best->bits[i]);
+      phi_prev = phi1;
+      pos += kCckLen;
+      ++sym;
+      (void)bits_per_sym;
+    }
+  }
+
+  descr.descramble(data);
+  res.psdu = phy::bits_to_bytes(data);
+  return res;
+}
+
+}  // namespace wlansim::phy11b

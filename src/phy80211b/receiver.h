@@ -1,0 +1,46 @@
+// 802.11b DSSS/CCK receiver: Barker matched-filter acquisition, SFD
+// search, PLCP header decode and payload demodulation (DBPSK/DQPSK
+// despreading, maximum-likelihood CCK codeword detection).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "dsp/types.h"
+#include "phy80211b/plcp.h"
+
+namespace wlansim::phy11b {
+
+struct RxResult11b {
+  bool detected = false;
+  bool header_ok = false;
+  PlcpHeader header;
+  Bytes psdu;
+  std::size_t sync_chip = 0;  ///< chip index where symbol lock was acquired
+};
+
+class Receiver11b {
+ public:
+  struct Config {
+    /// Detection threshold: despread-peak power over mean chip power.
+    double detect_threshold = 4.0;
+    /// RAKE fingers for multipath reception: chip-delayed copies of the
+    /// signal are MRC-combined before despreading (1 = plain matched
+    /// filter). Fingers and their complex gains are estimated from the
+    /// SYNC field's despread peaks.
+    std::size_t rake_fingers = 1;
+    /// Maximum finger delay searched [chips].
+    std::size_t rake_max_delay = 4;
+  };
+
+  Receiver11b();
+  explicit Receiver11b(Config cfg);
+
+  /// Receive from a one-sample-per-chip stream.
+  RxResult11b receive(std::span<const dsp::Cplx> rx) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace wlansim::phy11b

@@ -1,0 +1,168 @@
+#include "phy80211b/transmitter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+#include "phy80211b/chips.h"
+
+namespace wlansim::phy11b {
+
+namespace {
+
+/// DQPSK phase increment for a dibit, d0 first in time (Std Table 110):
+/// 00->0, 01->pi/2, 11->pi, 10->3pi/2.
+double dqpsk_delta(std::uint8_t d0, std::uint8_t d1) {
+  const int v = ((d0 & 1) << 1) | (d1 & 1);
+  switch (v) {
+    case 0: return 0.0;                    // 00
+    case 1: return dsp::kPi / 2.0;         // 01
+    case 3: return dsp::kPi;               // 11
+    case 2: return 3.0 * dsp::kPi / 2.0;   // 10
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Transmitter11b::Transmitter11b() : Transmitter11b(Config()) {}
+
+Transmitter11b::Transmitter11b(Config cfg) : cfg_(cfg) {
+  if ((cfg_.scrambler_seed & 0x7F) == 0)
+    throw std::invalid_argument("Transmitter11b: zero scrambler seed");
+}
+
+std::size_t Transmitter11b::frame_chips(Rate11b rate, std::size_t psdu_bytes,
+                                        bool short_preamble) {
+  // Long: SYNC(128) + SFD(16) + header(48) symbols at 1 Mbps.
+  // Short: SYNC(56) + SFD(16) at 1 Mbps + header(24 symbols) at 2 Mbps.
+  const std::size_t preamble_syms =
+      short_preamble ? kShortSyncBits + 16 + 24 : kSyncBits + 16 + 48;
+  const std::size_t nbits = 8 * psdu_bytes;
+  std::size_t payload_chips = 0;
+  switch (rate) {
+    case Rate11b::kMbps1: payload_chips = nbits * kBarkerLen; break;
+    case Rate11b::kMbps2: payload_chips = nbits / 2 * kBarkerLen; break;
+    case Rate11b::kMbps5_5: payload_chips = nbits / 4 * kCckLen; break;
+    case Rate11b::kMbps11: payload_chips = nbits / 8 * kCckLen; break;
+  }
+  return preamble_syms * kBarkerLen + payload_chips;
+}
+
+dsp::CVec Transmitter11b::modulate(const Frame11b& frame) const {
+  if (frame.psdu.empty() || frame.psdu.size() > 4095)
+    throw std::invalid_argument("Transmitter11b: PSDU must be 1..4095 bytes");
+  const std::size_t nbits = 8 * frame.psdu.size();
+  // Bit-count granularity per rate (2/4/8 bits per symbol beyond 1 Mbps);
+  // byte payloads always satisfy these.
+  if ((frame.rate == Rate11b::kMbps2 && nbits % 2) ||
+      (frame.rate == Rate11b::kMbps5_5 && nbits % 4) ||
+      (frame.rate == Rate11b::kMbps11 && nbits % 8))
+    throw std::invalid_argument("Transmitter11b: bit count mismatch");
+
+  if (cfg_.short_preamble && frame.rate == Rate11b::kMbps1)
+    throw std::invalid_argument(
+        "Transmitter11b: the short preamble excludes the 1 Mbps payload");
+
+  Scrambler11b scr(cfg_.scrambler_seed);
+  dsp::CVec out;
+  out.reserve(frame_chips(frame.rate, frame.psdu.size(), cfg_.short_preamble));
+
+  double phase = 0.0;  // differential reference, carried across fields
+
+  auto emit_barker_bit = [&](std::uint8_t scrambled_bit) {
+    phase += (scrambled_bit & 1) ? dsp::kPi : 0.0;  // DBPSK
+    const dsp::Cplx sym{std::cos(phase), std::sin(phase)};
+    const dsp::CVec chips = barker_spread(sym);
+    out.insert(out.end(), chips.begin(), chips.end());
+  };
+  auto emit_dqpsk_dibit = [&](std::uint8_t d0, std::uint8_t d1) {
+    phase += dqpsk_delta(d0, d1);
+    const dsp::CVec chips =
+        barker_spread(dsp::Cplx{std::cos(phase), std::sin(phase)});
+    out.insert(out.end(), chips.begin(), chips.end());
+  };
+
+  // --- SYNC + SFD at 1 Mbps ---------------------------------------------------
+  if (cfg_.short_preamble) {
+    for (std::size_t i = 0; i < kShortSyncBits; ++i)
+      emit_barker_bit(scr.scramble(0));
+    for (int i = 0; i < 16; ++i)
+      emit_barker_bit(
+          scr.scramble(static_cast<std::uint8_t>((kShortSfd >> i) & 1)));
+  } else {
+    for (std::size_t i = 0; i < kSyncBits; ++i)
+      emit_barker_bit(scr.scramble(1));
+    for (int i = 0; i < 16; ++i)
+      emit_barker_bit(
+          scr.scramble(static_cast<std::uint8_t>((kSfd >> i) & 1)));
+  }
+
+  // --- PLCP header: 1 Mbps DBPSK (long) or 2 Mbps DQPSK (short) --------------
+  PlcpHeader hdr;
+  hdr.rate = frame.rate;
+  hdr.psdu_bytes = frame.psdu.size();
+  const Bits hdr_bits = plcp_header_bits(hdr);
+  if (cfg_.short_preamble) {
+    for (std::size_t i = 0; i < hdr_bits.size(); i += 2) {
+      const std::uint8_t s0 = scr.scramble(hdr_bits[i]);
+      const std::uint8_t s1 = scr.scramble(hdr_bits[i + 1]);
+      emit_dqpsk_dibit(s0, s1);
+    }
+  } else {
+    for (std::uint8_t b : hdr_bits) emit_barker_bit(scr.scramble(b));
+  }
+
+  // --- PSDU at the data rate -------------------------------------------------
+  Bits data = phy::bytes_to_bits(frame.psdu);
+  scr.scramble(data);
+
+  switch (frame.rate) {
+    case Rate11b::kMbps1:
+      for (std::uint8_t b : data) {
+        phase += (b & 1) ? dsp::kPi : 0.0;
+        const dsp::CVec chips =
+            barker_spread(dsp::Cplx{std::cos(phase), std::sin(phase)});
+        out.insert(out.end(), chips.begin(), chips.end());
+      }
+      break;
+    case Rate11b::kMbps2:
+      for (std::size_t i = 0; i < data.size(); i += 2) {
+        phase += dqpsk_delta(data[i], data[i + 1]);
+        const dsp::CVec chips =
+            barker_spread(dsp::Cplx{std::cos(phase), std::sin(phase)});
+        out.insert(out.end(), chips.begin(), chips.end());
+      }
+      break;
+    case Rate11b::kMbps5_5: {
+      std::size_t sym = 0;
+      for (std::size_t i = 0; i < data.size(); i += 4, ++sym) {
+        phase += dqpsk_delta(data[i], data[i + 1]);
+        if (sym % 2 == 1) phase += dsp::kPi;  // odd-symbol rotation
+        double p2, p3, p4;
+        cck55_phases(data[i + 2], data[i + 3], &p2, &p3, &p4);
+        const dsp::CVec chips = cck_codeword(phase, p2, p3, p4);
+        out.insert(out.end(), chips.begin(), chips.end());
+      }
+      break;
+    }
+    case Rate11b::kMbps11: {
+      std::size_t sym = 0;
+      for (std::size_t i = 0; i < data.size(); i += 8, ++sym) {
+        phase += dqpsk_delta(data[i], data[i + 1]);
+        if (sym % 2 == 1) phase += dsp::kPi;
+        const double p2 = cck_dibit_phase(data[i + 2], data[i + 3]);
+        const double p3 = cck_dibit_phase(data[i + 4], data[i + 5]);
+        const double p4 = cck_dibit_phase(data[i + 6], data[i + 7]);
+        const dsp::CVec chips = cck_codeword(phase, p2, p3, p4);
+        out.insert(out.end(), chips.begin(), chips.end());
+      }
+      break;
+    }
+  }
+
+  dsp::set_mean_power(out, dsp::dbm_to_watts(cfg_.output_power_dbm));
+  return out;
+}
+
+}  // namespace wlansim::phy11b

@@ -1,0 +1,43 @@
+// 802.11b DSSS/CCK transmitter: long-preamble PPDU at one sample per chip
+// (11 Msps complex baseband).
+#pragma once
+
+#include "dsp/types.h"
+#include "phy80211b/plcp.h"
+
+namespace wlansim::phy11b {
+
+struct Frame11b {
+  Rate11b rate = Rate11b::kMbps1;
+  Bytes psdu;
+};
+
+class Transmitter11b {
+ public:
+  struct Config {
+    std::uint8_t scrambler_seed = 0x6C;
+    double output_power_dbm = 0.0;  ///< mean frame power
+    /// Short-preamble format (Std 18.2.2.2): 56-bit SYNC of scrambled
+    /// zeros, reversed SFD, PLCP header at 2 Mbps DQPSK. Halves the PLCP
+    /// overhead; only valid for the 2/5.5/11 Mbps payload rates.
+    bool short_preamble = false;
+  };
+
+  Transmitter11b();
+  explicit Transmitter11b(Config cfg);
+
+  /// Complete PPDU: SYNC(128) + SFD(16) + header(48) at 1 Mbps DBPSK,
+  /// then the PSDU at the selected rate. One sample per chip.
+  dsp::CVec modulate(const Frame11b& frame) const;
+
+  /// Frame length in chips for a given configuration.
+  static std::size_t frame_chips(Rate11b rate, std::size_t psdu_bytes,
+                                 bool short_preamble = false);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace wlansim::phy11b

@@ -1,0 +1,34 @@
+#include "rf/adc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlansim::rf {
+
+Adc::Adc(const AdcConfig& cfg) : cfg_(cfg) {
+  if (cfg_.bits < 1 || cfg_.bits > 24)
+    throw std::invalid_argument("Adc: bits must be 1..24");
+  if (cfg_.full_scale <= 0.0)
+    throw std::invalid_argument("Adc: full scale must be positive");
+  step_ = 2.0 * cfg_.full_scale /
+          static_cast<double>((std::size_t{1} << cfg_.bits) - 1);
+}
+
+double Adc::quantize(double v) const {
+  // Mid-tread rounding, then clip at the rails (the rail value itself need
+  // not sit on the quantization grid — it is the saturated output).
+  return std::clamp(std::round(v / step_) * step_, -cfg_.full_scale,
+                    cfg_.full_scale);
+}
+
+dsp::CVec Adc::process(std::span<const dsp::Cplx> in) {
+  if (!cfg_.enabled) return dsp::CVec(in.begin(), in.end());
+  dsp::CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = dsp::Cplx{quantize(in[i].real()), quantize(in[i].imag())};
+  }
+  return out;
+}
+
+}  // namespace wlansim::rf

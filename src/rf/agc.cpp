@@ -1,0 +1,67 @@
+#include "rf/agc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::rf {
+
+Agc::Agc(const AgcConfig& cfg)
+    : cfg_(cfg),
+      gain_db_(cfg.initial_gain_db),
+      det_power_(0.0),
+      alpha_(1.0 / std::max(1.0, cfg.detector_time_const)) {
+  if (cfg_.min_gain_db > cfg_.max_gain_db)
+    throw std::invalid_argument("Agc: min gain above max gain");
+  if (cfg_.attack_db_per_sample < 0.0 || cfg_.decay_db_per_sample < 0.0 ||
+      cfg_.loop_gain < 0.0)
+    throw std::invalid_argument("Agc: negative loop parameters");
+}
+
+dsp::CVec Agc::process(std::span<const dsp::Cplx> in) {
+  const double target_dbm = cfg_.target_power_dbm;
+  dsp::CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double g = std::pow(10.0, gain_db_ / 20.0);
+    const dsp::Cplx y = g * in[i];
+    out[i] = y;
+
+    det_power_ += alpha_ * (std::norm(y) - det_power_);
+    if (det_power_ > 1e-30) {
+      const double err_db = target_dbm - dsp::watts_to_dbm(det_power_);
+      if (locked_ && std::abs(err_db) > cfg_.unlock_window_db) {
+        locked_ = false;  // level jumped: re-acquire
+        settled_run_ = 0;
+      }
+      if (!frozen_ && !locked_) {
+        const double step =
+            std::clamp(cfg_.loop_gain * err_db, -cfg_.attack_db_per_sample,
+                       cfg_.decay_db_per_sample);
+        gain_db_ =
+            std::clamp(gain_db_ + step, cfg_.min_gain_db, cfg_.max_gain_db);
+        if (cfg_.lock_count > 0) {
+          if (std::abs(err_db) < cfg_.lock_window_db) {
+            if (++settled_run_ >= cfg_.lock_count) locked_ = true;
+          } else {
+            settled_run_ = 0;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Agc::reset() {
+  gain_db_ = cfg_.initial_gain_db;
+  det_power_ = 0.0;
+  frozen_ = false;
+  locked_ = false;
+  settled_run_ = 0;
+}
+
+double Agc::current_gain_db() const { return gain_db_; }
+
+}  // namespace wlansim::rf

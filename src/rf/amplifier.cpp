@@ -1,0 +1,83 @@
+#include "rf/amplifier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::rf {
+
+namespace {
+/// Gain drop of 1 dB expressed as (1 - 10^{-1/20}) = 0.10875...
+const double kComp1dB = 1.0 - std::pow(10.0, -1.0 / 20.0);
+}  // namespace
+
+Amplifier::Amplifier(const AmplifierConfig& cfg, double sample_rate_hz,
+                     dsp::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  if (sample_rate_hz <= 0.0)
+    throw std::invalid_argument("Amplifier: bad sample rate");
+  lin_gain_ = std::pow(10.0, cfg_.gain_db / 20.0);
+
+  a1db_ = std::sqrt(dsp::dbm_to_watts(cfg_.p1db_in_dbm));
+
+  // Rapp: solve for Vsat so the gain is 1 dB compressed at a = a1db.
+  const double p = cfg_.rapp_smoothness;
+  if (p <= 0.0) throw std::invalid_argument("Amplifier: bad Rapp smoothness");
+  const double t = std::pow(10.0, p / 10.0) - 1.0;
+  vsat_rapp_ = lin_gain_ * a1db_ / std::pow(t, 1.0 / (2.0 * p));
+
+  // Envelope-domain cubic y = g (a + c3 a^3): 1 dB compression at a1db
+  // gives c3 = -kComp1dB / a1db^2; clip where the polynomial peaks.
+  cubic_a3_ = -kComp1dB / (a1db_ * a1db_);
+  clip_in_ = a1db_ / std::sqrt(3.0 * kComp1dB);
+
+  const double f = std::pow(10.0, cfg_.noise_figure_db / 10.0);
+  noise_power_ = cfg_.noise_enabled && cfg_.noise_figure_db > 0.0
+                     ? dsp::kBoltzmann * dsp::kT0 * sample_rate_hz * (f - 1.0)
+                     : 0.0;
+}
+
+double Amplifier::am_am(double a) const {
+  switch (cfg_.model) {
+    case NonlinearityModel::kLinear:
+      return lin_gain_ * a;
+    case NonlinearityModel::kRapp: {
+      const double p = cfg_.rapp_smoothness;
+      const double num = lin_gain_ * a;
+      return num / std::pow(1.0 + std::pow(num / vsat_rapp_, 2.0 * p),
+                            1.0 / (2.0 * p));
+    }
+    case NonlinearityModel::kClippedCubic: {
+      const double ac = std::min(a, clip_in_);
+      return lin_gain_ * (ac + cubic_a3_ * ac * ac * ac);
+    }
+  }
+  throw std::logic_error("Amplifier: bad model");
+}
+
+double Amplifier::am_pm(double a) const {
+  if (cfg_.am_pm_max_deg == 0.0) return 0.0;
+  const double max_rad = cfg_.am_pm_max_deg * dsp::kPi / 180.0;
+  const double r = (a * a) / (a1db_ * a1db_);
+  return max_rad * r / (1.0 + r);  // quadratic onset, saturating
+}
+
+dsp::CVec Amplifier::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    dsp::Cplx x = in[i];
+    if (noise_power_ > 0.0) x += rng_.cgaussian(noise_power_);
+    const double a = std::abs(x);
+    if (a <= 0.0) {
+      out[i] = dsp::Cplx{0.0, 0.0};
+      continue;
+    }
+    const double g = am_am(a) / a;
+    const double phi = am_pm(a);
+    out[i] = x * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
+  }
+  return out;
+}
+
+}  // namespace wlansim::rf

@@ -1,0 +1,67 @@
+// Behavioral amplifier: gain, thermal noise (noise figure), and a
+// memoryless envelope nonlinearity (Rapp SSPA or clipped-cubic) with
+// optional AM/PM conversion.
+//
+// This is the model whose compression point the paper sweeps in Fig. 6
+// ("ratio between compression point and BER with and without adjacent
+// channel") and whose IP3 it examines in §4.1.
+#pragma once
+
+#include "dsp/rng.h"
+#include "rf/rfblock.h"
+
+namespace wlansim::rf {
+
+enum class NonlinearityModel {
+  kLinear,       ///< no compression (ideal)
+  kRapp,         ///< smooth saturating SSPA model
+  kClippedCubic  ///< third-order polynomial, hard-limited at saturation
+};
+
+struct AmplifierConfig {
+  std::string label = "amp";
+  double gain_db = 20.0;
+  double noise_figure_db = 0.0;      ///< 0 = noiseless
+  NonlinearityModel model = NonlinearityModel::kRapp;
+  /// Input-referred 1 dB compression point [dBm]; ignored for kLinear.
+  double p1db_in_dbm = -20.0;
+  double rapp_smoothness = 2.0;      ///< Rapp "p" parameter
+  /// AM/PM conversion: maximum phase deviation approached in saturation
+  /// [degrees]; 0 disables. (The paper notes SpectreRF models include
+  /// AM/PM while SPW models need extra blocks — §6.)
+  double am_pm_max_deg = 0.0;
+  bool noise_enabled = true;         ///< master switch (AMS noise gap, §5.1)
+};
+
+class Amplifier : public RfBlock {
+ public:
+  Amplifier(const AmplifierConfig& cfg, double sample_rate_hz, dsp::Rng rng);
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  std::string name() const override { return cfg_.label; }
+
+  /// Instantaneous output envelope for input envelope `a` (volts); exposes
+  /// the static AM/AM curve for characterization tests.
+  double am_am(double a) const;
+
+  /// Static AM/PM phase shift [radians] at input envelope `a`.
+  double am_pm(double a) const;
+
+  const AmplifierConfig& config() const { return cfg_; }
+
+  /// Derived input-referred IIP3 estimate [dBm] for the cubic model
+  /// (classic 9.6 dB above P1dB); meaningful for kClippedCubic.
+  double iip3_dbm() const { return cfg_.p1db_in_dbm + 9.6; }
+
+ private:
+  AmplifierConfig cfg_;
+  double lin_gain_;       ///< voltage gain
+  double a1db_;           ///< input envelope at the compression point
+  double vsat_rapp_;      ///< Rapp saturation parameter
+  double cubic_a3_;       ///< cubic coefficient (envelope domain)
+  double clip_in_;        ///< cubic model: input clip level
+  double noise_power_;    ///< input-referred added noise power [W]
+  dsp::Rng rng_;
+};
+
+}  // namespace wlansim::rf

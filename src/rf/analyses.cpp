@@ -1,0 +1,147 @@
+#include "rf/analyses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+#include "dsp/spectrum.h"
+
+namespace wlansim::rf {
+
+namespace {
+
+/// Snap a frequency to an exact DFT bin of the analysis window so the
+/// single-bin projection is leakage-free.
+double snap_to_bin(double f_hz, double fs, std::size_t n) {
+  const double bin = fs / static_cast<double>(n);
+  return std::round(f_hz / bin) * bin;
+}
+
+dsp::CVec make_tone(std::size_t n, double f_norm, double power_w) {
+  const double a = std::sqrt(power_w);
+  dsp::CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = dsp::kTwoPi * f_norm * static_cast<double>(i);
+    x[i] = a * dsp::Cplx{std::cos(ang), std::sin(ang)};
+  }
+  return x;
+}
+
+struct ToneRun {
+  dsp::CVec settled;  ///< output with the settling prefix removed
+};
+
+ToneRun run_tones(RfBlock& dut, const ToneTestConfig& cfg,
+                  std::initializer_list<std::pair<double, double>> tones) {
+  // tones: {f_hz, power_w} pairs, all snapped to analysis bins.
+  const std::size_t total = cfg.settle_samples + cfg.num_samples;
+  dsp::CVec x(total, dsp::Cplx{0.0, 0.0});
+  for (const auto& [f_hz, p_w] : tones) {
+    const double fn = f_hz / cfg.sample_rate_hz;
+    const dsp::CVec t = make_tone(total, fn, p_w);
+    for (std::size_t i = 0; i < total; ++i) x[i] += t[i];
+  }
+  dut.reset();
+  dsp::CVec y = dut.process(x);
+  ToneRun out;
+  out.settled.assign(y.begin() + static_cast<std::ptrdiff_t>(cfg.settle_samples),
+                     y.end());
+  return out;
+}
+
+}  // namespace
+
+dsp::Cplx tone_amplitude(std::span<const dsp::Cplx> x, double f_norm) {
+  if (x.empty()) throw std::invalid_argument("tone_amplitude: empty signal");
+  dsp::Cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ang = -dsp::kTwoPi * f_norm * static_cast<double>(i);
+    acc += x[i] * dsp::Cplx{std::cos(ang), std::sin(ang)};
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double tone_power(std::span<const dsp::Cplx> x, double f_norm) {
+  return std::norm(tone_amplitude(x, f_norm));
+}
+
+double measure_gain_db(RfBlock& dut, const ToneTestConfig& cfg,
+                       double input_dbm) {
+  const double f = snap_to_bin(cfg.tone_hz, cfg.sample_rate_hz, cfg.num_samples);
+  const double p_in = dsp::dbm_to_watts(input_dbm);
+  const ToneRun run = run_tones(dut, cfg, {{f, p_in}});
+  const double p_out = tone_power(run.settled, f / cfg.sample_rate_hz);
+  return dsp::to_db(p_out / p_in);
+}
+
+double measure_p1db_in_dbm(RfBlock& dut, const ToneTestConfig& cfg,
+                           double start_dbm, double stop_dbm, double step_db) {
+  const double g0 = measure_gain_db(dut, cfg, start_dbm);
+  for (double pin = start_dbm + step_db; pin <= stop_dbm; pin += step_db) {
+    const double g = measure_gain_db(dut, cfg, pin);
+    if (g <= g0 - 1.0) return pin;
+  }
+  return stop_dbm;  // never compressed within the sweep
+}
+
+double measure_iip3_dbm(RfBlock& dut, const ToneTestConfig& cfg,
+                        double input_dbm) {
+  const double f1 = snap_to_bin(cfg.tone_hz, cfg.sample_rate_hz, cfg.num_samples);
+  const double f2 =
+      snap_to_bin(cfg.tone2_hz, cfg.sample_rate_hz, cfg.num_samples);
+  if (f1 == f2) throw std::invalid_argument("measure_iip3: tones coincide");
+  const double p_in = dsp::dbm_to_watts(input_dbm);
+  const ToneRun run = run_tones(dut, cfg, {{f1, p_in}, {f2, p_in}});
+  const double fs = cfg.sample_rate_hz;
+  const double p_fund = tone_power(run.settled, f1 / fs);
+  const double im3_hz = 2.0 * f1 - f2;  // lower IM3 product
+  const double p_im3 = tone_power(run.settled, im3_hz / fs);
+  if (p_im3 <= 0.0) return 100.0;  // unmeasurably linear
+  const double delta_db = dsp::to_db(p_fund / p_im3);
+  return input_dbm + delta_db / 2.0;
+}
+
+double measure_noise_figure_db(RfBlock& dut, const ToneTestConfig& cfg) {
+  // Small-signal gain well below compression, measured at the test tone.
+  const double gain_db = measure_gain_db(dut, cfg, -60.0);
+  const double gain = dsp::from_db(gain_db);
+
+  dut.reset();
+  dsp::CVec zeros(cfg.settle_samples + cfg.num_samples, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec y = dut.process(zeros);
+  const std::span<const dsp::Cplx> settled(y.data() + cfg.settle_samples,
+                                           cfg.num_samples);
+
+  // Spot noise measured in a band around the tone frequency — a chain with
+  // a channel-select filter removes most wideband noise before the output,
+  // so comparing total powers would understate its in-band noise figure.
+  const double band_hz = std::min(2e6, cfg.sample_rate_hz / 16.0);
+  dsp::WelchConfig wc;
+  wc.nfft = 1024;
+  const dsp::PsdEstimate psd = welch_psd(settled, wc);
+  const double n_out =
+      psd.band_power(cfg.tone_hz / cfg.sample_rate_hz, band_hz / cfg.sample_rate_hz);
+
+  const double n_in = dsp::kBoltzmann * dsp::kT0 * band_hz;
+  // F = 1 + Nadded/(G k T0 B); our sources model only the added part, so
+  // the in-band output noise is G * kT0B * (F - 1).
+  const double f = 1.0 + n_out / (gain * n_in);
+  return dsp::to_db(f);
+}
+
+double measure_rejection_db(RfBlock& dut, const ToneTestConfig& cfg,
+                            double pass_hz, double reject_hz,
+                            double input_dbm) {
+  const double fs = cfg.sample_rate_hz;
+  const double fp = snap_to_bin(pass_hz, fs, cfg.num_samples);
+  const double fr = snap_to_bin(reject_hz, fs, cfg.num_samples);
+  const double p_in = dsp::dbm_to_watts(input_dbm);
+  const ToneRun run = run_tones(dut, cfg, {{fp, p_in}, {fr, p_in}});
+  const double pp = tone_power(run.settled, fp / fs);
+  const double pr = tone_power(run.settled, fr / fs);
+  if (pr <= 0.0) return 200.0;
+  return dsp::to_db(pp / pr);
+}
+
+}  // namespace wlansim::rf

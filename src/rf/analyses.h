@@ -1,0 +1,54 @@
+// SpectreRF-style RF characterization analyses run on behavioral chains:
+// single-tone gain, 1 dB compression point, two-tone IIP3, noise figure
+// and filter selectivity. These replace the "Periodic Steady State /
+// two tone" measurements the paper performs on the Spectre rflib models
+// (§3.2, §4.2).
+#pragma once
+
+#include "dsp/types.h"
+#include "rf/rfblock.h"
+
+namespace wlansim::rf {
+
+/// Complex amplitude of the tone at normalized frequency `f_norm` in `x`
+/// (single-bin DFT projection; exact for integer-bin tones).
+dsp::Cplx tone_amplitude(std::span<const dsp::Cplx> x, double f_norm);
+
+/// Power [W] of the tone at `f_norm`.
+double tone_power(std::span<const dsp::Cplx> x, double f_norm);
+
+struct ToneTestConfig {
+  double sample_rate_hz = 80e6;
+  double tone_hz = 1e6;        ///< test-tone frequency
+  double tone2_hz = 1.5e6;     ///< second tone for IIP3
+  std::size_t num_samples = 16384;
+  std::size_t settle_samples = 4096;  ///< discarded (filter transients)
+};
+
+/// Small-signal gain [dB] at `input_dbm` drive level.
+double measure_gain_db(RfBlock& dut, const ToneTestConfig& cfg,
+                       double input_dbm);
+
+/// Input-referred 1 dB compression point [dBm], found by sweeping the
+/// drive from `start_dbm` upward in `step_db` steps until the gain has
+/// dropped 1 dB below the small-signal gain.
+double measure_p1db_in_dbm(RfBlock& dut, const ToneTestConfig& cfg,
+                           double start_dbm = -60.0, double stop_dbm = 20.0,
+                           double step_db = 0.25);
+
+/// Input-referred third-order intercept [dBm] from a two-tone test at
+/// `input_dbm` per tone: IIP3 = Pin + (Pfund - Pim3) / 2.
+double measure_iip3_dbm(RfBlock& dut, const ToneTestConfig& cfg,
+                        double input_dbm);
+
+/// Noise figure [dB]: drive with zeros, integrate output noise power over
+/// the complex bandwidth, refer through the measured small-signal gain.
+double measure_noise_figure_db(RfBlock& dut, const ToneTestConfig& cfg);
+
+/// Rejection [dB] of a tone at `reject_hz` relative to one at `pass_hz`
+/// (adjacent-channel selectivity of a filter chain).
+double measure_rejection_db(RfBlock& dut, const ToneTestConfig& cfg,
+                            double pass_hz, double reject_hz,
+                            double input_dbm = -40.0);
+
+}  // namespace wlansim::rf

@@ -1,0 +1,183 @@
+#include "rf/blackbox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+#include "rf/analyses.h"
+
+namespace wlansim::rf {
+
+namespace {
+
+/// Run one tone through the DUT (after reset) and return the complex gain.
+dsp::Cplx tone_gain(RfBlock& dut, double f_norm, double amp,
+                    std::size_t settle, std::size_t n) {
+  const std::size_t total = settle + n;
+  dsp::CVec x(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double ang = dsp::kTwoPi * f_norm * static_cast<double>(i);
+    x[i] = amp * dsp::Cplx{std::cos(ang), std::sin(ang)};
+  }
+  dut.reset();
+  const dsp::CVec y = dut.process(x);
+  const std::span<const dsp::Cplx> settled(y.data() + settle, n);
+  // Projection carries the phase of the settled window start: the input
+  // tone at the window start has phase 2*pi*f*settle, divide it out.
+  const dsp::Cplx out = tone_amplitude(settled, f_norm);
+  const double ang0 = dsp::kTwoPi * f_norm * static_cast<double>(settle);
+  const dsp::Cplx in0 = amp * dsp::Cplx{std::cos(ang0), std::sin(ang0)};
+  return out / in0;
+}
+
+}  // namespace
+
+dsp::CVec fit_complex_fir(const dsp::CVec& h) {
+  const std::size_t t = h.size();
+  if (t < 3 || t % 2 == 0)
+    throw std::invalid_argument("fit_complex_fir: need an odd tap count >= 3");
+  const double dcenter = (static_cast<double>(t) - 1.0) / 2.0;
+
+  // Estimate the bulk group delay from the phase slope across strong bins
+  // and re-center it so the impulse response fits the tap span.
+  double dsum = 0.0, wsum = 0.0;
+  double hmax = 0.0;
+  for (const auto& v : h) hmax = std::max(hmax, std::abs(v));
+  for (std::size_t k = 0; k + 1 < t; ++k) {
+    const double w = std::min(std::abs(h[k]), std::abs(h[k + 1]));
+    if (w < 0.1 * hmax) continue;
+    const double dphi = std::arg(h[k + 1] * std::conj(h[k]));
+    // Adjacent grid spacing is 1/T of fs: delay d gives dphi = -2 pi d / T.
+    dsum += w * (-dphi * static_cast<double>(t) / dsp::kTwoPi);
+    wsum += w;
+  }
+  const double bulk = wsum > 0.0 ? dsum / wsum : dcenter;
+  const double shift = bulk - dcenter;  // delay to remove
+
+  // Target response G_k = H_k * e^{+j 2 pi f_k shift}; then taps are the
+  // inverse DFT on the centered grid f_k = (k - (t-1)/2)/t.
+  dsp::CVec taps(t, dsp::Cplx{0.0, 0.0});
+  for (std::size_t n = 0; n < t; ++n) {
+    dsp::Cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < t; ++k) {
+      const double fk = (static_cast<double>(k) - dcenter) / static_cast<double>(t);
+      const dsp::Cplx g = h[k] * dsp::Cplx{std::cos(dsp::kTwoPi * fk * shift),
+                                           std::sin(dsp::kTwoPi * fk * shift)};
+      const double ang = dsp::kTwoPi * fk * static_cast<double>(n);
+      acc += g * dsp::Cplx{std::cos(ang), std::sin(ang)};
+    }
+    taps[n] = acc / static_cast<double>(t);
+  }
+  return taps;
+}
+
+BlackBoxData extract_blackbox(RfBlock& dut, const ExtractionConfig& cfg) {
+  if (cfg.fir_taps < 3 || cfg.fir_taps % 2 == 0)
+    throw std::invalid_argument("extract_blackbox: fir_taps must be odd >= 3");
+  BlackBoxData data;
+  data.sample_rate_hz = cfg.sample_rate_hz;
+
+  // --- small-signal frequency response on the uniform grid ---------------
+  const std::size_t t = cfg.fir_taps;
+  const double amp = std::sqrt(dsp::dbm_to_watts(cfg.smallsig_dbm));
+  const double dcenter = (static_cast<double>(t) - 1.0) / 2.0;
+  data.freq_hz.resize(t);
+  data.h.resize(t);
+  for (std::size_t k = 0; k < t; ++k) {
+    const double fn = (static_cast<double>(k) - dcenter) / static_cast<double>(t);
+    data.freq_hz[k] = fn * cfg.sample_rate_hz;
+    data.h[k] =
+        tone_gain(dut, fn, amp, cfg.settle_samples, cfg.tone_samples);
+  }
+
+  // --- envelope transfer at the reference frequency ----------------------
+  const double fref_n =
+      std::round(cfg.env_ref_hz / cfg.sample_rate_hz * static_cast<double>(t)) /
+      static_cast<double>(t);
+  dsp::Cplx g_small{0.0, 0.0};
+  for (std::size_t i = 0; i < cfg.num_env_points; ++i) {
+    const double dbm =
+        cfg.env_start_dbm + (cfg.env_stop_dbm - cfg.env_start_dbm) *
+                                static_cast<double>(i) /
+                                static_cast<double>(cfg.num_env_points - 1);
+    const double a = std::sqrt(dsp::dbm_to_watts(dbm));
+    const dsp::Cplx g =
+        tone_gain(dut, fref_n, a, cfg.settle_samples, cfg.tone_samples);
+    if (i == 0) g_small = g;
+    data.env_in.push_back(a);
+    data.env_out.push_back(std::abs(g) * a);
+    data.env_phase.push_back(std::arg(g * std::conj(g_small)));
+  }
+
+  // --- output noise -------------------------------------------------------
+  dut.reset();
+  dsp::CVec zeros(cfg.settle_samples + cfg.tone_samples, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec y = dut.process(zeros);
+  double acc = 0.0;
+  for (std::size_t i = cfg.settle_samples; i < y.size(); ++i)
+    acc += std::norm(y[i]);
+  data.noise_power = acc / static_cast<double>(cfg.tone_samples);
+
+  return data;
+}
+
+BlackBoxModel::BlackBoxModel(BlackBoxData data, dsp::Rng rng)
+    : data_(std::move(data)),
+      filter_([this] {
+        // Normalize the linear part to unit gain at the envelope reference
+        // (the nonlinearity carries the absolute gain there).
+        if (data_.h.empty() || data_.env_in.empty())
+          throw std::invalid_argument("BlackBoxModel: empty extraction data");
+        // Reference gain = small-signal envelope gain.
+        const double gref = data_.env_out.front() / data_.env_in.front();
+        dsp::CVec hn = data_.h;
+        for (auto& v : hn) v /= gref;
+        return dsp::CFirFilter(fit_complex_fir(hn));
+      }()),
+      noise_sqrt_(std::sqrt(std::max(0.0, data_.noise_power))),
+      rng_(rng) {}
+
+double BlackBoxModel::am_am_gain(double a) const {
+  const auto& xin = data_.env_in;
+  const auto& xout = data_.env_out;
+  if (a <= xin.front()) return xout.front() / xin.front();
+  if (a >= xin.back()) return xout.back() / xin.back();
+  const auto it = std::upper_bound(xin.begin(), xin.end(), a);
+  const std::size_t i = static_cast<std::size_t>(it - xin.begin());
+  const double w = (a - xin[i - 1]) / (xin[i] - xin[i - 1]);
+  const double out = xout[i - 1] + w * (xout[i] - xout[i - 1]);
+  return out / a;
+}
+
+double BlackBoxModel::am_pm(double a) const {
+  const auto& xin = data_.env_in;
+  const auto& ph = data_.env_phase;
+  if (a <= xin.front()) return ph.front();
+  if (a >= xin.back()) return ph.back();
+  const auto it = std::upper_bound(xin.begin(), xin.end(), a);
+  const std::size_t i = static_cast<std::size_t>(it - xin.begin());
+  const double w = (a - xin[i - 1]) / (xin[i] - xin[i - 1]);
+  return ph[i - 1] + w * (ph[i] - ph[i - 1]);
+}
+
+dsp::CVec BlackBoxModel::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double a = std::abs(in[i]);
+    dsp::Cplx v{0.0, 0.0};
+    if (a > 0.0) {
+      const double g = am_am_gain(a);
+      const double phi = am_pm(a);
+      v = in[i] * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
+    }
+    v = filter_.step(v);
+    if (noise_sqrt_ > 0.0) v += rng_.cgaussian(data_.noise_power);
+    out[i] = v;
+  }
+  return out;
+}
+
+void BlackBoxModel::reset() { filter_.reset(); }
+
+}  // namespace wlansim::rf

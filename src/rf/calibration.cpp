@@ -1,0 +1,45 @@
+#include "rf/calibration.h"
+
+#include <cmath>
+
+namespace wlansim::rf {
+
+CalibrationResult calibrate_amplifier(RfBlock& reference,
+                                      const CalibrationConfig& cfg,
+                                      NonlinearityModel model, dsp::Rng rng) {
+  CalibrationResult out;
+
+  // --- measure the golden reference ---------------------------------------
+  const double ref_gain = measure_gain_db(reference, cfg.tones, -60.0);
+  const double ref_p1db = measure_p1db_in_dbm(
+      reference, cfg.tones, cfg.p1db_search_start_dbm,
+      cfg.p1db_search_stop_dbm);
+  const double ref_nf =
+      cfg.calibrate_noise ? measure_noise_figure_db(reference, cfg.tones) : 0.0;
+
+  // --- instantiate the behavioral model at those numbers -------------------
+  AmplifierConfig fitted;
+  fitted.label = "calibrated";
+  fitted.gain_db = ref_gain;
+  fitted.p1db_in_dbm = ref_p1db;
+  fitted.model = model;
+  fitted.noise_figure_db = cfg.calibrate_noise ? ref_nf : 0.0;
+  fitted.noise_enabled = cfg.calibrate_noise;
+  out.fitted = fitted;
+
+  // --- verify: re-measure the behavioral model -----------------------------
+  Amplifier behavioral(fitted, cfg.tones.sample_rate_hz, rng);
+  const double fit_gain = measure_gain_db(behavioral, cfg.tones, -60.0);
+  const double fit_p1db = measure_p1db_in_dbm(
+      behavioral, cfg.tones, cfg.p1db_search_start_dbm,
+      cfg.p1db_search_stop_dbm);
+  out.gain_error_db = std::abs(fit_gain - ref_gain);
+  out.p1db_error_db = std::abs(fit_p1db - ref_p1db);
+  if (cfg.calibrate_noise) {
+    const double fit_nf = measure_noise_figure_db(behavioral, cfg.tones);
+    out.nf_error_db = std::abs(fit_nf - ref_nf);
+  }
+  return out;
+}
+
+}  // namespace wlansim::rf

@@ -1,0 +1,39 @@
+// Behavioral-model calibration — the design-flow step the paper lists as
+// "Verification of the circuit designs in the RF subsystem model.
+// Calibration of the behavioral models." (§4).
+//
+// Given a golden reference block (in the paper: the circuit-level design;
+// here: any RfBlock, e.g. a richer model or measured data), fit an
+// Amplifier's behavioral parameters (gain, P1dB, noise figure) so the
+// behavioral model reproduces the reference's measured characteristics.
+#pragma once
+
+#include "rf/amplifier.h"
+#include "rf/analyses.h"
+
+namespace wlansim::rf {
+
+struct CalibrationResult {
+  AmplifierConfig fitted;       ///< behavioral parameters after calibration
+  double gain_error_db = 0.0;   ///< residual |gain difference|
+  double p1db_error_db = 0.0;   ///< residual |P1dB difference|
+  double nf_error_db = 0.0;     ///< residual |NF difference|
+};
+
+struct CalibrationConfig {
+  ToneTestConfig tones{};
+  /// Sweep bounds for the P1dB search on the reference.
+  double p1db_search_start_dbm = -60.0;
+  double p1db_search_stop_dbm = 10.0;
+  bool calibrate_noise = true;
+};
+
+/// Measure `reference` (gain, P1dB, NF) and return an AmplifierConfig that
+/// reproduces those numbers with the given nonlinearity model; the result
+/// reports residual errors re-measured on the fitted behavioral model.
+CalibrationResult calibrate_amplifier(RfBlock& reference,
+                                      const CalibrationConfig& cfg,
+                                      NonlinearityModel model,
+                                      dsp::Rng rng);
+
+}  // namespace wlansim::rf

@@ -1,0 +1,56 @@
+#include "rf/filters.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlansim::rf {
+
+namespace {
+double checked_norm(double f_hz, double fs_hz) {
+  if (fs_hz <= 0.0) throw std::invalid_argument("RF filter: bad sample rate");
+  const double fn = f_hz / fs_hz;
+  if (fn <= 0.0 || fn >= 0.5)
+    throw std::invalid_argument("RF filter: corner beyond Nyquist");
+  return fn;
+}
+}  // namespace
+
+ChebyshevLowpass::ChebyshevLowpass(std::size_t order, double ripple_db,
+                                   double edge_hz, double sample_rate_hz,
+                                   std::string label)
+    : label_(std::move(label)),
+      edge_hz_(edge_hz),
+      sample_rate_hz_(sample_rate_hz),
+      filt_(dsp::design_chebyshev1_lowpass(
+          order, ripple_db, checked_norm(edge_hz, sample_rate_hz))) {}
+
+dsp::CVec ChebyshevLowpass::process(std::span<const dsp::Cplx> in) {
+  return filt_.process(in);
+}
+
+double ChebyshevLowpass::magnitude_at(double f_hz) const {
+  return std::abs(filt_.response(f_hz / sample_rate_hz_));
+}
+
+DcBlockHighpass::DcBlockHighpass(std::size_t order, double cutoff_hz,
+                                 double sample_rate_hz, std::string label)
+    : label_(std::move(label)),
+      cutoff_hz_(cutoff_hz),
+      filt_(dsp::design_butterworth_highpass(
+          order, checked_norm(cutoff_hz, sample_rate_hz))) {}
+
+dsp::CVec DcBlockHighpass::process(std::span<const dsp::Cplx> in) {
+  return filt_.process(in);
+}
+
+ButterworthLowpass::ButterworthLowpass(std::size_t order, double cutoff_hz,
+                                       double sample_rate_hz, std::string label)
+    : label_(std::move(label)),
+      filt_(dsp::design_butterworth_lowpass(
+          order, checked_norm(cutoff_hz, sample_rate_hz))) {}
+
+dsp::CVec ButterworthLowpass::process(std::span<const dsp::Cplx> in) {
+  return filt_.process(in);
+}
+
+}  // namespace wlansim::rf

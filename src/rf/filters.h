@@ -1,0 +1,69 @@
+// RF filter blocks with physical (Hz) parameters: the Chebyshev
+// channel-selection lowpass whose bandwidth the paper sweeps in Fig. 5 and
+// the interstage DC-blocking high-pass of the double-conversion receiver.
+#pragma once
+
+#include "dsp/iir.h"
+#include "rf/rfblock.h"
+
+namespace wlansim::rf {
+
+/// Chebyshev-I lowpass channel-select filter. The SpectreRF rflib has no
+/// wideband bandpass model (paper §4.2), so — exactly like the authors —
+/// we realize channel selection with low/high-pass sections.
+class ChebyshevLowpass : public RfBlock {
+ public:
+  ChebyshevLowpass(std::size_t order, double ripple_db, double edge_hz,
+                   double sample_rate_hz, std::string label = "bb_lpf");
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void reset() override { filt_.reset(); }
+  std::string name() const override { return label_; }
+
+  double edge_hz() const { return edge_hz_; }
+
+  /// Magnitude response at frequency f [Hz].
+  double magnitude_at(double f_hz) const;
+
+ private:
+  std::string label_;
+  double edge_hz_;
+  double sample_rate_hz_;
+  dsp::BiquadCascade filt_;
+};
+
+/// Butterworth high-pass DC block (removes self-mixing DC offsets and
+/// flicker noise between the mixer stages).
+class DcBlockHighpass : public RfBlock {
+ public:
+  DcBlockHighpass(std::size_t order, double cutoff_hz, double sample_rate_hz,
+                  std::string label = "hpf");
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void reset() override { filt_.reset(); }
+  std::string name() const override { return label_; }
+
+  double cutoff_hz() const { return cutoff_hz_; }
+
+ private:
+  std::string label_;
+  double cutoff_hz_;
+  dsp::BiquadCascade filt_;
+};
+
+/// Butterworth lowpass (anti-alias / generic band limiting).
+class ButterworthLowpass : public RfBlock {
+ public:
+  ButterworthLowpass(std::size_t order, double cutoff_hz,
+                     double sample_rate_hz, std::string label = "lpf");
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void reset() override { filt_.reset(); }
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  dsp::BiquadCascade filt_;
+};
+
+}  // namespace wlansim::rf

@@ -1,0 +1,70 @@
+#include "rf/mixer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::rf {
+
+double PhaseNoiseSpec::linewidth_hz() const {
+  if (!enabled()) return 0.0;
+  return dsp::kPi * offset_hz * offset_hz * std::pow(10.0, level_dbc_hz / 10.0);
+}
+
+Mixer::Mixer(const MixerConfig& cfg, double sample_rate_hz, dsp::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  if (sample_rate_hz <= 0.0)
+    throw std::invalid_argument("Mixer: bad sample rate");
+  gain_ = std::pow(10.0, cfg_.conversion_gain_db / 20.0);
+  dphi_lo_ = dsp::kTwoPi * cfg_.lo_offset_hz / sample_rate_hz;
+
+  // Wiener phase noise: variance per sample = 2 pi * linewidth / fs.
+  const double lw = cfg_.phase_noise.linewidth_hz();
+  pn_sigma_ = (cfg_.noise_enabled && lw > 0.0)
+                  ? std::sqrt(dsp::kTwoPi * lw / sample_rate_hz)
+                  : 0.0;
+
+  image_amp_ = cfg_.image_rejection_db >= 200.0
+                   ? 0.0
+                   : std::pow(10.0, -cfg_.image_rejection_db / 20.0);
+  iq_eps_ = std::pow(10.0, cfg_.iq_gain_imbalance_db / 20.0);
+  iq_phi_ = cfg_.iq_phase_error_deg * dsp::kPi / 180.0;
+}
+
+dsp::CVec Mixer::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (pn_sigma_ > 0.0) pn_phase_ += rng_.gaussian(pn_sigma_);
+    const double phi = lo_phase_ + pn_phase_;
+    const dsp::Cplx lo{std::cos(phi), std::sin(phi)};
+    dsp::Cplx y = gain_ * in[i] * lo;
+
+    // Finite image rejection folds a conjugate copy on top.
+    if (image_amp_ > 0.0) y += image_amp_ * gain_ * std::conj(in[i] * lo);
+
+    // IQ imbalance: distinct gain and quadrature phase on the Q rail.
+    if (iq_eps_ != 1.0 || iq_phi_ != 0.0) {
+      const double ii = y.real();
+      const double qq = y.imag();
+      y = dsp::Cplx{ii + qq * std::sin(iq_phi_) * iq_eps_,
+                    qq * iq_eps_ * std::cos(iq_phi_)};
+    }
+
+    y += cfg_.dc_offset;
+    out[i] = y;
+
+    lo_phase_ += dphi_lo_;
+    if (lo_phase_ > 64.0 * dsp::kPi) lo_phase_ = dsp::wrap_phase(lo_phase_);
+    if (pn_phase_ > 64.0 * dsp::kPi || pn_phase_ < -64.0 * dsp::kPi)
+      pn_phase_ = dsp::wrap_phase(pn_phase_);
+  }
+  return out;
+}
+
+void Mixer::reset() {
+  lo_phase_ = 0.0;
+  pn_phase_ = 0.0;
+}
+
+}  // namespace wlansim::rf

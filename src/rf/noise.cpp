@@ -1,0 +1,151 @@
+#include "rf/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::rf {
+
+WhiteNoiseSource::WhiteNoiseSource(double psd_w_per_hz, double sample_rate_hz,
+                                   dsp::Rng rng)
+    : power_(psd_w_per_hz * sample_rate_hz), rng_(rng) {
+  if (psd_w_per_hz < 0.0 || sample_rate_hz <= 0.0)
+    throw std::invalid_argument("WhiteNoiseSource: bad parameters");
+}
+
+dsp::CVec WhiteNoiseSource::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.begin(), in.end());
+  if (power_ > 0.0) {
+    for (auto& v : out) v += rng_.cgaussian(power_);
+  }
+  return out;
+}
+
+namespace {
+
+/// Build log-spaced pole/zero first-order sections approximating a
+/// -10 dB/decade magnitude slope between f_lo and f_hi.
+std::vector<dsp::Biquad> pink_sections(double f_lo, double f_hi, double fs) {
+  if (f_lo <= 0.0 || f_hi <= f_lo || f_hi >= fs / 2.0)
+    throw std::invalid_argument("FlickerNoiseSource: bad corner frequencies");
+  const double decades = std::log10(f_hi / f_lo);
+  const std::size_t stages =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(decades)));
+  const double ratio = std::pow(f_hi / f_lo, 1.0 / static_cast<double>(stages));
+
+  std::vector<dsp::Biquad> out;
+  double fp = f_lo;
+  for (std::size_t k = 0; k < stages; ++k) {
+    const double fz = fp * std::sqrt(ratio);  // zero half a stage above pole
+    dsp::Biquad s;
+    const double p = std::exp(-dsp::kTwoPi * fp / fs);
+    const double z = std::exp(-dsp::kTwoPi * fz / fs);
+    s.b0 = 1.0;
+    s.b1 = -z;
+    s.b2 = 0.0;
+    s.a1 = -p;
+    s.a2 = 0.0;
+    out.push_back(s);
+    fp *= ratio;
+  }
+  // Band-limit above the upper corner: without this the shelf cascade is
+  // flat from f_hi to Nyquist and the broadband floor, integrated over
+  // tens of MHz, would dominate the "flicker" power. One RBJ biquad
+  // (2nd-order Butterworth lowpass at f_hi) suffices.
+  {
+    const double w0 = dsp::kTwoPi * f_hi / fs;
+    const double q = 1.0 / std::sqrt(2.0);
+    const double alpha = std::sin(w0) / (2.0 * q);
+    const double cosw = std::cos(w0);
+    const double a0 = 1.0 + alpha;
+    dsp::Biquad s;
+    s.b0 = (1.0 - cosw) / 2.0 / a0;
+    s.b1 = (1.0 - cosw) / a0;
+    s.b2 = s.b0;
+    s.a1 = -2.0 * cosw / a0;
+    s.a2 = (1.0 - alpha) / a0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlickerNoiseSource::FlickerNoiseSource(double power_watts, double corner_low_hz,
+                                       double corner_high_hz,
+                                       double sample_rate_hz, dsp::Rng rng)
+    : drive_sigma_(0.0),
+      stages_(pink_sections(corner_low_hz, corner_high_hz, sample_rate_hz)),
+      rng_(rng) {
+  if (power_watts < 0.0)
+    throw std::invalid_argument("FlickerNoiseSource: negative power");
+  if (power_watts == 0.0) return;
+
+  // Calibrate the drive level empirically: run unit-variance noise through
+  // a copy of the shaping cascade and measure the output power.
+  std::vector<dsp::Biquad> probe = stages_;
+  dsp::Rng cal(12345);
+  double acc = 0.0;
+  const std::size_t n = 1 << 15;
+  for (std::size_t i = 0; i < n; ++i) {
+    dsp::Cplx v = cal.cgaussian(1.0);
+    for (auto& s : probe) v = s.step(v);
+    if (i >= n / 4) acc += std::norm(v);  // skip the settling transient
+  }
+  const double measured = acc / static_cast<double>(n - n / 4);
+  drive_sigma_ = std::sqrt(power_watts / measured);
+}
+
+dsp::CVec FlickerNoiseSource::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.begin(), in.end());
+  if (drive_sigma_ <= 0.0) return out;
+  for (auto& v : out) {
+    dsp::Cplx n = rng_.cgaussian(1.0) * drive_sigma_;
+    for (auto& s : stages_) n = s.step(n);
+    v += n;
+  }
+  return out;
+}
+
+void FlickerNoiseSource::reset() {
+  for (auto& s : stages_) s.reset();
+}
+
+WanderingDcSource::WanderingDcSource(double rms_amplitude, double bandwidth_hz,
+                                     double sample_rate_hz, dsp::Rng rng)
+    : rms_(rms_amplitude), rng_(rng) {
+  if (rms_amplitude < 0.0 || bandwidth_hz <= 0.0 || sample_rate_hz <= 0.0 ||
+      bandwidth_hz >= sample_rate_hz / 2.0)
+    throw std::invalid_argument("WanderingDcSource: bad parameters");
+  alpha_ = 1.0 - std::exp(-dsp::kTwoPi * bandwidth_hz / sample_rate_hz);
+  // One-pole AR(1): var_state = drive^2 * alpha / (2 - alpha) per rail.
+  const double var_per_rail = rms_ * rms_ / 2.0;
+  drive_std_ = std::sqrt(var_per_rail * (2.0 - alpha_) / alpha_);
+  // Start the walk at a random point of its stationary distribution so
+  // short runs are representative.
+  state_ = {rng_.gaussian(std::sqrt(var_per_rail)),
+            rng_.gaussian(std::sqrt(var_per_rail))};
+}
+
+dsp::CVec WanderingDcSource::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.begin(), in.end());
+  if (rms_ <= 0.0) return out;
+  for (auto& v : out) {
+    state_ += alpha_ * (dsp::Cplx{rng_.gaussian(drive_std_),
+                                  rng_.gaussian(drive_std_)} -
+                        state_);
+    v += state_;
+  }
+  return out;
+}
+
+void WanderingDcSource::reset() { state_ = dsp::Cplx{0.0, 0.0}; }
+
+dsp::CVec DcOffsetSource::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out(in.begin(), in.end());
+  for (auto& v : out) v += offset_;
+  return out;
+}
+
+}  // namespace wlansim::rf

@@ -1,0 +1,89 @@
+// Noise sources: thermal (white) and flicker (1/f) noise generators.
+//
+// These are the behavioral equivalents of the Verilog-A white_noise /
+// flicker_noise functions whose absence in the AMS Designer transient
+// analysis the paper calls out in §4.3/§5.1.
+#pragma once
+
+#include "dsp/iir.h"
+#include "dsp/rng.h"
+#include "rf/rfblock.h"
+
+namespace wlansim::rf {
+
+/// Additive white Gaussian noise with a one-sided density of `psd_w_per_hz`
+/// watts/Hz over the complex bandwidth fs (total power = psd * fs).
+class WhiteNoiseSource : public RfBlock {
+ public:
+  WhiteNoiseSource(double psd_w_per_hz, double sample_rate_hz, dsp::Rng rng);
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  std::string name() const override { return "white_noise"; }
+
+  double total_power_watts() const { return power_; }
+
+ private:
+  double power_;
+  dsp::Rng rng_;
+};
+
+/// Additive 1/f (flicker) noise: white noise shaped by a cascade of
+/// first-order sections approximating a -10 dB/decade slope between
+/// `corner_low_hz` and `corner_high_hz`. `power_watts` is the total added
+/// power integrated over that band.
+class FlickerNoiseSource : public RfBlock {
+ public:
+  FlickerNoiseSource(double power_watts, double corner_low_hz,
+                     double corner_high_hz, double sample_rate_hz,
+                     dsp::Rng rng);
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "flicker_noise"; }
+
+ private:
+  double drive_sigma_;
+  std::vector<dsp::Biquad> stages_;
+  dsp::Rng rng_;
+};
+
+/// Slowly wandering complex offset: LO leakage reflecting off the moving
+/// environment self-mixes into a baseband product that drifts within
+/// `bandwidth_hz` of DC. At zero IF it lands inside the occupied signal
+/// (no servo fast enough removes it without eating the signal); in the
+/// paper's half-RF double conversion the same product appears between the
+/// stages where the interstage high-pass kills it before it can reach the
+/// baseband in-band.
+class WanderingDcSource : public RfBlock {
+ public:
+  WanderingDcSource(double rms_amplitude, double bandwidth_hz,
+                    double sample_rate_hz, dsp::Rng rng);
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "wandering_dc"; }
+
+ private:
+  double rms_;
+  double alpha_;       ///< one-pole smoothing factor
+  double drive_std_;   ///< per-sample drive giving the target RMS
+  dsp::Cplx state_{0.0, 0.0};
+  dsp::Rng rng_;
+};
+
+/// Static complex DC offset (e.g. LO self-mixing in the second mixer of
+/// the double-conversion receiver).
+class DcOffsetSource : public RfBlock {
+ public:
+  explicit DcOffsetSource(dsp::Cplx offset) : offset_(offset) {}
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  std::string name() const override { return "dc_offset"; }
+
+  dsp::Cplx offset() const { return offset_; }
+
+ private:
+  dsp::Cplx offset_;
+};
+
+}  // namespace wlansim::rf

@@ -1,0 +1,17 @@
+#include "rf/rfblock.h"
+
+namespace wlansim::rf {
+
+dsp::CVec RfChain::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec buf(in.begin(), in.end());
+  for (auto& b : blocks_) {
+    buf = b->process(buf);
+  }
+  return buf;
+}
+
+void RfChain::reset() {
+  for (auto& b : blocks_) b->reset();
+}
+
+}  // namespace wlansim::rf

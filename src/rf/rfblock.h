@@ -1,0 +1,65 @@
+// Base interface for behavioral RF blocks operating on complex-baseband
+// sample streams — the C++ equivalent of the SPW rflib / SpectreRF
+// baseband models the paper evaluates.
+//
+// Conventions:
+//  * signals are complex envelopes normalized to a 1-ohm system, so
+//    power [W] == mean |x|^2 and a tone of amplitude A carries A^2 watts;
+//  * every block is constructed with the sample rate it runs at, because
+//    noise floors and filter corners are physical (Hz) quantities;
+//  * blocks keep state across process() calls so long runs can stream.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace wlansim::rf {
+
+class RfBlock {
+ public:
+  virtual ~RfBlock() = default;
+
+  /// Process a chunk; output has the same length as the input.
+  virtual dsp::CVec process(std::span<const dsp::Cplx> in) = 0;
+
+  /// Clear internal state (filters, AGC loops, oscillator phase).
+  virtual void reset() {}
+
+  /// Human-readable block name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// A serial cascade of RF blocks.
+class RfChain : public RfBlock {
+ public:
+  RfChain() = default;
+
+  /// Append a block; returns a handle for later inspection.
+  template <typename T, typename... Args>
+  T* emplace(Args&&... args) {
+    auto block = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = block.get();
+    blocks_.push_back(std::move(block));
+    return raw;
+  }
+
+  void append(std::unique_ptr<RfBlock> block) {
+    blocks_.push_back(std::move(block));
+  }
+
+  std::size_t size() const { return blocks_.size(); }
+  RfBlock& at(std::size_t i) { return *blocks_.at(i); }
+
+  dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void reset() override;
+  std::string name() const override { return "chain"; }
+
+ private:
+  std::vector<std::unique_ptr<RfBlock>> blocks_;
+};
+
+}  // namespace wlansim::rf

@@ -1,0 +1,177 @@
+#include "sim/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wlansim::sim {
+
+void Graph::Edge::compact() {
+  if (read > 4096 && read > fifo.size() / 2) {
+    fifo.erase(fifo.begin(), fifo.begin() + static_cast<std::ptrdiff_t>(read));
+    read = 0;
+  }
+}
+
+std::size_t Graph::node_index(const Node* n) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].get() == n) return i;
+  throw std::invalid_argument("Graph: node not owned by this graph");
+}
+
+void Graph::connect(Node* src, std::size_t out_port, Node* dst,
+                    std::size_t in_port) {
+  if (compiled_) throw std::logic_error("Graph: connect after compile");
+  const std::size_t si = node_index(src);
+  const std::size_t di = node_index(dst);
+  if (out_port >= src->num_outputs())
+    throw std::invalid_argument("Graph: bad output port on " + src->name());
+  if (in_port >= dst->num_inputs())
+    throw std::invalid_argument("Graph: bad input port on " + dst->name());
+  for (const Edge& e : connections_) {
+    if (e.dst == di && e.in_port == in_port)
+      throw std::invalid_argument("Graph: input already connected on " +
+                                  dst->name());
+  }
+  connections_.push_back(Edge{si, out_port, di, in_port, {}, 0});
+}
+
+void Graph::compile() {
+  if (compiled_) return;
+  in_edges_.assign(nodes_.size(), {});
+  out_edges_.assign(nodes_.size(), {});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    in_edges_[i].assign(nodes_[i]->num_inputs(), SIZE_MAX);
+    out_edges_[i].assign(nodes_[i]->num_outputs(), {});
+  }
+  for (std::size_t e = 0; e < connections_.size(); ++e) {
+    const Edge& edge = connections_[e];
+    in_edges_[edge.dst][edge.in_port] = e;
+    out_edges_[edge.src][edge.out_port].push_back(e);
+  }
+  // Every input port must be driven.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t p = 0; p < nodes_[i]->num_inputs(); ++p) {
+      if (in_edges_[i][p] == SIZE_MAX)
+        throw std::logic_error("Graph: unconnected input on " +
+                               nodes_[i]->name());
+    }
+  }
+
+  // Kahn topological sort over node dependencies.
+  std::vector<std::size_t> indeg(nodes_.size(), 0);
+  for (const Edge& e : connections_) ++indeg[e.dst];
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) queue.push_back(i);
+    if (nodes_[i]->num_inputs() == 0) sources_.push_back(i);
+  }
+  schedule_.clear();
+  while (!queue.empty()) {
+    const std::size_t n = queue.back();
+    queue.pop_back();
+    schedule_.push_back(n);
+    for (const Edge& e : connections_) {
+      if (e.src == n && --indeg[e.dst] == 0) queue.push_back(e.dst);
+    }
+  }
+  if (schedule_.size() != nodes_.size())
+    throw std::logic_error("Graph: cycle detected (dataflow must be acyclic)");
+  compiled_ = true;
+}
+
+bool Graph::fire_node(std::size_t idx, ExecutionMode mode) {
+  Node& node = *nodes_[idx];
+  if (node.num_inputs() == 0) return false;  // sources are pumped by run()
+
+  // Firings possible: limited by the scarcest input port.
+  std::size_t k = SIZE_MAX;
+  for (std::size_t p = 0; p < node.num_inputs(); ++p) {
+    const Edge& e = connections_[in_edges_[idx][p]];
+    k = std::min(k, e.available() / node.decim());
+  }
+  if (k == 0 || k == SIZE_MAX) return false;
+  if (mode == ExecutionMode::kInterpreted) k = 1;
+
+  const std::size_t consume = k * node.decim();
+  std::vector<std::span<const dsp::Cplx>> in(node.num_inputs());
+  for (std::size_t p = 0; p < node.num_inputs(); ++p) {
+    Edge& e = connections_[in_edges_[idx][p]];
+    in[p] = std::span<const dsp::Cplx>(e.fifo).subspan(e.read, consume);
+  }
+
+  std::vector<dsp::CVec> out(node.num_outputs());
+  node.fire(in, out);
+
+  for (std::size_t p = 0; p < node.num_inputs(); ++p) {
+    Edge& e = connections_[in_edges_[idx][p]];
+    e.read += consume;
+    e.compact();
+  }
+  for (std::size_t p = 0; p < node.num_outputs(); ++p) {
+    if (out[p].size() != k * node.interp())
+      throw std::runtime_error("Graph: node " + node.name() +
+                               " produced a wrong sample count");
+    for (std::size_t eidx : out_edges_[idx][p]) {
+      Edge& e = connections_[eidx];
+      e.fifo.insert(e.fifo.end(), out[p].begin(), out[p].end());
+    }
+  }
+  return true;
+}
+
+void Graph::run(ExecutionMode mode, std::size_t chunk, std::size_t tail) {
+  compile();
+  if (chunk == 0) throw std::invalid_argument("Graph: zero chunk");
+
+  // All sources are pumped uniformly so multi-input nodes never starve:
+  // the run length is the longest source plus the flush tail (shorter
+  // sources pad with zeros).
+  // Run length is measured in base-rate units; a source with rate weight w
+  // emits w samples per unit.
+  std::size_t total_target = tail;
+  for (std::size_t s : sources_) {
+    if (auto* src = dynamic_cast<SourceNode*>(nodes_[s].get())) {
+      const std::size_t w = src->rate_weight();
+      total_target = std::max(total_target, (src->total() + w - 1) / w + tail);
+    }
+  }
+
+  std::size_t pumped = 0;
+  while (pumped < total_target) {
+    const std::size_t want = std::min(chunk, total_target - pumped);
+    for (std::size_t s : sources_) {
+      auto* src = dynamic_cast<SourceNode*>(nodes_[s].get());
+      if (src == nullptr) continue;
+      src->set_chunk(want * src->rate_weight());
+      std::vector<std::span<const dsp::Cplx>> no_in;
+      std::vector<dsp::CVec> out(1);
+      src->fire(no_in, out);
+      for (std::size_t eidx : out_edges_[s][0]) {
+        Edge& e = connections_[eidx];
+        e.fifo.insert(e.fifo.end(), out[0].begin(), out[0].end());
+      }
+    }
+    pumped += want;
+    // Drain: fire nodes in topological order until quiescent.
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t idx : schedule_) {
+        while (fire_node(idx, mode)) {
+          any = true;
+          if (mode == ExecutionMode::kCompiled) break;  // one batch per pass
+        }
+      }
+    }
+  }
+}
+
+void Graph::reset() {
+  for (auto& n : nodes_) n->reset();
+  for (Edge& e : connections_) {
+    e.fifo.clear();
+    e.read = 0;
+  }
+}
+
+}  // namespace wlansim::sim

@@ -1,0 +1,158 @@
+#include "sim/node.h"
+
+#include <stdexcept>
+
+namespace wlansim::sim {
+
+Node::Node(std::string name, std::size_t num_in, std::size_t num_out,
+           std::size_t interp, std::size_t decim)
+    : name_(std::move(name)),
+      num_in_(num_in),
+      num_out_(num_out),
+      interp_(interp),
+      decim_(decim) {
+  if (interp_ == 0 || decim_ == 0)
+    throw std::invalid_argument("Node: zero rate factor");
+}
+
+SourceNode::SourceNode(std::string name, dsp::CVec samples)
+    : Node(std::move(name), 0, 1), samples_(std::move(samples)) {}
+
+void SourceNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                      std::vector<dsp::CVec>& out) {
+  (void)in;
+  dsp::CVec& o = out[0];
+  for (std::size_t i = 0; i < chunk_; ++i) {
+    o.push_back(pos_ < samples_.size() ? samples_[pos_] : dsp::Cplx{0.0, 0.0});
+    ++pos_;
+  }
+}
+
+std::size_t SourceNode::remaining() const {
+  return pos_ >= samples_.size() ? 0 : samples_.size() - pos_;
+}
+
+SinkNode::SinkNode(std::string name) : Node(std::move(name), 1, 0) {}
+
+void SinkNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                    std::vector<dsp::CVec>& out) {
+  (void)out;
+  data_.insert(data_.end(), in[0].begin(), in[0].end());
+}
+
+AddNode::AddNode(std::string name, std::size_t num_in)
+    : Node(std::move(name), num_in, 1) {
+  if (num_in < 2) throw std::invalid_argument("AddNode: need >= 2 inputs");
+}
+
+void AddNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                   std::vector<dsp::CVec>& out) {
+  const std::size_t n = in[0].size();
+  dsp::CVec& o = out[0];
+  const std::size_t base = o.size();
+  o.resize(base + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dsp::Cplx acc{0.0, 0.0};
+    for (const auto& port : in) acc += port[i];
+    o[base + i] = acc;
+  }
+}
+
+GainNode::GainNode(std::string name, dsp::Cplx gain)
+    : Node(std::move(name), 1, 1), gain_(gain) {}
+
+void GainNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                    std::vector<dsp::CVec>& out) {
+  for (const dsp::Cplx& v : in[0]) out[0].push_back(gain_ * v);
+}
+
+FunctionNode::FunctionNode(std::string name, Fn fn)
+    : Node(std::move(name), 1, 1), fn_(std::move(fn)) {}
+
+void FunctionNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                        std::vector<dsp::CVec>& out) {
+  const dsp::CVec y = fn_(in[0]);
+  if (y.size() != in[0].size())
+    throw std::runtime_error("FunctionNode: rate-1 function changed length");
+  out[0].insert(out[0].end(), y.begin(), y.end());
+}
+
+RfNode::RfNode(std::string name, std::unique_ptr<rf::RfBlock> block)
+    : Node(std::move(name), 1, 1), block_(std::move(block)) {
+  if (!block_) throw std::invalid_argument("RfNode: null block");
+}
+
+void RfNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                  std::vector<dsp::CVec>& out) {
+  const dsp::CVec y = block_->process(in[0]);
+  out[0].insert(out[0].end(), y.begin(), y.end());
+}
+
+namespace {
+
+dsp::RVec resampler_taps(std::size_t factor, double atten_db) {
+  const double cutoff = 0.5 / static_cast<double>(factor);
+  const double transition = 0.25 * cutoff;
+  return dsp::design_kaiser_lowpass(cutoff - transition / 2.0, transition,
+                                    atten_db);
+}
+
+}  // namespace
+
+UpsampleNode::UpsampleNode(std::string name, std::size_t factor,
+                           double atten_db)
+    : Node(std::move(name), 1, 1, factor, 1),
+      factor_(factor),
+      filt_(std::make_unique<dsp::FirFilter>(resampler_taps(factor, atten_db))) {
+  if (factor == 0) throw std::invalid_argument("UpsampleNode: zero factor");
+}
+
+void UpsampleNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                        std::vector<dsp::CVec>& out) {
+  const double scale = static_cast<double>(factor_);
+  for (const dsp::Cplx& v : in[0]) {
+    out[0].push_back(filt_->step(scale * v));
+    for (std::size_t k = 1; k < factor_; ++k)
+      out[0].push_back(filt_->step(dsp::Cplx{0.0, 0.0}));
+  }
+}
+
+DownsampleNode::DownsampleNode(std::string name, std::size_t factor,
+                               double atten_db)
+    : Node(std::move(name), 1, 1, 1, factor),
+      factor_(factor),
+      filt_(std::make_unique<dsp::FirFilter>(resampler_taps(factor, atten_db))) {
+  if (factor == 0) throw std::invalid_argument("DownsampleNode: zero factor");
+}
+
+void DownsampleNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                          std::vector<dsp::CVec>& out) {
+  for (const dsp::Cplx& v : in[0]) {
+    const dsp::Cplx y = filt_->step(v);
+    if (phase_ == 0) out[0].push_back(y);
+    phase_ = (phase_ + 1) % factor_;
+  }
+}
+
+DecimateNode::DecimateNode(std::string name, std::size_t factor)
+    : Node(std::move(name), 1, 1, 1, factor), factor_(factor) {
+  if (factor == 0) throw std::invalid_argument("DecimateNode: zero factor");
+}
+
+void DecimateNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                        std::vector<dsp::CVec>& out) {
+  for (const dsp::Cplx& v : in[0]) {
+    if (phase_ == 0) out[0].push_back(v);
+    phase_ = (phase_ + 1) % factor_;
+  }
+}
+
+ProbeNode::ProbeNode(std::string name) : Node(std::move(name), 1, 1) {}
+
+void ProbeNode::fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                     std::vector<dsp::CVec>& out) {
+  if (selected_) data_.insert(data_.end(), in[0].begin(), in[0].end());
+  out[0].insert(out[0].end(), in[0].begin(), in[0].end());
+}
+
+}  // namespace wlansim::sim

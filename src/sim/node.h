@@ -1,0 +1,210 @@
+// Dataflow nodes for the block-diagram simulation framework — the C++
+// stand-in for SPW's schematic blocks. Nodes are synchronous-dataflow
+// actors with integer rate changes: one firing consumes `decim` samples
+// per input port and produces `interp` samples per output port.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/fir.h"
+#include "dsp/types.h"
+#include "rf/rfblock.h"
+
+namespace wlansim::sim {
+
+class Node {
+ public:
+  Node(std::string name, std::size_t num_in, std::size_t num_out,
+       std::size_t interp = 1, std::size_t decim = 1);
+  virtual ~Node() = default;
+
+  const std::string& name() const { return name_; }
+  std::size_t num_inputs() const { return num_in_; }
+  std::size_t num_outputs() const { return num_out_; }
+  std::size_t interp() const { return interp_; }
+  std::size_t decim() const { return decim_; }
+
+  /// One firing: each `in` span holds k * decim() samples; append
+  /// k * interp() samples to each entry of `out`.
+  virtual void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+                    std::vector<dsp::CVec>& out) = 0;
+
+  virtual void reset() {}
+
+ private:
+  std::string name_;
+  std::size_t num_in_, num_out_;
+  std::size_t interp_, decim_;
+};
+
+/// Source: emits a prepared buffer chunk by chunk, then zeros.
+class SourceNode : public Node {
+ public:
+  SourceNode(std::string name, dsp::CVec samples);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override { pos_ = 0; }
+
+  /// Samples remaining before the source pads with zeros.
+  std::size_t remaining() const;
+
+  /// Total samples in the prepared buffer.
+  std::size_t total() const { return samples_.size(); }
+
+  /// The graph asks the source for `n` samples per pump; tracked here.
+  void set_chunk(std::size_t n) { chunk_ = n; }
+  std::size_t chunk() const { return chunk_; }
+
+  /// Samples this source emits per base-rate pump unit. A source feeding an
+  /// already-oversampled branch (e.g. an interferer generated at 4x the
+  /// system rate) sets the oversampling factor here so every branch of the
+  /// graph advances in lock-step.
+  void set_rate_weight(std::size_t w) { rate_weight_ = w == 0 ? 1 : w; }
+  std::size_t rate_weight() const { return rate_weight_; }
+
+ private:
+  dsp::CVec samples_;
+  std::size_t pos_ = 0;
+  std::size_t chunk_ = 256;
+  std::size_t rate_weight_ = 1;
+};
+
+/// Sink: collects everything it receives.
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(std::string name);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override { data_.clear(); }
+
+  const dsp::CVec& data() const { return data_; }
+
+ private:
+  dsp::CVec data_;
+};
+
+/// Elementwise sum of all inputs.
+class AddNode : public Node {
+ public:
+  AddNode(std::string name, std::size_t num_in);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+};
+
+/// Multiply by a constant (the paper's "input and output level ... adapted
+/// with constant multipliers", §4.1).
+class GainNode : public Node {
+ public:
+  GainNode(std::string name, dsp::Cplx gain);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+
+ private:
+  dsp::Cplx gain_;
+};
+
+/// SISO node from a lambda over whole chunks.
+class FunctionNode : public Node {
+ public:
+  using Fn = std::function<dsp::CVec(std::span<const dsp::Cplx>)>;
+  FunctionNode(std::string name, Fn fn);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+
+ private:
+  Fn fn_;
+};
+
+/// Adapter: runs any rf::RfBlock inside the dataflow graph.
+class RfNode : public Node {
+ public:
+  RfNode(std::string name, std::unique_ptr<rf::RfBlock> block);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override { block_->reset(); }
+
+  rf::RfBlock& block() { return *block_; }
+
+ private:
+  std::unique_ptr<rf::RfBlock> block_;
+};
+
+/// Streaming integer upsampler (zero-stuff + image-reject lowpass).
+class UpsampleNode : public Node {
+ public:
+  UpsampleNode(std::string name, std::size_t factor, double atten_db = 60.0);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override { filt_->reset(); }
+
+ private:
+  std::size_t factor_;
+  std::unique_ptr<dsp::FirFilter> filt_;
+};
+
+/// Streaming integer downsampler (anti-alias lowpass + decimate).
+class DownsampleNode : public Node {
+ public:
+  DownsampleNode(std::string name, std::size_t factor, double atten_db = 60.0);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override {
+    filt_->reset();
+    phase_ = 0;
+  }
+
+ private:
+  std::size_t factor_;
+  std::unique_ptr<dsp::FirFilter> filt_;
+  std::size_t phase_ = 0;
+};
+
+/// Raw decimator with NO anti-alias filter: models the ADC sampling the
+/// analog output at the system rate. Whatever the analog channel-select
+/// filter failed to remove aliases into band — the physical mechanism
+/// behind the Fig. 5 wide-filter BER degradation.
+class DecimateNode : public Node {
+ public:
+  DecimateNode(std::string name, std::size_t factor);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override { phase_ = 0; }
+
+ private:
+  std::size_t factor_;
+  std::size_t phase_ = 0;
+};
+
+/// Pass-through probe that records its input when selected — the paper
+/// notes probes must be deselectable "to avoid a data overload" (§5.1).
+class ProbeNode : public Node {
+ public:
+  explicit ProbeNode(std::string name);
+
+  void fire(const std::vector<std::span<const dsp::Cplx>>& in,
+            std::vector<dsp::CVec>& out) override;
+  void reset() override { data_.clear(); }
+
+  void select(bool on) { selected_ = on; }
+  bool selected() const { return selected_; }
+  const dsp::CVec& data() const { return data_; }
+
+ private:
+  bool selected_ = true;
+  dsp::CVec data_;
+};
+
+}  // namespace wlansim::sim

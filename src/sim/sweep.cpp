@@ -1,0 +1,103 @@
+#include "sim/sweep.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wlansim::sim {
+
+std::vector<double> SweepResult::column(const std::string& key) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const SweepRow& r : rows) {
+    const auto it = r.results.find(key);
+    if (it == r.results.end())
+      throw std::invalid_argument("SweepResult: no column " + key);
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> all_keys(const std::vector<SweepRow>& rows) {
+  std::set<std::string> keys;
+  for (const SweepRow& r : rows)
+    for (const auto& [k, v] : r.results) keys.insert(k);
+  return {keys.begin(), keys.end()};
+}
+
+}  // namespace
+
+std::string SweepResult::to_table() const {
+  const auto keys = all_keys(rows);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << param_name;
+  for (const auto& k : keys) os << '\t' << k;
+  os << '\n';
+  for (const SweepRow& r : rows) {
+    os << r.value;
+    for (const auto& k : keys) {
+      const auto it = r.results.find(k);
+      os << '\t' << (it != r.results.end() ? it->second : std::nan(""));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string SweepResult::to_csv() const {
+  const auto keys = all_keys(rows);
+  std::ostringstream os;
+  os.precision(10);
+  os << param_name;
+  for (const auto& k : keys) os << ',' << k;
+  os << '\n';
+  for (const SweepRow& r : rows) {
+    os << r.value;
+    for (const auto& k : keys) {
+      const auto it = r.results.find(k);
+      os << ',' << (it != r.results.end() ? it->second : std::nan(""));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+SweepResult run_sweep(
+    const std::string& param_name, const std::vector<double>& values,
+    const std::function<std::map<std::string, double>(double)>& fn) {
+  SweepResult out;
+  out.param_name = param_name;
+  out.rows.reserve(values.size());
+  for (double v : values) {
+    out.rows.push_back(SweepRow{v, fn(v)});
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("linspace: n must be >= 1");
+  std::vector<double> out(n);
+  if (n == 1) {
+    out[0] = lo;
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace: bounds must be positive");
+  std::vector<double> out = linspace(std::log10(lo), std::log10(hi), n);
+  for (double& v : out) v = std::pow(10.0, v);
+  return out;
+}
+
+}  // namespace wlansim::sim

@@ -1,0 +1,44 @@
+// Parameter sweep manager — the counterpart of the SPW "simulation
+// manager" the paper uses to measure BER versus RF front-end parameters
+// (§4.1: "The simulation manager allows to setup parameter sweeps").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wlansim::sim {
+
+/// One sweep point: the parameter value and named scalar results.
+struct SweepRow {
+  double value = 0.0;
+  std::map<std::string, double> results;
+};
+
+struct SweepResult {
+  std::string param_name;
+  std::vector<SweepRow> rows;
+
+  /// Column of one result across the sweep.
+  std::vector<double> column(const std::string& key) const;
+
+  /// Render as an aligned ASCII table.
+  std::string to_table() const;
+
+  /// Render as CSV (header + rows).
+  std::string to_csv() const;
+};
+
+/// Evaluate `fn` at every value (in order); `fn` returns named scalars.
+SweepResult run_sweep(
+    const std::string& param_name, const std::vector<double>& values,
+    const std::function<std::map<std::string, double>(double)>& fn);
+
+/// Linearly spaced values [lo, hi] inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Logarithmically spaced values [lo, hi] inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+}  // namespace wlansim::sim

@@ -1,0 +1,69 @@
+#include "sim/waveio.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsp/mathutil.h"
+
+namespace wlansim::sim {
+
+void write_waveform_csv(const std::string& path,
+                        std::span<const dsp::Cplx> samples,
+                        double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0)
+    throw std::invalid_argument("write_waveform_csv: bad sample rate");
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_waveform_csv: cannot open " + path);
+  os << "time_s,i,q\n";
+  os.precision(12);
+  const double ts = 1.0 / sample_rate_hz;
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    os << static_cast<double>(n) * ts << ',' << samples[n].real() << ','
+       << samples[n].imag() << '\n';
+  }
+  if (!os) throw std::runtime_error("write_waveform_csv: write failed");
+}
+
+void write_psd_csv(const std::string& path, const dsp::PsdEstimate& psd,
+                   double sample_rate_hz) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_psd_csv: cannot open " + path);
+  os << "freq_hz,power_dbm\n";
+  os.precision(10);
+  for (std::size_t i = 0; i < psd.size(); ++i) {
+    os << psd.freq_norm[i] * sample_rate_hz << ','
+       << dsp::watts_to_dbm(std::max(psd.power[i], 1e-30)) << '\n';
+  }
+  if (!os) throw std::runtime_error("write_psd_csv: write failed");
+}
+
+dsp::CVec read_waveform_csv(const std::string& path, double* sample_rate_hz) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_waveform_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("time_s", 0) != 0)
+    throw std::runtime_error("read_waveform_csv: bad header in " + path);
+
+  dsp::CVec out;
+  double t0 = 0.0, t1 = 0.0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    double t, i, q;
+    char c1, c2;
+    if (!(ls >> t >> c1 >> i >> c2 >> q) || c1 != ',' || c2 != ',')
+      throw std::runtime_error("read_waveform_csv: bad row: " + line);
+    if (out.empty()) t0 = t;
+    if (out.size() == 1) t1 = t;
+    out.emplace_back(i, q);
+  }
+  if (sample_rate_hz != nullptr) {
+    *sample_rate_hz = (out.size() >= 2 && t1 > t0) ? 1.0 / (t1 - t0) : 0.0;
+  }
+  (void)t0;
+  return out;
+}
+
+}  // namespace wlansim::sim

@@ -1,0 +1,30 @@
+// Waveform export for offline inspection — the stand-in for the SigCalc /
+// signalscan waveform viewers the paper uses ("if probes were set before
+// simulating, the probed signals can be displayed by using the SPW SigCalc
+// viewer", §4.3). Writes CSV (time, I, Q) and a simple two-column
+// spectrum format any plotting tool ingests.
+#pragma once
+
+#include <string>
+
+#include "dsp/spectrum.h"
+#include "dsp/types.h"
+
+namespace wlansim::sim {
+
+/// Write samples as CSV: `time_s,i,q` rows with a header line.
+/// Throws std::runtime_error on I/O failure.
+void write_waveform_csv(const std::string& path,
+                        std::span<const dsp::Cplx> samples,
+                        double sample_rate_hz);
+
+/// Write a PSD as CSV: `freq_hz,power_dbm` rows with a header line.
+void write_psd_csv(const std::string& path, const dsp::PsdEstimate& psd,
+                   double sample_rate_hz);
+
+/// Read back a waveform CSV written by write_waveform_csv (for tests and
+/// for replaying captured stimuli). Throws on parse failure.
+dsp::CVec read_waveform_csv(const std::string& path,
+                            double* sample_rate_hz = nullptr);
+
+}  // namespace wlansim::sim

@@ -1,0 +1,201 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/fading.h"
+#include "channel/interferer.h"
+#include "dsp/mathutil.h"
+#include "dsp/spectrum.h"
+#include "phy80211a/params.h"
+
+namespace wlansim::channel {
+namespace {
+
+TEST(Awgn, NoisePowerMatchesRequest) {
+  dsp::Rng rng(1);
+  dsp::CVec zeros(100000, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec noisy = add_awgn(zeros, 2.5, rng);
+  EXPECT_NEAR(dsp::mean_power(noisy), 2.5, 0.05);
+}
+
+TEST(Awgn, ZeroPowerIsTransparent) {
+  dsp::Rng rng(1);
+  dsp::CVec in = {dsp::Cplx{1.0, -2.0}};
+  EXPECT_EQ(add_awgn(in, 0.0, rng)[0], in[0]);
+  EXPECT_THROW(add_awgn(in, -1.0, rng), std::invalid_argument);
+}
+
+TEST(Awgn, SnrVariantSizesNoiseAgainstReference) {
+  dsp::Rng rng(2);
+  dsp::CVec sig(50000, dsp::Cplx{1.0, 0.0});  // 1 W reference
+  const dsp::CVec noisy = add_awgn_snr(sig, sig, 10.0, rng);
+  // Noise power should be 0.1 W.
+  double err = 0.0;
+  for (std::size_t i = 0; i < sig.size(); ++i) err += std::norm(noisy[i] - sig[i]);
+  EXPECT_NEAR(err / sig.size(), 0.1, 0.01);
+}
+
+TEST(Awgn, ThermalNoisePower) {
+  // kT0 * 20 MHz = 8.01e-14 W ~ -101.0 dBm.
+  const double p = thermal_noise_power(20e6);
+  EXPECT_NEAR(dsp::watts_to_dbm(p), -100.97, 0.05);
+  EXPECT_NEAR(dsp::watts_to_dbm(thermal_noise_power(20e6, 3.0)), -97.97, 0.05);
+}
+
+TEST(Fading, UnitAveragePowerOverRealizations) {
+  FadingConfig cfg;
+  cfg.rms_delay_spread_s = 50e-9;
+  cfg.sample_rate_hz = 20e6;
+  dsp::Rng rng(3);
+  double acc = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const MultipathChannel ch(cfg, rng);
+    for (const auto& t : ch.taps()) acc += std::norm(t);
+  }
+  EXPECT_NEAR(acc / n, 1.0, 0.05);
+}
+
+TEST(Fading, FlatWhenDelaySpreadTiny) {
+  FadingConfig cfg;
+  cfg.rms_delay_spread_s = 0.0;
+  dsp::Rng rng(4);
+  const MultipathChannel ch(cfg, rng);
+  EXPECT_EQ(ch.taps().size(), 1u);
+}
+
+TEST(Fading, TapCountGrowsWithDelaySpread) {
+  dsp::Rng rng(5);
+  FadingConfig a;
+  a.rms_delay_spread_s = 25e-9;
+  FadingConfig b;
+  b.rms_delay_spread_s = 200e-9;
+  const MultipathChannel ca(a, rng);
+  const MultipathChannel cb(b, rng);
+  EXPECT_GT(cb.taps().size(), ca.taps().size());
+}
+
+TEST(Fading, ApplyConvolvesExplicitTaps) {
+  const MultipathChannel ch(dsp::CVec{{1.0, 0.0}, {0.5, 0.0}});
+  dsp::CVec in = {dsp::Cplx{1.0, 0.0}, dsp::Cplx{0.0, 0.0}, dsp::Cplx{0.0, 0.0}};
+  const dsp::CVec out = ch.apply(in);
+  EXPECT_NEAR(out[0].real(), 1.0, 1e-15);
+  EXPECT_NEAR(out[1].real(), 0.5, 1e-15);
+  EXPECT_NEAR(out[2].real(), 0.0, 1e-15);
+}
+
+TEST(Fading, ResponseMatchesTaps) {
+  const MultipathChannel ch(dsp::CVec{{1.0, 0.0}, {-1.0, 0.0}});
+  // H(f) = 1 - e^{-j2pif}: zero at f=0, max at f=0.5.
+  EXPECT_NEAR(std::abs(ch.response(0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(ch.response(0.5)), 2.0, 1e-12);
+}
+
+TEST(Interferer, PowerLevelRelativeToWanted) {
+  dsp::Rng rng(6);
+  InterfererConfig cfg;
+  cfg.offset_hz = 20e6;
+  cfg.level_db = 16.0;
+  const double wanted_w = dsp::dbm_to_watts(-65.0);
+  const dsp::CVec jam = make_interferer(40000, 80e6, wanted_w, cfg, rng);
+  ASSERT_EQ(jam.size(), 40000u);
+  EXPECT_NEAR(dsp::to_db(dsp::mean_power(jam) / wanted_w), 16.0, 0.2);
+}
+
+TEST(Interferer, SpectrumCenteredAtOffset) {
+  dsp::Rng rng(7);
+  InterfererConfig cfg;
+  cfg.offset_hz = 20e6;
+  cfg.level_db = 0.0;
+  const dsp::CVec jam = make_interferer(1 << 16, 80e6, 1e-6, cfg, rng);
+  const dsp::PsdEstimate psd = dsp::welch_psd(jam, {.nfft = 1024});
+  const double in_band = psd.band_power(20e6 / 80e6, 16.6e6 / 80e6);
+  const double wrong_band = psd.band_power(0.0, 16.6e6 / 80e6);
+  EXPECT_GT(dsp::to_db(in_band / wrong_band), 25.0);
+}
+
+TEST(Interferer, NegativeOffsetSupported) {
+  dsp::Rng rng(8);
+  InterfererConfig cfg;
+  cfg.offset_hz = -20e6;
+  const dsp::CVec jam = make_interferer(1 << 15, 80e6, 1e-6, cfg, rng);
+  const dsp::PsdEstimate psd = dsp::welch_psd(jam, {.nfft = 1024});
+  EXPECT_GT(psd.band_power(-0.25, 0.2), 10.0 * psd.band_power(0.25, 0.2));
+}
+
+TEST(Interferer, RejectsSamplingTheoremViolation) {
+  dsp::Rng rng(9);
+  InterfererConfig cfg;
+  cfg.offset_hz = 40e6;  // needs fs >= 100 MHz
+  EXPECT_THROW(make_interferer(1000, 80e6, 1e-6, cfg, rng),
+               std::invalid_argument);
+  cfg.offset_hz = 20e6;
+  EXPECT_THROW(make_interferer(1000, 30e6, 1e-6, cfg, rng),
+               std::invalid_argument);  // non-integer oversampling
+}
+
+}  // namespace
+}  // namespace wlansim::channel
+// NOTE: environment preset tests appended below the primary suite.
+namespace wlansim::channel {
+namespace {
+
+TEST(Environment, PresetsScaleDelaySpread) {
+  const FadingConfig flat = environment_config(Environment::kFlat);
+  const FadingConfig office = environment_config(Environment::kOffice);
+  const FadingConfig open = environment_config(Environment::kOpenSpace);
+  EXPECT_DOUBLE_EQ(flat.rms_delay_spread_s, 0.0);
+  EXPECT_NEAR(office.rms_delay_spread_s, 50e-9, 1e-12);
+  EXPECT_GT(open.rms_delay_spread_s, office.rms_delay_spread_s);
+  EXPECT_DOUBLE_EQ(office.sample_rate_hz, 20e6);
+  const FadingConfig fast = environment_config(Environment::kOffice, 80e6);
+  EXPECT_DOUBLE_EQ(fast.sample_rate_hz, 80e6);
+}
+
+TEST(Environment, PresetsProduceWorkingChannels) {
+  dsp::Rng rng(11);
+  for (Environment env : {Environment::kFlat, Environment::kResidential,
+                          Environment::kOffice, Environment::kLargeOffice,
+                          Environment::kOpenSpace}) {
+    const MultipathChannel ch(environment_config(env), rng);
+    EXPECT_GE(ch.taps().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace wlansim::channel
+
+namespace wlansim::channel {
+namespace {
+
+TEST(DsssInterferer, LevelAndSpectrum) {
+  dsp::Rng rng(21);
+  const double wanted = dsp::dbm_to_watts(-65.0);
+  const dsp::CVec jam =
+      make_dsss_interferer(1 << 16, 80e6, wanted, 20e6, 16.0, rng);
+  EXPECT_NEAR(dsp::to_db(dsp::mean_power(jam) / wanted), 16.0, 0.3);
+  const dsp::PsdEstimate psd = dsp::welch_psd(jam, {.nfft = 1024});
+  // Main lobe around +20 MHz; the wanted band must be far below it.
+  const double blocker = psd.band_power(20e6 / 80e6, 14e6 / 80e6);
+  const double in_band = psd.band_power(0.0, 16e6 / 80e6);
+  EXPECT_GT(dsp::to_db(blocker / in_band), 25.0);
+}
+
+TEST(DsssInterferer, RejectsAliasedOffsets) {
+  dsp::Rng rng(22);
+  EXPECT_THROW(make_dsss_interferer(1000, 40e6, 1e-6, 20e6, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(DsssInterferer, WorksAtArbitraryRates) {
+  dsp::Rng rng(23);
+  for (double fs : {64e6, 80e6, 100e6}) {
+    const dsp::CVec jam = make_dsss_interferer(4096, fs, 1e-6, 0.0, 0.0, rng);
+    EXPECT_EQ(jam.size(), 4096u);
+    EXPECT_NEAR(dsp::mean_power(jam), 1e-6, 2e-7) << fs;
+  }
+}
+
+}  // namespace
+}  // namespace wlansim::channel

@@ -1,0 +1,70 @@
+#include "core/arq.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace wlansim::core {
+namespace {
+
+TEST(Arq, CleanLinkDeliversEverythingFirstTry) {
+  LinkConfig cfg = default_link_config();
+  cfg.snr_db = 30.0;
+  ArqConfig arq;
+  arq.num_frames = 5;
+  arq.payload_bytes = 200;
+  const ArqResult r = run_arq(cfg, arq);
+  EXPECT_EQ(r.frames_delivered, 5u);
+  EXPECT_EQ(r.attempts, 5u);  // no retransmissions needed
+  EXPECT_EQ(r.fcs_failures, 0u);
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 1.0);
+  EXPECT_GT(r.goodput_bps(arq.payload_bytes), 1e6);
+}
+
+TEST(Arq, RetriesRecoverMarginalLink) {
+  LinkConfig cfg = default_link_config();
+  cfg.rate = phy::Rate::kMbps36;
+  cfg.snr_db = 15.0;  // marginal: some first attempts fail
+  ArqConfig arq;
+  arq.num_frames = 10;
+  arq.payload_bytes = 300;
+  arq.max_retries = 4;
+  const ArqResult r = run_arq(cfg, arq);
+  EXPECT_GT(r.attempts, r.frames_offered);  // retransmissions happened
+  EXPECT_GT(r.delivery_ratio(), 0.7);       // and mostly succeeded
+}
+
+TEST(Arq, HopelessLinkExhaustsRetries) {
+  LinkConfig cfg = default_link_config();
+  cfg.rate = phy::Rate::kMbps54;
+  cfg.snr_db = 5.0;  // far below the 64-QAM requirement
+  ArqConfig arq;
+  arq.num_frames = 4;
+  arq.max_retries = 2;
+  const ArqResult r = run_arq(cfg, arq);
+  EXPECT_EQ(r.frames_delivered, 0u);
+  EXPECT_EQ(r.attempts, 4u * 3u);  // every frame used all attempts
+  EXPECT_DOUBLE_EQ(r.goodput_bps(arq.payload_bytes), 0.0);
+}
+
+TEST(Arq, AirtimeFormulaMatchesFrameStructure) {
+  // 6 Mbps, 100-byte PSDU: ceil((16+800+6)/24) = 35 symbols.
+  // (320 preamble + 80 SIGNAL + 35*80 data) / 20 Msps = 160 us.
+  EXPECT_NEAR(ppdu_airtime_s(phy::Rate::kMbps6, 100), 160e-6, 1e-9);
+  // Faster rates use less air for the same payload.
+  EXPECT_LT(ppdu_airtime_s(phy::Rate::kMbps54, 100),
+            ppdu_airtime_s(phy::Rate::kMbps6, 100));
+}
+
+TEST(Arq, GoodputNeverExceedsNominalRate) {
+  LinkConfig cfg = default_link_config();
+  cfg.snr_db = 30.0;
+  ArqConfig arq;
+  arq.num_frames = 4;
+  const ArqResult r = run_arq(cfg, arq);
+  EXPECT_LT(r.goodput_bps(arq.payload_bytes),
+            phy::rate_params(cfg.rate).rate_mbps * 1e6);
+}
+
+}  // namespace
+}  // namespace wlansim::core

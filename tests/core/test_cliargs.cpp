@@ -1,0 +1,62 @@
+#include "core/cliargs.h"
+
+#include <gtest/gtest.h>
+
+namespace wlansim::core {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs::parse(static_cast<int>(v.size()), v.data(), 0);
+}
+
+TEST(CliArgs, ParsesKeyValuePairs) {
+  const CliArgs a = parse({"--rate", "24", "--snr", "18.5", "--csv", "x.csv"});
+  EXPECT_EQ(a.get_long("rate", 0), 24);
+  EXPECT_DOUBLE_EQ(a.get_double("snr", 0.0), 18.5);
+  EXPECT_EQ(a.get_string("csv", ""), "x.csv");
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const CliArgs a = parse({"--rate", "6"});
+  EXPECT_EQ(a.get_long("packets", 20), 20);
+  EXPECT_DOUBLE_EQ(a.get_double("snr", 25.0), 25.0);
+  EXPECT_EQ(a.get_string("csv", "none"), "none");
+  EXPECT_FALSE(a.get_bool("verbose"));
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const CliArgs a = parse({"--no-snr", "--rate", "12", "--quiet"});
+  EXPECT_TRUE(a.get_bool("no-snr"));
+  EXPECT_TRUE(a.get_bool("quiet"));
+  EXPECT_EQ(a.get_long("rate", 0), 12);
+}
+
+TEST(CliArgs, NegativeNumbersAreValues) {
+  const CliArgs a = parse({"--power-dbm", "-65", "--p1db", "-20.5"});
+  EXPECT_DOUBLE_EQ(a.get_double("power-dbm", 0.0), -65.0);
+  EXPECT_DOUBLE_EQ(a.get_double("p1db", 0.0), -20.5);
+}
+
+TEST(CliArgs, RejectsMalformedInput) {
+  EXPECT_THROW(parse({"rate", "24"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--rate", "24", "--rate", "6"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsBadNumbers) {
+  const CliArgs a = parse({"--rate", "abc", "--snr", "1.5x"});
+  EXPECT_THROW(a.get_long("rate", 0), std::invalid_argument);
+  EXPECT_THROW(a.get_double("snr", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgs, TracksUnusedKeys) {
+  const CliArgs a = parse({"--rate", "24", "--typo-key", "5"});
+  EXPECT_EQ(a.get_long("rate", 0), 24);
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo-key");
+}
+
+}  // namespace
+}  // namespace wlansim::core

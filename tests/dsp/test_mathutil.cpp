@@ -1,0 +1,82 @@
+#include "dsp/mathutil.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace wlansim::dsp {
+namespace {
+
+TEST(MathUtil, DbConversionsRoundTrip) {
+  EXPECT_NEAR(to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(to_db(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(from_db(3.0), 1.995262, 1e-5);
+  for (double db : {-40.0, -3.0, 0.0, 7.5, 30.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-10);
+  }
+}
+
+TEST(MathUtil, DbmConversions) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(1e-3), 0.0, 1e-12);
+  // Paper's receiver range: -88 dBm to -23 dBm.
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(-88.0)), -88.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(-23.0)), -23.0, 1e-9);
+}
+
+TEST(MathUtil, MeanPowerAndRms) {
+  CVec x = {Cplx{3.0, 4.0}, Cplx{0.0, 0.0}};
+  EXPECT_NEAR(mean_power(x), 12.5, 1e-12);
+  EXPECT_NEAR(rms(x), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_power(CVec{}), 0.0);
+}
+
+TEST(MathUtil, SetMeanPowerScalesCorrectly) {
+  CVec x = {Cplx{1.0, 0.0}, Cplx{0.0, 2.0}, Cplx{-1.0, 1.0}};
+  set_mean_power(x, 5.0);
+  EXPECT_NEAR(mean_power(x), 5.0, 1e-12);
+  CVec zeros(4, Cplx{0.0, 0.0});
+  set_mean_power(zeros, 1.0);  // must not divide by zero
+  EXPECT_DOUBLE_EQ(mean_power(zeros), 0.0);
+}
+
+TEST(MathUtil, Sinc) {
+  EXPECT_DOUBLE_EQ(sinc(0.0), 1.0);
+  EXPECT_NEAR(sinc(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(sinc(0.5), 2.0 / kPi, 1e-12);
+  EXPECT_NEAR(sinc(-0.5), 2.0 / kPi, 1e-12);
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+  EXPECT_THROW(next_pow2(0), std::invalid_argument);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(MathUtil, BesselI0MatchesKnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-10);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-7);
+}
+
+TEST(MathUtil, WrapPhase) {
+  EXPECT_NEAR(wrap_phase(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_phase(kPi / 2), kPi / 2, 1e-12);
+  EXPECT_NEAR(wrap_phase(3.0 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_phase(-3.0 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_phase(kTwoPi * 10 + 0.3), 0.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace wlansim::dsp

@@ -1,0 +1,113 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/mathutil.h"
+#include "dsp/rng.h"
+#include "dsp/window.h"
+
+namespace wlansim::dsp {
+namespace {
+
+TEST(Window, RejectsZeroLength) {
+  EXPECT_THROW(make_window(WindowType::kHann, 0), std::invalid_argument);
+}
+
+TEST(Window, SymmetryHolds) {
+  for (auto type : {WindowType::kHann, WindowType::kHamming,
+                    WindowType::kBlackman, WindowType::kKaiser}) {
+    const RVec w = make_window(type, 33);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Window, HannEndpointsAreZeroPeakIsOne) {
+  const RVec w = make_window(WindowType::kHann, 65);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[64], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, RectIsAllOnes) {
+  const RVec w = make_window(WindowType::kRect, 10);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, KaiserBetaFormulaRegions) {
+  EXPECT_NEAR(kaiser_beta_for_attenuation(10.0), 0.0, 1e-12);
+  EXPECT_GT(kaiser_beta_for_attenuation(40.0), 2.0);
+  EXPECT_NEAR(kaiser_beta_for_attenuation(60.0), 0.1102 * (60.0 - 8.7), 1e-9);
+}
+
+TEST(Window, KaiserLengthIsOddAndGrowsWithSpec) {
+  const std::size_t a = kaiser_length(40.0, 0.1);
+  const std::size_t b = kaiser_length(80.0, 0.1);
+  const std::size_t c = kaiser_length(40.0, 0.01);
+  EXPECT_EQ(a % 2, 1u);
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_THROW(kaiser_length(60.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, GaussianMomentsAreCorrect) {
+  Rng rng(123);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(77);
+  const int n = 100000;
+  double p = 0.0;
+  for (int i = 0; i < n; ++i) p += std::norm(rng.cgaussian(3.0));
+  EXPECT_NEAR(p / n, 3.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    if (v == 0) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.fork();
+  // Child and parent streams should not be identical.
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform() == child.uniform()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace wlansim::dsp

@@ -1,0 +1,188 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/mathutil.h"
+#include "dsp/resample.h"
+#include "dsp/rng.h"
+#include "dsp/spectrum.h"
+#include "phy80211a/conformance.h"
+#include "phy80211a/mpdu.h"
+#include "phy80211a/receiver.h"
+#include "phy80211a/transmitter.h"
+
+namespace wlansim::phy {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(s), 9)),
+            0xCBF43926u);
+}
+
+TEST(Crc32, EmptyAndSingleByte) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  const std::uint8_t zero = 0x00;
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(&zero, 1)), 0xD202EF8Du);
+}
+
+TEST(MacAddress, FormattingAndFactories) {
+  EXPECT_EQ(MacAddress::broadcast().to_string(), "ff:ff:ff:ff:ff:ff");
+  const MacAddress a = MacAddress::from_id(0x1234);
+  EXPECT_EQ(a.to_string(), "02:00:57:4c:12:34");
+  EXPECT_EQ(MacAddress::from_id(7), MacAddress::from_id(7));
+  EXPECT_FALSE(MacAddress::from_id(7) == MacAddress::from_id(8));
+}
+
+TEST(Mpdu, BuildParseRoundTrip) {
+  dsp::Rng rng(1);
+  MacHeader hdr;
+  hdr.addr1 = MacAddress::from_id(1);
+  hdr.addr2 = MacAddress::from_id(2);
+  hdr.addr3 = MacAddress::from_id(3);
+  hdr.set_sequence_number(1234);
+  hdr.duration = 44;
+  const Bytes payload = random_bytes(300, rng);
+
+  const Bytes psdu = build_data_mpdu(hdr, payload);
+  EXPECT_EQ(psdu.size(), kMacHeaderBytes + payload.size() + kFcsBytes);
+
+  const auto parsed = parse_mpdu(psdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.addr1, hdr.addr1);
+  EXPECT_EQ(parsed->header.addr2, hdr.addr2);
+  EXPECT_EQ(parsed->header.addr3, hdr.addr3);
+  EXPECT_EQ(parsed->header.sequence_number(), 1234);
+  EXPECT_EQ(parsed->header.duration, 44);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Mpdu, FcsDetectsAnySingleBitFlip) {
+  dsp::Rng rng(2);
+  MacHeader hdr;
+  const Bytes psdu = build_data_mpdu(hdr, random_bytes(50, rng));
+  // Flip one bit at a spread of positions (header, payload, FCS itself).
+  for (std::size_t pos : {0u, 10u, 30u, 60u, 77u}) {
+    Bytes bad = psdu;
+    bad[pos % bad.size()] ^= 0x10;
+    EXPECT_FALSE(parse_mpdu(bad).has_value()) << pos;
+  }
+}
+
+TEST(Mpdu, RejectsTruncatedFrames) {
+  EXPECT_FALSE(parse_mpdu(Bytes(10, 0)).has_value());
+  EXPECT_FALSE(parse_mpdu(Bytes{}).has_value());
+}
+
+TEST(Mpdu, SurvivesThePhyLoopback) {
+  dsp::Rng rng(3);
+  MacHeader hdr;
+  hdr.addr1 = MacAddress::from_id(10);
+  hdr.set_sequence_number(7);
+  const Bytes payload = random_bytes(200, rng);
+  const Bytes psdu = build_data_mpdu(hdr, payload);
+
+  Transmitter tx;
+  dsp::CVec wave = tx.modulate({Rate::kMbps36, psdu});
+  dsp::CVec padded(200, dsp::Cplx{0.0, 0.0});
+  padded.insert(padded.end(), wave.begin(), wave.end());
+  padded.insert(padded.end(), 100, dsp::Cplx{0.0, 0.0});
+
+  Receiver rx;
+  const RxResult res = rx.receive(padded);
+  ASSERT_TRUE(res.header_ok);
+  const auto parsed = parse_mpdu(res.psdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, payload);
+  EXPECT_EQ(parsed->header.sequence_number(), 7);
+}
+
+TEST(SpectralMask, BreakpointsMatchStandard) {
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(9e6), 0.0);
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(11e6), -20.0);
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(20e6), -28.0);
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(30e6), -40.0);
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(50e6), -40.0);
+  EXPECT_DOUBLE_EQ(spectral_mask_dbr(-11e6), -20.0);  // symmetric
+  // Interpolation between breakpoints.
+  EXPECT_NEAR(spectral_mask_dbr(10e6), -10.0, 1e-9);
+  EXPECT_NEAR(spectral_mask_dbr(25e6), -34.0, 1e-9);
+}
+
+TEST(SpectralMask, CleanTransmitterPasses) {
+  dsp::Rng rng(4);
+  Transmitter tx;
+  dsp::CVec wave;
+  for (int i = 0; i < 4; ++i) {
+    const dsp::CVec f = tx.modulate({Rate::kMbps24, random_bytes(300, rng)});
+    wave.insert(wave.end(), f.begin(), f.end());
+  }
+  const dsp::CVec analog = dsp::upsample(wave, 4, 80.0);
+  const dsp::PsdEstimate psd = dsp::welch_psd(analog, {.nfft = 2048});
+  const auto res = check_spectral_mask(psd, 80e6, 9.2e6);
+  EXPECT_TRUE(res.pass) << "margin " << res.worst_margin_db << " at "
+                        << res.worst_offset_hz;
+}
+
+TEST(SensitivityTable, MonotoneAcrossRates) {
+  double prev = -100.0;
+  for (Rate r : {Rate::kMbps6, Rate::kMbps9, Rate::kMbps12, Rate::kMbps18,
+                 Rate::kMbps24, Rate::kMbps36, Rate::kMbps48, Rate::kMbps54}) {
+    const double s = required_sensitivity_dbm(r);
+    EXPECT_GT(s, prev);  // higher rates need more power
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(required_sensitivity_dbm(Rate::kMbps6), -82.0);
+  EXPECT_DOUBLE_EQ(required_sensitivity_dbm(Rate::kMbps54), -65.0);
+}
+
+TEST(TxWindowing, WindowedFrameStillDecodes) {
+  dsp::Rng rng(5);
+  Transmitter::Config cfg;
+  cfg.window_overlap = 4;
+  Transmitter tx(cfg);
+  const Bytes payload = random_bytes(150, rng);
+  dsp::CVec wave = tx.modulate({Rate::kMbps54, payload});
+  dsp::CVec padded(150, dsp::Cplx{0.0, 0.0});
+  padded.insert(padded.end(), wave.begin(), wave.end());
+  padded.insert(padded.end(), 100, dsp::Cplx{0.0, 0.0});
+
+  Receiver rx;
+  const RxResult res = rx.receive(padded);
+  ASSERT_TRUE(res.header_ok);
+  EXPECT_EQ(res.psdu, payload);
+}
+
+TEST(TxWindowing, ReducesBandEdgeShoulder) {
+  auto shoulder = [](std::size_t w) {
+    dsp::Rng rng(6);
+    Transmitter::Config cfg;
+    cfg.window_overlap = w;
+    Transmitter tx(cfg);
+    dsp::CVec wave;
+    for (int i = 0; i < 4; ++i) {
+      const dsp::CVec f = tx.modulate({Rate::kMbps54, random_bytes(300, rng)});
+      wave.insert(wave.end(), f.begin(), f.end());
+    }
+    const dsp::PsdEstimate psd = dsp::welch_psd(wave, {.nfft = 1024});
+    const double in_band = psd.band_power(0.0, 16e6 / 20e6);
+    const double shoulder = psd.band_power(9.7e6 / 20e6, 0.4e6 / 20e6);
+    return dsp::to_db(shoulder / in_band);
+  };
+  EXPECT_LT(shoulder(4), shoulder(0) - 2.0);
+}
+
+TEST(TxWindowing, RejectsOversizeOverlap) {
+  Transmitter::Config cfg;
+  cfg.window_overlap = 8;  // half the CP: too large
+  Transmitter tx(cfg);
+  dsp::Rng rng(7);
+  EXPECT_THROW(tx.modulate({Rate::kMbps6, random_bytes(10, rng)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlansim::phy

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "phy80211a/convcode.h"
+#include "phy80211a/scrambler.h"
+
+namespace wlansim::phy {
+namespace {
+
+TEST(Scrambler, RejectsZeroSeed) {
+  EXPECT_THROW(Scrambler(0), std::invalid_argument);
+}
+
+TEST(Scrambler, KnownSequenceForAllOnesSeed) {
+  // Std 802.11a 17.3.5.4: seed 1111111 generates the 127-bit sequence
+  // starting 00001110 11110010 11001001 ...
+  Scrambler s(0x7F);
+  const int expected[32] = {0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0,
+                            1, 1, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1, 0};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(s.next_bit(), expected[i]) << "bit " << i;
+  }
+}
+
+TEST(Scrambler, SequenceIs127Periodic) {
+  Scrambler s(0x2B);
+  Bits first(127), second(127);
+  for (auto& b : first) b = s.next_bit();
+  for (auto& b : second) b = s.next_bit();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Scrambler, ScrambleDescrambleRoundTrip) {
+  dsp::Rng rng(1);
+  Bits data(500);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+  Bits scrambled = data;
+  Scrambler tx(0x45);
+  tx.process(scrambled);
+  EXPECT_NE(scrambled, data);
+  Scrambler rx(0x45);
+  rx.process(scrambled);
+  EXPECT_EQ(scrambled, data);
+}
+
+TEST(Scrambler, SeedRecoveryFromServiceBits) {
+  for (int seed = 1; seed < 128; ++seed) {
+    Bits service(7, 0);  // seven zero SERVICE bits
+    Scrambler tx(static_cast<std::uint8_t>(seed));
+    tx.process(service);
+    EXPECT_EQ(recover_scrambler_seed(service), seed);
+  }
+}
+
+TEST(ConvCode, EncodeDoublesLength) {
+  Bits in(10, 1);
+  EXPECT_EQ(convolutional_encode(in).size(), 20u);
+}
+
+TEST(ConvCode, KnownOutputForImpulse) {
+  // Input 1 followed by zeros: output pairs follow the generator taps
+  // g0 = 133o (1+D^2+D^3+D^5+D^6), g1 = 171o (1+D+D^2+D^3+D^6).
+  Bits in = {1, 0, 0, 0, 0, 0, 0};
+  const Bits out = convolutional_encode(in);
+  const Bits expected = {1, 1,  /* t=0: both generators tap current bit   */
+                         0, 1,  /* t=1: only g1 has D                     */
+                         1, 1,  /* t=2: both have D^2                     */
+                         1, 1,  /* t=3: both have D^3                     */
+                         0, 0,  /* t=4: neither has D^4                   */
+                         1, 0,  /* t=5: only g0 has D^5                   */
+                         1, 1}; /* t=6: both have D^6                     */
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ConvCode, ViterbiDecodesCleanStream) {
+  dsp::Rng rng(2);
+  Bits info(200);
+  for (auto& b : info) b = rng.bit() ? 1 : 0;
+  for (int i = 0; i < 6; ++i) info.push_back(0);  // tail
+  const Bits coded = convolutional_encode(info);
+  const Bits decoded = viterbi_decode_hard(coded);
+  EXPECT_EQ(decoded, info);
+}
+
+TEST(ConvCode, ViterbiCorrectsScatteredErrors) {
+  dsp::Rng rng(3);
+  Bits info(300);
+  for (auto& b : info) b = rng.bit() ? 1 : 0;
+  for (int i = 0; i < 6; ++i) info.push_back(0);
+  Bits coded = convolutional_encode(info);
+  // Flip well-separated bits (free distance 10 -> isolated errors are
+  // always correctable).
+  for (std::size_t i = 20; i + 40 < coded.size(); i += 40) coded[i] ^= 1;
+  const Bits decoded = viterbi_decode_hard(coded);
+  EXPECT_EQ(decoded, info);
+}
+
+TEST(ConvCode, SoftDecisionsOutperformErasures) {
+  // A punctured position carries zero information; Viterbi must still
+  // decode around it.
+  dsp::Rng rng(4);
+  Bits info(120);
+  for (auto& b : info) b = rng.bit() ? 1 : 0;
+  for (int i = 0; i < 6; ++i) info.push_back(0);
+  const Bits coded = convolutional_encode(info);
+  SoftBits soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    soft[i] = coded[i] ? -1.0 : 1.0;
+  // Erase 10% of positions.
+  for (std::size_t i = 0; i < soft.size(); i += 10) soft[i] = 0.0;
+  EXPECT_EQ(viterbi_decode(soft), info);
+}
+
+TEST(ConvCode, PunctureRates) {
+  Bits info(24, 0);
+  const Bits coded = convolutional_encode(info);  // 48 bits
+  EXPECT_EQ(puncture(coded, CodeRate::kR12).size(), 48u);
+  EXPECT_EQ(puncture(coded, CodeRate::kR23).size(), 36u);
+  EXPECT_EQ(puncture(coded, CodeRate::kR34).size(), 32u);
+  EXPECT_EQ(punctured_length(24, CodeRate::kR12), 48u);
+  EXPECT_EQ(punctured_length(24, CodeRate::kR23), 36u);
+  EXPECT_EQ(punctured_length(24, CodeRate::kR34), 32u);
+}
+
+TEST(ConvCode, DepunctureInsertsZerosAtDroppedPositions) {
+  SoftBits soft = {1, 2, 3, 4, 5, 6};  // two 2/3 periods (3 kept each)
+  const SoftBits out = depuncture(soft, CodeRate::kR23);
+  const SoftBits expected = {1, 2, 3, 0, 4, 5, 6, 0};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ConvCode, PuncturedRoundTripAllRates) {
+  dsp::Rng rng(5);
+  for (CodeRate rate : {CodeRate::kR12, CodeRate::kR23, CodeRate::kR34}) {
+    Bits info(12 * 30);  // multiple of all pattern periods
+    for (auto& b : info) b = rng.bit() ? 1 : 0;
+    for (int i = 0; i < 6; ++i) info.push_back(0);
+    // Pad so punctured lengths are whole periods.
+    while (info.size() % 12 != 0) info.push_back(0);
+    const Bits sent = puncture(convolutional_encode(info), rate);
+    SoftBits soft(sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i)
+      soft[i] = sent[i] ? -1.0 : 1.0;
+    const Bits decoded = viterbi_decode(depuncture(soft, rate));
+    EXPECT_EQ(decoded, info) << static_cast<int>(rate);
+  }
+}
+
+TEST(ConvCode, RejectsOddSoftLength) {
+  EXPECT_THROW(viterbi_decode(SoftBits{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlansim::phy
+
+namespace wlansim::phy {
+namespace {
+
+TEST(ConvCode, NonTerminatedTracebackRecoversShortStream) {
+  // Information stream whose tail is followed by random (non-zero) bits,
+  // like the scrambled pad of a one-symbol DATA field: zero-state
+  // traceback corrupts the final bits; best-state traceback must not.
+  dsp::Rng rng(6);
+  Bits info(24);
+  for (auto& b : info) b = rng.bit() ? 1 : 0;
+  for (int i = 0; i < 6; ++i) info.push_back(0);  // tail
+  Bits padded = info;
+  for (int i = 0; i < 6; ++i) padded.push_back(1);  // non-zero pad
+
+  const Bits coded = convolutional_encode(padded);
+  SoftBits soft(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    soft[i] = coded[i] ? -1.0 : 1.0;
+
+  const Bits decoded = viterbi_decode(soft, /*terminated=*/false);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    EXPECT_EQ(decoded[i], padded[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace wlansim::phy

@@ -1,0 +1,156 @@
+// Unit tests of the 802.11b DSSS/CCK building blocks.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/mathutil.h"
+#include "dsp/rng.h"
+#include "phy80211b/chips.h"
+#include "phy80211b/plcp.h"
+
+namespace wlansim::phy11b {
+namespace {
+
+TEST(Barker, SequenceAutocorrelation) {
+  const auto& b = barker_sequence();
+  // Peak autocorrelation 11, off-peak |r| <= 1 (the Barker property, for
+  // aligned aperiodic shifts).
+  for (std::size_t lag = 1; lag < kBarkerLen; ++lag) {
+    double r = 0.0;
+    for (std::size_t i = 0; i + lag < kBarkerLen; ++i) r += b[i] * b[i + lag];
+    EXPECT_LE(std::abs(r), 1.0 + 1e-12) << lag;
+  }
+  double peak = 0.0;
+  for (double v : b) peak += v * v;
+  EXPECT_DOUBLE_EQ(peak, 11.0);
+}
+
+TEST(Barker, SpreadDespreadRoundTrip) {
+  const dsp::Cplx sym{0.6, -0.8};
+  const dsp::CVec chips = barker_spread(sym);
+  ASSERT_EQ(chips.size(), kBarkerLen);
+  const dsp::Cplx back = barker_despread(chips);
+  EXPECT_NEAR(std::abs(back - sym), 0.0, 1e-12);
+}
+
+TEST(Barker, ProcessingGainAgainstNoise) {
+  dsp::Rng rng(1);
+  const dsp::Cplx sym{1.0, 0.0};
+  double err_acc = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    dsp::CVec chips = barker_spread(sym);
+    for (auto& c : chips) c += rng.cgaussian(1.0);  // 0 dB chip SNR
+    err_acc += std::norm(barker_despread(chips) - sym);
+  }
+  // Despreading averages 11 chips: noise variance reduced ~11x.
+  EXPECT_NEAR(err_acc / trials, 1.0 / 11.0, 0.02);
+}
+
+TEST(Cck, CodewordsHaveUnitModulusChips) {
+  const dsp::CVec c = cck_codeword(0.3, 1.1, 2.2, 0.7);
+  ASSERT_EQ(c.size(), kCckLen);
+  for (const auto& v : c) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(Cck, Phi1RotatesWholeCodeword) {
+  const dsp::CVec base = cck_codeword(0.0, 0.5, 1.0, 1.5);
+  const double phi1 = 0.9;
+  const dsp::CVec rot = cck_codeword(phi1, 0.5, 1.0, 1.5);
+  const dsp::Cplx r{std::cos(phi1), std::sin(phi1)};
+  for (std::size_t i = 0; i < kCckLen; ++i)
+    EXPECT_NEAR(std::abs(rot[i] - base[i] * r), 0.0, 1e-12);
+}
+
+TEST(Cck, The64CodewordsAreWellSeparated) {
+  // Minimum pairwise distance of the 11 Mbps code set at fixed phi1.
+  std::vector<dsp::CVec> codes;
+  for (int v = 0; v < 64; ++v) {
+    const double p2 = cck_dibit_phase(v & 1, (v >> 1) & 1);
+    const double p3 = cck_dibit_phase((v >> 2) & 1, (v >> 3) & 1);
+    const double p4 = cck_dibit_phase((v >> 4) & 1, (v >> 5) & 1);
+    codes.push_back(cck_codeword(0.0, p2, p3, p4));
+  }
+  double min_d2 = 1e9;
+  for (std::size_t a = 0; a < codes.size(); ++a) {
+    for (std::size_t b2 = a + 1; b2 < codes.size(); ++b2) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < kCckLen; ++k)
+        d2 += std::norm(codes[a][k] - codes[b2][k]);
+      min_d2 = std::min(min_d2, d2);
+    }
+  }
+  // CCK minimum squared distance is 8 (two chips differing by 180 deg or
+  // four by 90 deg) for unit-energy chips.
+  EXPECT_NEAR(min_d2, 8.0, 1e-9);
+}
+
+TEST(Scrambler11bTest, SelfSynchronizingRoundTrip) {
+  dsp::Rng rng(2);
+  Bits data(300);
+  for (auto& b : data) b = rng.bit() ? 1 : 0;
+  Scrambler11b tx(0x6C);
+  Bits scrambled = data;
+  tx.scramble(scrambled);
+  EXPECT_NE(scrambled, data);
+  // Descrambler seeded differently: self-synchronizes after 7 bits.
+  Scrambler11b rx(0x01);
+  Bits out = scrambled;
+  rx.descramble(out);
+  for (std::size_t i = 7; i < data.size(); ++i)
+    EXPECT_EQ(out[i], data[i]) << i;
+}
+
+TEST(Plcp, Crc16KnownProperty) {
+  // CRC of the all-zero header differs from CRC of any single-bit flip.
+  Bits zeros(32, 0);
+  const std::uint16_t c0 = plcp_crc16(zeros);
+  for (std::size_t i = 0; i < 32; ++i) {
+    Bits flipped = zeros;
+    flipped[i] = 1;
+    EXPECT_NE(plcp_crc16(flipped), c0) << i;
+  }
+}
+
+TEST(Plcp, SignalFieldValues) {
+  EXPECT_EQ(signal_field_value(Rate11b::kMbps1), 0x0A);
+  EXPECT_EQ(signal_field_value(Rate11b::kMbps2), 0x14);
+  EXPECT_EQ(signal_field_value(Rate11b::kMbps5_5), 0x37);
+  EXPECT_EQ(signal_field_value(Rate11b::kMbps11), 0x6E);
+  Rate11b r;
+  EXPECT_TRUE(rate_from_signal(0x6E, &r));
+  EXPECT_EQ(r, Rate11b::kMbps11);
+  EXPECT_FALSE(rate_from_signal(0x55, &r));
+}
+
+TEST(Plcp, LengthEncodingRoundTripAllRatesAndSizes) {
+  for (Rate11b rate : {Rate11b::kMbps1, Rate11b::kMbps2, Rate11b::kMbps5_5,
+                       Rate11b::kMbps11}) {
+    for (std::size_t bytes : {1u, 13u, 100u, 1023u, 2047u}) {
+      std::uint16_t us = 0;
+      bool ext = false;
+      encode_length(rate, bytes, &us, &ext);
+      EXPECT_EQ(decode_length(rate, us, ext), bytes)
+          << rate11b_name(rate) << " " << bytes;
+    }
+  }
+}
+
+TEST(Plcp, HeaderRoundTripAndCrcCheck) {
+  PlcpHeader hdr;
+  hdr.rate = Rate11b::kMbps5_5;
+  hdr.psdu_bytes = 777;
+  const Bits bits = plcp_header_bits(hdr);
+  ASSERT_EQ(bits.size(), 48u);
+  const auto parsed = parse_plcp_header(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rate, Rate11b::kMbps5_5);
+  EXPECT_EQ(parsed->psdu_bytes, 777u);
+
+  Bits bad = bits;
+  bad[20] ^= 1;
+  EXPECT_FALSE(parse_plcp_header(bad).has_value());
+}
+
+}  // namespace
+}  // namespace wlansim::phy11b

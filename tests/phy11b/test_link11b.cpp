@@ -1,0 +1,229 @@
+// End-to-end 802.11b loopback tests: all four rates over clean and
+// impaired channels.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "dsp/mathutil.h"
+#include "dsp/resample.h"
+#include "dsp/rng.h"
+#include "phy80211b/chips.h"
+#include "phy80211b/receiver.h"
+#include "phy80211b/transmitter.h"
+
+namespace wlansim::phy11b {
+namespace {
+
+dsp::CVec padded_frame(const Transmitter11b& tx, const Frame11b& f,
+                       std::size_t lead, std::size_t tail) {
+  const dsp::CVec frame = tx.modulate(f);
+  dsp::CVec out;
+  out.reserve(lead + frame.size() + tail);
+  out.insert(out.end(), lead, dsp::Cplx{0.0, 0.0});
+  out.insert(out.end(), frame.begin(), frame.end());
+  out.insert(out.end(), tail, dsp::Cplx{0.0, 0.0});
+  return out;
+}
+
+class Loopback11b : public ::testing::TestWithParam<Rate11b> {};
+
+TEST_P(Loopback11b, CleanChannelRoundTrip) {
+  dsp::Rng rng(10 + static_cast<int>(GetParam()));
+  Transmitter11b tx;
+  const Bytes payload = phy::random_bytes(120, rng);
+  const dsp::CVec rx_in = padded_frame(tx, {GetParam(), payload}, 300, 100);
+
+  Receiver11b rx;
+  const RxResult11b res = rx.receive(rx_in);
+  ASSERT_TRUE(res.detected) << rate11b_name(GetParam());
+  ASSERT_TRUE(res.header_ok) << rate11b_name(GetParam());
+  EXPECT_EQ(res.header.rate, GetParam());
+  EXPECT_EQ(res.psdu, payload) << rate11b_name(GetParam());
+}
+
+TEST_P(Loopback11b, SurvivesModerateNoise) {
+  dsp::Rng rng(20 + static_cast<int>(GetParam()));
+  Transmitter11b tx({.scrambler_seed = 0x2A, .output_power_dbm = 0.0});
+  const Bytes payload = phy::random_bytes(80, rng);
+  dsp::CVec rx_in = padded_frame(tx, {GetParam(), payload}, 200, 100);
+  // 12 dB chip SNR: ample for Barker (10.4 dB gain) and CCK.
+  dsp::Rng noise(3);
+  rx_in = channel::add_awgn(rx_in, dsp::dbm_to_watts(0.0) / 16.0, noise);
+
+  Receiver11b rx;
+  const RxResult11b res = rx.receive(rx_in);
+  ASSERT_TRUE(res.header_ok) << rate11b_name(GetParam());
+  EXPECT_EQ(res.psdu, payload) << rate11b_name(GetParam());
+}
+
+TEST_P(Loopback11b, SurvivesPhaseRotationAndGain) {
+  dsp::Rng rng(30 + static_cast<int>(GetParam()));
+  Transmitter11b tx;
+  const Bytes payload = phy::random_bytes(60, rng);
+  dsp::CVec rx_in = padded_frame(tx, {GetParam(), payload}, 150, 80);
+  const dsp::Cplx h = 0.3 * dsp::Cplx{std::cos(1.9), std::sin(1.9)};
+  for (auto& v : rx_in) v *= h;
+
+  Receiver11b rx;
+  const RxResult11b res = rx.receive(rx_in);
+  ASSERT_TRUE(res.header_ok) << rate11b_name(GetParam());
+  EXPECT_EQ(res.psdu, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, Loopback11b,
+                         ::testing::Values(Rate11b::kMbps1, Rate11b::kMbps2,
+                                           Rate11b::kMbps5_5,
+                                           Rate11b::kMbps11));
+
+TEST(Loopback11bExtra, SurvivesSmallCfo) {
+  // Differential demodulation tolerates a small carrier offset.
+  dsp::Rng rng(40);
+  Transmitter11b tx;
+  const Bytes payload = phy::random_bytes(60, rng);
+  dsp::CVec rx_in = padded_frame(tx, {Rate11b::kMbps2, payload}, 150, 80);
+  // 3 kHz at 11 Mchips/s.
+  rx_in = dsp::frequency_shift(rx_in, 3e3 / kChipRate);
+
+  Receiver11b rx;
+  const RxResult11b res = rx.receive(rx_in);
+  ASSERT_TRUE(res.header_ok);
+  EXPECT_EQ(res.psdu, payload);
+}
+
+TEST(Loopback11bExtra, NoDetectionOnNoise) {
+  dsp::Rng rng(41);
+  dsp::CVec noise(20000);
+  for (auto& v : noise) v = rng.cgaussian(1.0);
+  Receiver11b rx;
+  EXPECT_FALSE(rx.receive(noise).detected);
+}
+
+TEST(Loopback11bExtra, FrameChipsMatchesWaveformLength) {
+  dsp::Rng rng(42);
+  Transmitter11b tx;
+  for (Rate11b r : {Rate11b::kMbps1, Rate11b::kMbps2, Rate11b::kMbps5_5,
+                    Rate11b::kMbps11}) {
+    const Bytes payload = phy::random_bytes(64, rng);
+    const dsp::CVec w = tx.modulate({r, payload});
+    EXPECT_EQ(w.size(), Transmitter11b::frame_chips(r, payload.size()))
+        << rate11b_name(r);
+  }
+}
+
+TEST(Loopback11bExtra, CckFasterRateShorterFrame) {
+  EXPECT_LT(Transmitter11b::frame_chips(Rate11b::kMbps11, 500),
+            Transmitter11b::frame_chips(Rate11b::kMbps1, 500));
+}
+
+TEST(Loopback11bExtra, RejectsOversizePayload) {
+  Transmitter11b tx;
+  dsp::Rng rng(43);
+  EXPECT_THROW(tx.modulate({Rate11b::kMbps1, Bytes(5000, 0)}),
+               std::invalid_argument);
+  EXPECT_THROW(tx.modulate({Rate11b::kMbps1, Bytes{}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlansim::phy11b
+
+namespace wlansim::phy11b {
+namespace {
+
+TEST(Rake, ImprovesMultipathReception) {
+  // Two-path channel: main tap plus a strong echo 2 chips later.
+  dsp::Rng rng(50);
+  Transmitter11b tx;
+  int plain_ok = 0, rake_ok = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    const Bytes payload = phy::random_bytes(80, rng);
+    dsp::CVec clean = padded_frame(tx, {Rate11b::kMbps5_5, payload}, 250, 120);
+    // Apply the echo channel.
+    dsp::CVec faded(clean.size(), dsp::Cplx{0.0, 0.0});
+    const dsp::Cplx echo = 0.55 * dsp::Cplx{std::cos(1.1), std::sin(1.1)};
+    for (std::size_t n = 0; n < clean.size(); ++n) {
+      faded[n] += clean[n];
+      if (n >= 2) faded[n] += echo * clean[n - 2];
+    }
+    dsp::Rng noise(60 + t);
+    faded = channel::add_awgn(faded, dsp::dbm_to_watts(0.0) / 40.0, noise);
+
+    Receiver11b plain;
+    Receiver11b::Config rc;
+    rc.rake_fingers = 3;
+    Receiver11b rake(rc);
+    const auto rp = plain.receive(faded);
+    const auto rr = rake.receive(faded);
+    plain_ok += (rp.header_ok && rp.psdu == payload) ? 1 : 0;
+    rake_ok += (rr.header_ok && rr.psdu == payload) ? 1 : 0;
+  }
+  EXPECT_GE(rake_ok, plain_ok);
+  EXPECT_GE(rake_ok, trials - 1);  // RAKE delivers nearly everything
+}
+
+TEST(Rake, HarmlessOnCleanChannel) {
+  dsp::Rng rng(51);
+  Transmitter11b tx;
+  const Bytes payload = phy::random_bytes(100, rng);
+  const dsp::CVec in = padded_frame(tx, {Rate11b::kMbps11, payload}, 200, 80);
+  Receiver11b::Config rc;
+  rc.rake_fingers = 3;
+  Receiver11b rake(rc);
+  const auto res = rake.receive(in);
+  ASSERT_TRUE(res.header_ok);
+  EXPECT_EQ(res.psdu, payload);
+}
+
+}  // namespace
+}  // namespace wlansim::phy11b
+
+namespace wlansim::phy11b {
+namespace {
+
+class ShortPreamble : public ::testing::TestWithParam<Rate11b> {};
+
+TEST_P(ShortPreamble, RoundTripWithNoise) {
+  dsp::Rng rng(70 + static_cast<int>(GetParam()));
+  Transmitter11b tx({.scrambler_seed = 0x6C, .output_power_dbm = 0.0,
+                     .short_preamble = true});
+  const Bytes payload = phy::random_bytes(90, rng);
+  dsp::CVec in = padded_frame(tx, {GetParam(), payload}, 250, 100);
+  dsp::Rng noise(4);
+  in = channel::add_awgn(in, dsp::dbm_to_watts(0.0) / 20.0, noise);
+
+  Receiver11b rx;
+  const RxResult11b res = rx.receive(in);
+  ASSERT_TRUE(res.header_ok) << rate11b_name(GetParam());
+  EXPECT_EQ(res.header.rate, GetParam());
+  EXPECT_EQ(res.psdu, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShortCapableRates, ShortPreamble,
+                         ::testing::Values(Rate11b::kMbps2, Rate11b::kMbps5_5,
+                                           Rate11b::kMbps11));
+
+TEST(ShortPreambleExtra, RejectsOneMbpsPayload) {
+  Transmitter11b tx({.scrambler_seed = 0x6C, .output_power_dbm = 0.0,
+                     .short_preamble = true});
+  EXPECT_THROW(tx.modulate({Rate11b::kMbps1, Bytes(10, 0)}),
+               std::invalid_argument);
+}
+
+TEST(ShortPreambleExtra, HalvesPlcpOverhead) {
+  const std::size_t long_chips =
+      Transmitter11b::frame_chips(Rate11b::kMbps11, 100, false);
+  const std::size_t short_chips =
+      Transmitter11b::frame_chips(Rate11b::kMbps11, 100, true);
+  // Long PLCP: 192 symbols; short: 96 symbols -> 96*11 fewer chips.
+  EXPECT_EQ(long_chips - short_chips, 96u * kBarkerLen);
+  // And the generated waveform matches the accounting.
+  dsp::Rng rng(80);
+  Transmitter11b tx({.scrambler_seed = 0x6C, .output_power_dbm = 0.0,
+                     .short_preamble = true});
+  const Bytes payload = phy::random_bytes(100, rng);
+  EXPECT_EQ(tx.modulate({Rate11b::kMbps11, payload}).size(), short_chips);
+}
+
+}  // namespace
+}  // namespace wlansim::phy11b

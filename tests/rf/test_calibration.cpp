@@ -1,0 +1,71 @@
+// Tests of the design-flow calibration step (paper §4: "Calibration of
+// the behavioral models").
+#include "rf/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace wlansim::rf {
+namespace {
+
+/// "Golden" reference standing in for the circuit-level design: an
+/// amplifier with a different nonlinearity model and known parameters.
+std::unique_ptr<Amplifier> golden(double gain_db, double p1db, double nf) {
+  AmplifierConfig cfg;
+  cfg.label = "golden";
+  cfg.gain_db = gain_db;
+  cfg.p1db_in_dbm = p1db;
+  cfg.noise_figure_db = nf;
+  cfg.model = NonlinearityModel::kClippedCubic;  // "circuit-like" reference
+  return std::make_unique<Amplifier>(cfg, 80e6, dsp::Rng(3));
+}
+
+CalibrationConfig fast_cal() {
+  CalibrationConfig cfg;
+  cfg.tones.num_samples = 8192;
+  cfg.tones.settle_samples = 512;
+  return cfg;
+}
+
+TEST(Calibration, RecoversGoldenParameters) {
+  auto ref = golden(18.0, -22.0, 4.0);
+  const CalibrationResult res =
+      calibrate_amplifier(*ref, fast_cal(), NonlinearityModel::kRapp,
+                          dsp::Rng(5));
+  EXPECT_NEAR(res.fitted.gain_db, 18.0, 0.2);
+  EXPECT_NEAR(res.fitted.p1db_in_dbm, -22.0, 1.0);
+  EXPECT_NEAR(res.fitted.noise_figure_db, 4.0, 0.5);
+}
+
+TEST(Calibration, ResidualsAreSmall) {
+  auto ref = golden(10.0, -15.0, 2.0);
+  const CalibrationResult res =
+      calibrate_amplifier(*ref, fast_cal(), NonlinearityModel::kRapp,
+                          dsp::Rng(6));
+  EXPECT_LT(res.gain_error_db, 0.2);
+  EXPECT_LT(res.p1db_error_db, 1.0);
+  EXPECT_LT(res.nf_error_db, 0.75);
+}
+
+TEST(Calibration, NoiseCalibrationOptional) {
+  auto ref = golden(12.0, -18.0, 5.0);
+  CalibrationConfig cfg = fast_cal();
+  cfg.calibrate_noise = false;
+  const CalibrationResult res = calibrate_amplifier(
+      *ref, cfg, NonlinearityModel::kClippedCubic, dsp::Rng(7));
+  EXPECT_FALSE(res.fitted.noise_enabled);
+  EXPECT_DOUBLE_EQ(res.fitted.noise_figure_db, 0.0);
+  EXPECT_DOUBLE_EQ(res.nf_error_db, 0.0);
+}
+
+TEST(Calibration, WorksAcrossParameterRange) {
+  for (double p1 : {-35.0, -25.0, -12.0}) {
+    auto ref = golden(20.0, p1, 3.0);
+    const CalibrationResult res =
+        calibrate_amplifier(*ref, fast_cal(), NonlinearityModel::kRapp,
+                            dsp::Rng(8));
+    EXPECT_NEAR(res.fitted.p1db_in_dbm, p1, 1.0) << p1;
+  }
+}
+
+}  // namespace
+}  // namespace wlansim::rf

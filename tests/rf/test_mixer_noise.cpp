@@ -1,0 +1,170 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/mathutil.h"
+#include "dsp/spectrum.h"
+#include "rf/analyses.h"
+#include "rf/mixer.h"
+#include "rf/noise.h"
+
+namespace wlansim::rf {
+namespace {
+
+TEST(Mixer, ConversionGainApplied) {
+  MixerConfig cfg;
+  cfg.conversion_gain_db = 8.0;
+  Mixer mix(cfg, 80e6, dsp::Rng(1));
+  dsp::CVec in(1000, dsp::Cplx{1e-3, 0.0});
+  const dsp::CVec out = mix.process(in);
+  EXPECT_NEAR(dsp::to_db(dsp::mean_power(out) / dsp::mean_power(in)), 8.0,
+              1e-9);
+}
+
+TEST(Mixer, LoOffsetShiftsFrequency) {
+  MixerConfig cfg;
+  cfg.lo_offset_hz = 2e6;
+  Mixer mix(cfg, 80e6, dsp::Rng(1));
+  dsp::CVec in(1 << 14, dsp::Cplx{1.0, 0.0});  // DC input
+  const dsp::CVec out = mix.process(in);
+  const dsp::PsdEstimate psd = dsp::welch_psd(out, {.nfft = 4096});
+  double peak_f = 0.0, peak_p = 0.0;
+  for (std::size_t i = 0; i < psd.size(); ++i) {
+    if (psd.power[i] > peak_p) {
+      peak_p = psd.power[i];
+      peak_f = psd.freq_norm[i];
+    }
+  }
+  EXPECT_NEAR(peak_f * 80e6, 2e6, 4e4);
+}
+
+TEST(Mixer, DcOffsetAdded) {
+  MixerConfig cfg;
+  cfg.dc_offset = {1e-3, -2e-3};
+  Mixer mix(cfg, 80e6, dsp::Rng(1));
+  dsp::CVec zeros(100, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec out = mix.process(zeros);
+  for (const auto& v : out) {
+    EXPECT_NEAR(v.real(), 1e-3, 1e-12);
+    EXPECT_NEAR(v.imag(), -2e-3, 1e-12);
+  }
+}
+
+TEST(Mixer, ImageRejectionProducesConjugateTone) {
+  MixerConfig cfg;
+  cfg.image_rejection_db = 30.0;
+  Mixer mix(cfg, 80e6, dsp::Rng(1));
+  // Tone at +5 MHz; the image appears at -5 MHz, 30 dB down.
+  const double fn = 5e6 / 80e6;
+  dsp::CVec in(1 << 14);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double ang = dsp::kTwoPi * fn * static_cast<double>(i);
+    in[i] = dsp::Cplx{std::cos(ang), std::sin(ang)};
+  }
+  const dsp::CVec out = mix.process(in);
+  const double p_main = tone_power(out, fn);
+  const double p_image = tone_power(out, -fn);
+  EXPECT_NEAR(dsp::to_db(p_main / p_image), 30.0, 0.5);
+}
+
+TEST(Mixer, PerfectImageRejectionByDefault) {
+  MixerConfig cfg;
+  Mixer mix(cfg, 80e6, dsp::Rng(1));
+  const double fn = 256.0 / 4096.0;  // integer-bin: leakage-free projection
+  dsp::CVec in(1 << 12);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double ang = dsp::kTwoPi * fn * static_cast<double>(i);
+    in[i] = dsp::Cplx{std::cos(ang), std::sin(ang)};
+  }
+  const dsp::CVec out = mix.process(in);
+  EXPECT_LT(tone_power(out, -fn), 1e-20);
+}
+
+TEST(Mixer, PhaseNoiseWidensSpectrumAndIsGatedByNoiseSwitch) {
+  MixerConfig cfg;
+  cfg.phase_noise.level_dbc_hz = -80.0;  // strong, at 100 kHz offset
+  cfg.phase_noise.offset_hz = 100e3;
+  Mixer noisy(cfg, 80e6, dsp::Rng(3));
+  cfg.noise_enabled = false;
+  Mixer clean(cfg, 80e6, dsp::Rng(3));
+
+  dsp::CVec in(1 << 15, dsp::Cplx{1.0, 0.0});
+  const dsp::CVec yn = noisy.process(in);
+  const dsp::CVec yc = clean.process(in);
+  // Carrier power lost to the skirt vs. an untouched carrier.
+  const double pn = tone_power(yn, 0.0);
+  const double pc = tone_power(yc, 0.0);
+  EXPECT_NEAR(pc, 1.0, 1e-9);
+  EXPECT_LT(pn, 0.9);
+}
+
+TEST(Mixer, PhaseNoiseLinewidthFormula) {
+  PhaseNoiseSpec spec;
+  spec.level_dbc_hz = -100.0;
+  spec.offset_hz = 100e3;
+  // df = pi f^2 10^(L/10) = pi * 1e10 * 1e-10 = pi.
+  EXPECT_NEAR(spec.linewidth_hz(), dsp::kPi, 1e-9);
+  PhaseNoiseSpec off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_DOUBLE_EQ(off.linewidth_hz(), 0.0);
+}
+
+TEST(Mixer, IqImbalanceCreatesImage) {
+  MixerConfig cfg;
+  cfg.iq_gain_imbalance_db = 1.0;
+  cfg.iq_phase_error_deg = 3.0;
+  Mixer mix(cfg, 80e6, dsp::Rng(1));
+  const double fn = 410.0 / 8192.0;  // integer-bin tone
+  dsp::CVec in(1 << 13);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double ang = dsp::kTwoPi * fn * static_cast<double>(i);
+    in[i] = dsp::Cplx{std::cos(ang), std::sin(ang)};
+  }
+  const dsp::CVec out = mix.process(in);
+  const double irr_db =
+      dsp::to_db(tone_power(out, fn) / tone_power(out, -fn));
+  // ~1 dB / 3 deg imbalance gives an IRR around 24-27 dB.
+  EXPECT_GT(irr_db, 20.0);
+  EXPECT_LT(irr_db, 32.0);
+}
+
+TEST(WhiteNoise, PowerMatchesDensityTimesBandwidth) {
+  const double psd = 1e-18;  // W/Hz
+  const double fs = 80e6;
+  WhiteNoiseSource src(psd, fs, dsp::Rng(5));
+  dsp::CVec zeros(1 << 16, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec y = src.process(zeros);
+  EXPECT_NEAR(dsp::mean_power(y) / (psd * fs), 1.0, 0.05);
+}
+
+TEST(FlickerNoise, TotalPowerCalibrated) {
+  const double p = 1e-9;
+  FlickerNoiseSource src(p, 1e3, 200e3, 80e6, dsp::Rng(6));
+  dsp::CVec zeros(1 << 17, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec y = src.process(zeros);
+  EXPECT_NEAR(dsp::mean_power(std::span<const dsp::Cplx>(y).subspan(1 << 15)) / p,
+              1.0, 0.35);
+}
+
+TEST(FlickerNoise, SpectrumSlopesDownward) {
+  FlickerNoiseSource src(1e-6, 1e3, 1e6, 80e6, dsp::Rng(7));
+  dsp::CVec zeros(1 << 17, dsp::Cplx{0.0, 0.0});
+  const dsp::CVec y = src.process(zeros);
+  const dsp::PsdEstimate psd = dsp::welch_psd(y, {.nfft = 8192});
+  // Compare the average PSD near 20 kHz vs near 800 kHz: expect the low
+  // band to be much stronger (roughly 1/f over the shaped range).
+  const double lo = psd.band_power(20e3 / 80e6, 10e3 / 80e6);
+  const double hi = psd.band_power(800e3 / 80e6, 10e3 / 80e6);
+  EXPECT_GT(dsp::to_db(lo / hi), 8.0);
+}
+
+TEST(DcOffsetSource, AddsConstant) {
+  DcOffsetSource src({0.5, -0.25});
+  dsp::CVec in = {dsp::Cplx{1.0, 1.0}};
+  const dsp::CVec out = src.process(in);
+  EXPECT_NEAR(out[0].real(), 1.5, 1e-15);
+  EXPECT_NEAR(out[0].imag(), 0.75, 1e-15);
+}
+
+}  // namespace
+}  // namespace wlansim::rf

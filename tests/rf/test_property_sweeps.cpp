@@ -1,0 +1,105 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// regions of the design space, not just cherry-picked points.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/iir.h"
+#include "dsp/mathutil.h"
+#include "rf/amplifier.h"
+#include "rf/analyses.h"
+
+namespace wlansim::rf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Amplifier: measured P1dB tracks the configured value for every
+// (model, P1dB, gain) combination.
+// ---------------------------------------------------------------------------
+using AmpParam = std::tuple<NonlinearityModel, double, double>;
+
+class AmplifierSweep : public ::testing::TestWithParam<AmpParam> {};
+
+TEST_P(AmplifierSweep, MeasuredP1dbTracksConfig) {
+  const auto [model, p1db, gain] = GetParam();
+  AmplifierConfig cfg;
+  cfg.model = model;
+  cfg.p1db_in_dbm = p1db;
+  cfg.gain_db = gain;
+  cfg.noise_figure_db = 0.0;
+  Amplifier amp(cfg, 80e6, dsp::Rng(1));
+
+  ToneTestConfig tc;
+  tc.num_samples = 4096;
+  tc.settle_samples = 64;
+  const double measured =
+      measure_p1db_in_dbm(amp, tc, p1db - 15.0, p1db + 10.0, 0.25);
+  EXPECT_NEAR(measured, p1db, 0.75);
+
+  // Small-signal gain unaffected by the nonlinearity parameters.
+  EXPECT_NEAR(measure_gain_db(amp, tc, p1db - 40.0), gain, 0.05);
+}
+
+TEST_P(AmplifierSweep, OutputPowerIsMonotoneInDrive) {
+  const auto [model, p1db, gain] = GetParam();
+  AmplifierConfig cfg;
+  cfg.model = model;
+  cfg.p1db_in_dbm = p1db;
+  cfg.gain_db = gain;
+  Amplifier amp(cfg, 80e6, dsp::Rng(1));
+  double prev = -1.0;
+  for (double in_dbm = p1db - 30.0; in_dbm < p1db + 20.0; in_dbm += 2.0) {
+    const double out = amp.am_am(std::sqrt(dsp::dbm_to_watts(in_dbm)));
+    EXPECT_GE(out, prev) << in_dbm;
+    prev = out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndLevels, AmplifierSweep,
+    ::testing::Combine(::testing::Values(NonlinearityModel::kRapp,
+                                         NonlinearityModel::kClippedCubic),
+                       ::testing::Values(-30.0, -20.0, -10.0),
+                       ::testing::Values(0.0, 15.0)));
+
+// ---------------------------------------------------------------------------
+// Chebyshev design space: ripple containment and edge attenuation hold for
+// every (order, ripple) pair.
+// ---------------------------------------------------------------------------
+using ChebParam = std::tuple<std::size_t, double>;
+
+class ChebyshevSweep : public ::testing::TestWithParam<ChebParam> {};
+
+TEST_P(ChebyshevSweep, RippleContainedAndEdgeExact) {
+  const auto [order, ripple] = GetParam();
+  const double edge = 0.12;
+  dsp::BiquadCascade f = dsp::design_chebyshev1_lowpass(order, ripple, edge);
+  for (double fr = 0.002; fr < edge - 0.002; fr += 0.004) {
+    const double mag_db = dsp::to_db(std::norm(f.response(fr)));
+    EXPECT_LE(mag_db, 0.08) << "order " << order << " f " << fr;
+    EXPECT_GE(mag_db, -ripple - 0.08) << "order " << order << " f " << fr;
+  }
+  EXPECT_NEAR(dsp::to_db(std::norm(f.response(edge))), -ripple, 0.15);
+}
+
+TEST_P(ChebyshevSweep, StopbandMeetsAnalyticBound) {
+  const auto [order, ripple] = GetParam();
+  dsp::BiquadCascade f = dsp::design_chebyshev1_lowpass(order, ripple, 0.1);
+  // Analytic Chebyshev attenuation at Omega = 2x the edge:
+  // A = 10 log10(1 + eps^2 cosh^2(n acosh(2))); the bilinear prewarp makes
+  // the digital response at least this steep.
+  const double eps2 = std::pow(10.0, ripple / 10.0) - 1.0;
+  const double n = static_cast<double>(order);
+  const double bound =
+      10.0 * std::log10(1.0 + eps2 * std::pow(std::cosh(n * std::acosh(2.0)), 2.0));
+  const double att = -dsp::to_db(std::norm(f.response(0.2)));
+  EXPECT_GT(att, bound - 0.5) << "order " << order << " ripple " << ripple;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndRipples, ChebyshevSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 7, 9),
+                       ::testing::Values(0.1, 0.5, 1.0, 3.0)));
+
+}  // namespace
+}  // namespace wlansim::rf

@@ -1,0 +1,243 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsp/mathutil.h"
+#include "sim/graph.h"
+#include "sim/sweep.h"
+
+namespace wlansim::sim {
+namespace {
+
+dsp::CVec ramp(std::size_t n) {
+  dsp::CVec v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = dsp::Cplx{static_cast<double>(i), 0.0};
+  return v;
+}
+
+TEST(Graph, SourceToSinkPassesAllSamples) {
+  Graph g;
+  auto* src = g.add<SourceNode>("src", ramp(1000));
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(src, sink);
+  g.run();
+  ASSERT_EQ(sink->data().size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i)
+    EXPECT_DOUBLE_EQ(sink->data()[i].real(), static_cast<double>(i));
+}
+
+TEST(Graph, GainAndAddCombine) {
+  Graph g;
+  auto* a = g.add<SourceNode>("a", dsp::CVec(100, dsp::Cplx{1.0, 0.0}));
+  auto* b = g.add<SourceNode>("b", dsp::CVec(100, dsp::Cplx{0.0, 2.0}));
+  auto* ga = g.add<GainNode>("x3", dsp::Cplx{3.0, 0.0});
+  auto* add = g.add<AddNode>("sum", 2);
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(a, ga);
+  g.connect(ga, 0, add, 0);
+  g.connect(b, 0, add, 1);
+  g.connect(add, sink);
+  g.run();
+  ASSERT_EQ(sink->data().size(), 100u);
+  EXPECT_DOUBLE_EQ(sink->data()[50].real(), 3.0);
+  EXPECT_DOUBLE_EQ(sink->data()[50].imag(), 2.0);
+}
+
+TEST(Graph, InterpretedMatchesCompiled) {
+  auto build = [](Graph& g, SinkNode** sink) {
+    auto* src = g.add<SourceNode>("src", ramp(500));
+    auto* gn = g.add<GainNode>("g", dsp::Cplx{0.5, 0.5});
+    *sink = g.add<SinkNode>("sink");
+    g.connect(src, gn);
+    g.connect(gn, *sink);
+  };
+  Graph g1, g2;
+  SinkNode *s1, *s2;
+  build(g1, &s1);
+  build(g2, &s2);
+  g1.run(ExecutionMode::kCompiled);
+  g2.run(ExecutionMode::kInterpreted);
+  ASSERT_EQ(s1->data().size(), s2->data().size());
+  for (std::size_t i = 0; i < s1->data().size(); ++i)
+    EXPECT_EQ(s1->data()[i], s2->data()[i]);
+}
+
+TEST(Graph, UpsampleDownsampleRates) {
+  Graph g;
+  auto* src = g.add<SourceNode>("src", dsp::CVec(256, dsp::Cplx{1.0, 0.0}));
+  auto* up = g.add<UpsampleNode>("up4", 4);
+  auto* down = g.add<DecimateNode>("dec4", 4);
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(src, up);
+  g.connect(up, down);
+  g.connect(down, sink);
+  g.run();
+  EXPECT_EQ(sink->data().size(), 256u);
+}
+
+TEST(Graph, RateWeightedSourcesStayAligned) {
+  // A 4x-rate interferer source summed with an upsampled branch.
+  Graph g;
+  auto* a = g.add<SourceNode>("wanted", dsp::CVec(100, dsp::Cplx{1.0, 0.0}));
+  auto* jam = g.add<SourceNode>("jam", dsp::CVec(400, dsp::Cplx{0.0, 1.0}));
+  jam->set_rate_weight(4);
+  auto* up = g.add<UpsampleNode>("up4", 4);
+  auto* add = g.add<AddNode>("sum", 2);
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(a, up);
+  g.connect(up, 0, add, 0);
+  g.connect(jam, 0, add, 1);
+  g.connect(add, sink);
+  g.run();
+  EXPECT_EQ(sink->data().size(), 400u);
+  // Every output sample carries the interferer's imaginary unit.
+  for (const auto& v : sink->data()) EXPECT_DOUBLE_EQ(v.imag(), 1.0);
+}
+
+TEST(Graph, ProbeRecordsOnlyWhenSelected) {
+  Graph g;
+  auto* src = g.add<SourceNode>("src", ramp(64));
+  auto* probe = g.add<ProbeNode>("probe");
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(src, probe);
+  g.connect(probe, sink);
+  probe->select(false);  // deselect to avoid "data overload" (paper §5.1)
+  g.run();
+  EXPECT_TRUE(probe->data().empty());
+  EXPECT_EQ(sink->data().size(), 64u);  // pass-through unaffected
+}
+
+TEST(Graph, FanOutDuplicatesStream) {
+  Graph g;
+  auto* src = g.add<SourceNode>("src", ramp(32));
+  auto* s1 = g.add<SinkNode>("s1");
+  auto* s2 = g.add<SinkNode>("s2");
+  g.connect(src, 0, s1, 0);
+  g.connect(src, 0, s2, 0);
+  g.run();
+  EXPECT_EQ(s1->data(), s2->data());
+}
+
+TEST(Graph, DetectsWiringErrors) {
+  Graph g;
+  auto* src = g.add<SourceNode>("src", ramp(8));
+  auto* add = g.add<AddNode>("sum", 2);
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(src, 0, add, 0);
+  g.connect(add, sink);
+  EXPECT_THROW(g.compile(), std::logic_error);  // add input 1 unconnected
+}
+
+TEST(Graph, RejectsDoubleConnection) {
+  Graph g;
+  auto* a = g.add<SourceNode>("a", ramp(8));
+  auto* b = g.add<SourceNode>("b", ramp(8));
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(a, sink);
+  EXPECT_THROW(g.connect(b, sink), std::invalid_argument);
+}
+
+TEST(Graph, RejectsForeignNode) {
+  Graph g1, g2;
+  auto* a = g1.add<SourceNode>("a", ramp(8));
+  auto* sink = g2.add<SinkNode>("sink");
+  EXPECT_THROW(g2.connect(a, sink), std::invalid_argument);
+}
+
+TEST(Graph, ResetAllowsRerun) {
+  Graph g;
+  auto* src = g.add<SourceNode>("src", ramp(100));
+  auto* sink = g.add<SinkNode>("sink");
+  g.connect(src, sink);
+  g.run();
+  const dsp::CVec first = sink->data();
+  g.reset();
+  g.run();
+  EXPECT_EQ(sink->data(), first);
+}
+
+TEST(Sweep, LinspaceAndLogspace) {
+  const auto lin = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.0);
+  EXPECT_DOUBLE_EQ(lin[2], 0.5);
+  EXPECT_DOUBLE_EQ(lin[4], 1.0);
+  const auto lg = logspace(1.0, 100.0, 3);
+  EXPECT_NEAR(lg[1], 10.0, 1e-9);
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Sweep, RunSweepCollectsRowsInOrder) {
+  const auto res = run_sweep("x", {1.0, 2.0, 3.0}, [](double x) {
+    return std::map<std::string, double>{{"sq", x * x}};
+  });
+  ASSERT_EQ(res.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.rows[2].results.at("sq"), 9.0);
+  const auto col = res.column("sq");
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+  EXPECT_THROW(res.column("nope"), std::invalid_argument);
+}
+
+TEST(Sweep, TableAndCsvContainHeaderAndValues) {
+  const auto res = run_sweep("p", {1.5}, [](double) {
+    return std::map<std::string, double>{{"ber", 0.25}};
+  });
+  const std::string tbl = res.to_table();
+  EXPECT_NE(tbl.find("p"), std::string::npos);
+  EXPECT_NE(tbl.find("ber"), std::string::npos);
+  const std::string csv = res.to_csv();
+  EXPECT_NE(csv.find("p,ber"), std::string::npos);
+  EXPECT_NE(csv.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wlansim::sim
+
+namespace wlansim::sim {
+namespace {
+
+TEST(Graph, InterpretedMatchesCompiledAcrossRateChanges) {
+  auto build = [](Graph& g, SinkNode** sink) {
+    auto* src = g.add<SourceNode>("src", ramp(256));
+    auto* up = g.add<UpsampleNode>("up3", 3);
+    auto* gn = g.add<GainNode>("g", dsp::Cplx{0.25, -0.5});
+    auto* down = g.add<DecimateNode>("dec3", 3);
+    *sink = g.add<SinkNode>("sink");
+    g.connect(src, up);
+    g.connect(up, gn);
+    g.connect(gn, down);
+    g.connect(down, *sink);
+  };
+  Graph g1, g2;
+  SinkNode *s1, *s2;
+  build(g1, &s1);
+  build(g2, &s2);
+  g1.run(ExecutionMode::kCompiled, 64);
+  g2.run(ExecutionMode::kInterpreted, 64);
+  ASSERT_EQ(s1->data().size(), s2->data().size());
+  for (std::size_t i = 0; i < s1->data().size(); ++i)
+    EXPECT_NEAR(std::abs(s1->data()[i] - s2->data()[i]), 0.0, 1e-12) << i;
+}
+
+TEST(Graph, ChunkSizeDoesNotChangeResults) {
+  auto run_with = [](std::size_t chunk) {
+    Graph g;
+    auto* src = g.add<SourceNode>("src", ramp(300));
+    auto* up = g.add<UpsampleNode>("up2", 2);
+    auto* sink = g.add<SinkNode>("sink");
+    g.connect(src, up);
+    g.connect(up, sink);
+    g.run(ExecutionMode::kCompiled, chunk);
+    return sink->data();
+  };
+  const dsp::CVec a = run_with(7);
+  const dsp::CVec b = run_with(301);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12) << i;
+}
+
+}  // namespace
+}  // namespace wlansim::sim

@@ -1,0 +1,82 @@
+#include "sim/waveio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "dsp/spectrum.h"
+
+namespace wlansim::sim {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(WaveIo, WaveformRoundTrip) {
+  dsp::Rng rng(1);
+  dsp::CVec wave(500);
+  for (auto& v : wave) v = rng.cgaussian(1.0);
+
+  const std::string path = temp_path("wave_roundtrip.csv");
+  write_waveform_csv(path, wave, 20e6);
+  double fs = 0.0;
+  const dsp::CVec back = read_waveform_csv(path, &fs);
+  ASSERT_EQ(back.size(), wave.size());
+  EXPECT_NEAR(fs, 20e6, 1.0);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    EXPECT_NEAR(std::abs(back[i] - wave[i]), 0.0, 1e-9) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WaveIo, RejectsBadInputs) {
+  dsp::CVec wave(4, dsp::Cplx{1.0, 0.0});
+  EXPECT_THROW(write_waveform_csv(temp_path("x.csv"), wave, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(write_waveform_csv("/nonexistent_dir_xyz/w.csv", wave, 1e6),
+               std::runtime_error);
+  EXPECT_THROW(read_waveform_csv("/nonexistent_dir_xyz/w.csv"),
+               std::runtime_error);
+}
+
+TEST(WaveIo, RejectsCorruptHeaderAndRows) {
+  const std::string path = temp_path("corrupt.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("bogus header\n1,2,3\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_waveform_csv(path), std::runtime_error);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("time_s,i,q\nnot-a-number,1,2\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_waveform_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(WaveIo, PsdCsvHasHeaderAndRows) {
+  dsp::Rng rng(2);
+  dsp::CVec wave(4096);
+  for (auto& v : wave) v = rng.cgaussian(1.0);
+  const dsp::PsdEstimate psd = dsp::welch_psd(wave, {.nfft = 256});
+  const std::string path = temp_path("psd.csv");
+  write_psd_csv(path, psd, 20e6);
+
+  std::ifstream is(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "freq_hz,power_dbm");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, psd.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wlansim::sim

@@ -1,0 +1,271 @@
+// wlansim — command-line driver for the link-level verification framework.
+//
+//   wlansim ber     --rate 24 --snr 20 --packets 50 [--adjacent-db 16]
+//                   [--rf system|none|cosim] [--power-dbm -65]
+//                   [--p1db -20] [--bandwidth-factor 1.0] [--threads 4]
+//   wlansim sweep   --param snr|p1db|bandwidth|power --from A --to B
+//                   --step S [--packets N] [--csv out.csv]
+//   wlansim spectrum [--adjacent-db 16] [--csv psd.csv]
+//   wlansim rfchar
+//   wlansim help
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/arq.h"
+#include "core/cliargs.h"
+#include "core/experiments.h"
+#include "core/parallel.h"
+#include "dsp/mathutil.h"
+#include "rf/analyses.h"
+#include "sim/waveio.h"
+
+namespace {
+
+using namespace wlansim;
+
+phy::Rate rate_from_mbps(long mbps) {
+  switch (mbps) {
+    case 6: return phy::Rate::kMbps6;
+    case 9: return phy::Rate::kMbps9;
+    case 12: return phy::Rate::kMbps12;
+    case 18: return phy::Rate::kMbps18;
+    case 24: return phy::Rate::kMbps24;
+    case 36: return phy::Rate::kMbps36;
+    case 48: return phy::Rate::kMbps48;
+    case 54: return phy::Rate::kMbps54;
+    default:
+      throw std::invalid_argument("--rate must be one of 6 9 12 18 24 36 48 54");
+  }
+}
+
+core::LinkConfig link_from_args(const core::CliArgs& args) {
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.rate = rate_from_mbps(args.get_long("rate", 24));
+  cfg.psdu_bytes = static_cast<std::size_t>(args.get_long("bytes", 200));
+  cfg.rx_power_dbm = args.get_double("power-dbm", -65.0);
+  if (args.has("no-snr")) {
+    cfg.snr_db.reset();
+  } else {
+    cfg.snr_db = args.get_double("snr", 25.0);
+  }
+  const std::string rf = args.get_string("rf", "system");
+  if (rf == "none") {
+    cfg.rf_engine = core::RfEngine::kNone;
+  } else if (rf == "system") {
+    cfg.rf_engine = core::RfEngine::kSystemLevel;
+  } else if (rf == "cosim") {
+    cfg.rf_engine = core::RfEngine::kCosim;
+  } else {
+    throw std::invalid_argument("--rf must be none|system|cosim");
+  }
+  cfg.rf.lna_p1db_in_dbm = args.get_double("p1db", cfg.rf.lna_p1db_in_dbm);
+  cfg.rf.bb_bandwidth_factor =
+      args.get_double("bandwidth-factor", cfg.rf.bb_bandwidth_factor);
+  cfg.sco_ppm = args.get_double("sco-ppm", 0.0);
+  if (args.has("adjacent-db")) {
+    cfg.interferer = channel::InterfererConfig{
+        .offset_hz = args.get_double("adjacent-offset-hz", 20e6),
+        .level_db = args.get_double("adjacent-db", 16.0)};
+  }
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 2003));
+  return cfg;
+}
+
+void fail_on_unused(const core::CliArgs& args) {
+  const auto extra = args.unused();
+  if (extra.empty()) return;
+  std::string msg = "unknown option(s):";
+  for (const auto& k : extra) msg += " --" + k;
+  throw std::invalid_argument(msg);
+}
+
+int cmd_ber(const core::CliArgs& args) {
+  const core::LinkConfig cfg = link_from_args(args);
+  const auto packets = static_cast<std::size_t>(args.get_long("packets", 20));
+  const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  fail_on_unused(args);
+
+  const core::BerResult r = core::run_ber_parallel(cfg, packets, threads);
+  std::printf("rate        : %s\n",
+              std::string(phy::rate_name(cfg.rate)).c_str());
+  std::printf("packets     : %zu x %zu bytes\n", r.packets, cfg.psdu_bytes);
+  std::printf("BER         : %.3e  (%zu/%zu bits)\n", r.ber(), r.bit_errors,
+              r.bits);
+  std::printf("PER         : %.3f  (%zu errored, %zu lost)\n", r.per(),
+              r.packet_errors, r.packets_lost);
+  std::printf("EVM         : %.2f %%\n", 100.0 * r.evm_rms_avg);
+  return 0;
+}
+
+int cmd_sweep(const core::CliArgs& args) {
+  const std::string param = args.get_string("param", "snr");
+  const double from = args.get_double("from", 5.0);
+  const double to = args.get_double("to", 25.0);
+  const double step = args.get_double("step", 2.0);
+  const auto packets = static_cast<std::size_t>(args.get_long("packets", 10));
+  const std::string csv = args.get_string("csv", "");
+  if (step <= 0.0 || to < from)
+    throw std::invalid_argument("sweep needs --from <= --to and --step > 0");
+
+  std::vector<double> values;
+  for (double v = from; v <= to + 1e-9; v += step) values.push_back(v);
+
+  const core::LinkConfig base = link_from_args(args);
+  fail_on_unused(args);
+
+  const sim::SweepResult res = sim::run_sweep(
+      param, values, [&](double v) {
+        core::LinkConfig cfg = base;
+        if (param == "snr") {
+          cfg.snr_db = v;
+        } else if (param == "p1db") {
+          cfg.rf.lna_p1db_in_dbm = v;
+        } else if (param == "bandwidth") {
+          cfg.rf.bb_bandwidth_factor = v;
+        } else if (param == "power") {
+          cfg.rx_power_dbm = v;
+        } else if (param == "sco") {
+          cfg.sco_ppm = v;
+        } else {
+          throw std::invalid_argument(
+              "--param must be snr|p1db|bandwidth|power|sco");
+        }
+        const core::BerResult r = core::run_ber_parallel(cfg, packets, 0);
+        return std::map<std::string, double>{
+            {"ber", r.ber()}, {"per", r.per()}, {"evm", r.evm_rms_avg}};
+      });
+
+  std::fputs(res.to_table().c_str(), stdout);
+  if (!csv.empty()) {
+    std::ofstream os(csv);
+    os << res.to_csv();
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_goodput(const core::CliArgs& args) {
+  const core::LinkConfig cfg = link_from_args(args);
+  core::ArqConfig arq;
+  arq.payload_bytes = static_cast<std::size_t>(args.get_long("payload", 500));
+  arq.num_frames = static_cast<std::size_t>(args.get_long("frames", 20));
+  arq.max_retries = static_cast<std::size_t>(args.get_long("retries", 3));
+  fail_on_unused(args);
+
+  const core::ArqResult r = core::run_arq(cfg, arq);
+  std::printf("frames      : %zu offered, %zu delivered (%.0f %%)\n",
+              r.frames_offered, r.frames_delivered,
+              100.0 * r.delivery_ratio());
+  std::printf("attempts    : %zu (%zu FCS failures, %zu PHY losses)\n",
+              r.attempts, r.fcs_failures, r.phy_losses);
+  std::printf("air time    : %.2f ms\n", 1e3 * r.air_time_s);
+  std::printf("goodput     : %.2f Mbps\n",
+              r.goodput_bps(arq.payload_bytes) / 1e6);
+  return 0;
+}
+
+int cmd_spectrum(const core::CliArgs& args) {
+  core::LinkConfig cfg = link_from_args(args);
+  const std::string csv = args.get_string("csv", "");
+  fail_on_unused(args);
+
+  const core::SpectrumResult res = core::experiment_fig4_spectrum(cfg);
+  std::printf("wanted channel power   : %7.2f dBm\n", res.wanted_power_dbm);
+  if (cfg.interferer.has_value()) {
+    std::printf("adjacent channel power : %7.2f dBm at %+.0f MHz\n",
+                res.adjacent_power_dbm, res.offset_hz / 1e6);
+  }
+  if (!csv.empty()) {
+    sim::write_psd_csv(csv, res.psd, res.sample_rate_hz);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_rfchar(const core::CliArgs& args) {
+  core::LinkConfig cfg = link_from_args(args);
+  fail_on_unused(args);
+  rf::DoubleConversionConfig rfc = cfg.rf;
+  rfc.sample_rate_hz = phy::kSampleRate * cfg.oversample;
+  rfc.agc.loop_gain = 0.0;
+  rfc.agc.initial_gain_db = 0.0;
+  rfc.adc.enabled = false;
+  rfc.noise_enabled = false;
+  rf::DoubleConversionReceiver chain(rfc, dsp::Rng(1));
+
+  rf::ToneTestConfig tc;
+  tc.sample_rate_hz = rfc.sample_rate_hz;
+  tc.num_samples = 1 << 14;
+  tc.settle_samples = 1 << 13;
+  std::printf("gain           : %7.2f dB\n",
+              rf::measure_gain_db(chain, tc, -60.0));
+  std::printf("input P1dB     : %7.2f dBm\n",
+              rf::measure_p1db_in_dbm(chain, tc, rfc.lna_p1db_in_dbm - 15.0,
+                                      rfc.lna_p1db_in_dbm + 10.0));
+  std::printf("ACR (+20 MHz)  : %7.2f dB\n",
+              rf::measure_rejection_db(chain, tc, 3e6, 20e6));
+  rfc.noise_enabled = true;
+  rf::DoubleConversionReceiver noisy(rfc, dsp::Rng(2));
+  rf::ToneTestConfig tnf = tc;
+  tnf.tone_hz = 3e6;  // spot NF above the flicker corner
+  std::printf("noise figure   : %7.2f dB (spot, 3 MHz)\n",
+              rf::measure_noise_figure_db(noisy, tnf));
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "wlansim — 802.11a link-level verification with RF in the loop\n"
+      "\n"
+      "  wlansim ber      [link options] [--packets N] [--threads T]\n"
+      "  wlansim goodput  [link options] [--payload B] [--frames N]\n"
+      "                   [--retries R]\n"
+      "  wlansim sweep    --param snr|p1db|bandwidth|power|sco\n"
+      "                   --from A --to B --step S [--packets N] [--csv F]\n"
+      "  wlansim spectrum [link options] [--csv F]\n"
+      "  wlansim rfchar   [link options]\n"
+      "\n"
+      "link options:\n"
+      "  --rate 6|9|12|18|24|36|48|54   data rate [24]\n"
+      "  --bytes N                      PSDU size [200]\n"
+      "  --power-dbm P                  receive level [-65]\n"
+      "  --snr S | --no-snr             channel SNR [25]\n"
+      "  --rf none|system|cosim         RF engine [system]\n"
+      "  --p1db P                       LNA compression point [-20]\n"
+      "  --bandwidth-factor F           channel filter width [1.0]\n"
+      "  --sco-ppm P                    TX clock offset [0]\n"
+      "  --adjacent-db L                enable adjacent channel at +20 MHz\n"
+      "  --adjacent-offset-hz F         interferer offset [20e6]\n"
+      "  --seed N                       reproducibility seed [2003]\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const core::CliArgs args = core::CliArgs::parse(argc, argv, 2);
+    if (cmd == "ber") return cmd_ber(args);
+    if (cmd == "goodput") return cmd_goodput(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "spectrum") return cmd_spectrum(args);
+    if (cmd == "rfchar") return cmd_rfchar(args);
+    if (cmd == "help" || cmd == "--help") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
