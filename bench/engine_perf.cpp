@@ -6,14 +6,16 @@
 // Google-benchmark microbenches of the engine and the hot kernels.
 #include <benchmark/benchmark.h>
 
-#include "core/link.h"
 #include "core/experiments.h"
+#include "core/link.h"
+#include "core/parallel.h"
 #include "dsp/fft.h"
 #include "dsp/rng.h"
 #include "phy80211a/convcode.h"
 #include "phy80211b/chips.h"
 #include "rf/receiver_chain.h"
 #include "sim/graph.h"
+#include "testsupport/alloc_hook.h"
 
 namespace {
 
@@ -31,6 +33,21 @@ void BM_Fft64(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Fft64);
+
+void BM_Fft64OutOfPlace(benchmark::State& state) {
+  // The plan the per-symbol OFDM (de)modulator runs: bit-reversed copy into
+  // a caller buffer, no permutation pass, no allocation.
+  dsp::Fft fft(64);
+  dsp::Rng rng(1);
+  dsp::CVec x(64), y(64);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  for (auto _ : state) {
+    fft.forward(std::span<const dsp::Cplx>(x), std::span<dsp::Cplx>(y));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fft64OutOfPlace);
 
 void BM_ViterbiDecode(benchmark::State& state) {
   dsp::Rng rng(2);
@@ -62,6 +79,27 @@ void BM_RfChainThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_RfChainThroughput);
+
+void BM_RfChainSteadyState(benchmark::State& state) {
+  // Same chain, caller-provided output buffer: the zero-allocation contract
+  // the packet hot path relies on. `allocs_per_call` must read 0.
+  rf::DoubleConversionConfig cfg;
+  rf::DoubleConversionReceiver rx(cfg, dsp::Rng(3));
+  dsp::Rng rng(4);
+  dsp::CVec in(4096), out;
+  for (auto& v : in) v = 1e-4 * rng.cgaussian(1.0);
+  rx.process_into(in, out);  // warm up the scratch buffers
+  testhook::reset_allocation_count();
+  for (auto _ : state) {
+    rx.process_into(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["allocs_per_call"] = benchmark::Counter(
+      static_cast<double>(testhook::allocation_count()),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RfChainSteadyState);
 
 /// The SPW interpreted-vs-compiled comparison on a representative graph.
 void run_graph(sim::ExecutionMode mode) {
@@ -97,14 +135,37 @@ void BM_BarkerMatchedFilter(benchmark::State& state) {
   dsp::CVec rx(8192);
   for (auto& v : rx) v = rng.cgaussian(1.0);
   const auto& b = phy11b::barker_sequence();
-  for (auto _ : state) {
-    dsp::Cplx acc_total{0.0, 0.0};
-    for (std::size_t n = 0; n + phy11b::kBarkerLen <= rx.size(); ++n) {
-      dsp::Cplx acc{0.0, 0.0};
-      for (std::size_t k = 0; k < phy11b::kBarkerLen; ++k)
-        acc += rx[n + k] * b[k];
-      acc_total += acc;
+  {
+    // One-shot check that the split-accumulator form is bit-identical to
+    // the original complex accumulation.
+    dsp::Cplx ref{0.0, 0.0};
+    double re = 0.0, im = 0.0;
+    for (std::size_t k = 0; k < phy11b::kBarkerLen; ++k) {
+      ref += rx[k] * b[k];
+      re += rx[k].real() * b[k];
+      im += rx[k].imag() * b[k];
     }
+    if (ref.real() != re || ref.imag() != im) {
+      state.SkipWithError("split accumulators diverged from complex form");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    // Separate real/imag accumulators: complex += chains one dependent
+    // complex add per tap, which blocks vectorization; two independent
+    // double chains produce the same values (complex add and
+    // complex-times-real are both componentwise) and pipeline freely.
+    double tot_re = 0.0, tot_im = 0.0;
+    for (std::size_t n = 0; n + phy11b::kBarkerLen <= rx.size(); ++n) {
+      double re = 0.0, im = 0.0;
+      for (std::size_t k = 0; k < phy11b::kBarkerLen; ++k) {
+        re += rx[n + k].real() * b[k];
+        im += rx[n + k].imag() * b[k];
+      }
+      tot_re += re;
+      tot_im += im;
+    }
+    dsp::Cplx acc_total{tot_re, tot_im};
     benchmark::DoNotOptimize(acc_total);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(rx.size()));
@@ -123,13 +184,36 @@ void BM_Cck64Correlator(benchmark::State& state) {
   }
   dsp::CVec sym(phy11b::kCckLen);
   for (auto& v : sym) v = rng.cgaussian(1.0);
+  {
+    dsp::Cplx ref{0.0, 0.0};
+    double re = 0.0, im = 0.0;
+    for (std::size_t k = 0; k < phy11b::kCckLen; ++k) {
+      ref += sym[k] * std::conj(codes[0][k]);
+      const double sr = sym[k].real(), si = sym[k].imag();
+      const double cr = codes[0][k].real(), ci = codes[0][k].imag();
+      re += sr * cr + si * ci;
+      im += si * cr - sr * ci;
+    }
+    if (ref.real() != re || ref.imag() != im ||
+        std::norm(ref) != re * re + im * im) {
+      state.SkipWithError("split accumulators diverged from complex form");
+      return;
+    }
+  }
   for (auto _ : state) {
     double best = -1.0;
     for (const auto& c : codes) {
-      dsp::Cplx acc{0.0, 0.0};
-      for (std::size_t k = 0; k < phy11b::kCckLen; ++k)
-        acc += sym[k] * std::conj(c[k]);
-      best = std::max(best, std::norm(acc));
+      // sym[k] * conj(c[k]) accumulated on independent real/imag chains —
+      // exactly the (ac+bd, bc-ad) the complex operator* computes, minus
+      // the loop-carried complex dependency.
+      double re = 0.0, im = 0.0;
+      for (std::size_t k = 0; k < phy11b::kCckLen; ++k) {
+        const double sr = sym[k].real(), si = sym[k].imag();
+        const double cr = c[k].real(), ci = c[k].imag();
+        re += sr * cr + si * ci;
+        im += si * cr - sr * ci;
+      }
+      best = std::max(best, re * re + im * im);
     }
     benchmark::DoNotOptimize(best);
   }
@@ -140,13 +224,56 @@ BENCHMARK(BM_Cck64Correlator);
 void BM_FullPacketSystemLevel(benchmark::State& state) {
   core::LinkConfig cfg = core::default_link_config();
   core::WlanLink link(cfg);
+  link.run_packet(0);  // warm up the workspace
+  testhook::reset_allocation_count();
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    auto r = link.run_packet(i++);
+    benchmark::DoNotOptimize(&r);
+  }
+  // Steady-state heap traffic of one packet (TX/RX bit pipeline only once
+  // the workspace is warm; the oversampled scene allocates nothing).
+  state.counters["allocs_per_packet"] = benchmark::Counter(
+      static_cast<double>(testhook::allocation_count()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["alloc_kb_per_packet"] = benchmark::Counter(
+      static_cast<double>(testhook::allocation_bytes()) / 1024.0,
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FullPacketSystemLevel);
+
+void BM_FullPacketGraphPath(benchmark::State& state) {
+  // The dataflow-graph reference on the identical configuration — the
+  // pre-optimization packet cost, kept for regression tracking.
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.packet_path = core::PacketPath::kGraph;
+  core::WlanLink link(cfg);
   std::uint64_t i = 0;
   for (auto _ : state) {
     auto r = link.run_packet(i++);
     benchmark::DoNotOptimize(&r);
   }
 }
-BENCHMARK(BM_FullPacketSystemLevel);
+BENCHMARK(BM_FullPacketGraphPath);
+
+void BM_BerSweepParallel(benchmark::State& state) {
+  // An 8-point SNR sweep, 50 packets per point, on the persistent pool —
+  // the paper's Fig. 5/6 measurement shape.
+  core::LinkConfig base = core::default_link_config();
+  base.psdu_bytes = 100;
+  std::vector<core::LinkConfig> points;
+  for (int k = 0; k < 8; ++k) {
+    core::LinkConfig c = base;
+    c.snr_db = 14.0 + 2.0 * k;
+    points.push_back(c);
+  }
+  for (auto _ : state) {
+    const auto sweep = core::sweep_ber_parallel(points, 50);
+    benchmark::DoNotOptimize(sweep.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 50);
+}
+BENCHMARK(BM_BerSweepParallel)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -1,5 +1,6 @@
 #include "core/link.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,6 +8,9 @@
 #include "dsp/mathutil.h"
 #include "dsp/resample.h"
 #include "phy80211a/bits.h"
+#include "rf/amplifier.h"
+#include "rf/mixer.h"
+#include "rf/receiver_chain.h"
 
 namespace wlansim::core {
 
@@ -18,6 +22,10 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t idx) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
+
+/// Zero-padding the dataflow engine appends after the longest source so
+/// every streaming filter flushes (Graph::run's `tail`, in base-rate units).
+constexpr std::size_t kFlushTail = 64;
 
 }  // namespace
 
@@ -32,6 +40,23 @@ WlanLink::WlanLink(LinkConfig cfg) : cfg_(std::move(cfg)), rx_(cfg_.receiver) {
 
 PacketResult WlanLink::run_packet(std::uint64_t packet_index) {
   return run_packet_with_payload({}, packet_index, nullptr);
+}
+
+bool WlanLink::use_direct_path() const {
+  // Only the engines whose blocks the workspace keeps persistent run
+  // directly; co-simulation and caller-supplied blocks go through the
+  // graph, which constructs them per packet.
+  const bool supported = cfg_.rf_engine == RfEngine::kNone ||
+                         cfg_.rf_engine == RfEngine::kSystemLevel;
+  switch (cfg_.packet_path) {
+    case PacketPath::kGraph:
+      return false;
+    case PacketPath::kDirect:
+      return supported;
+    case PacketPath::kAuto:
+      return supported && cfg_.mode == sim::ExecutionMode::kCompiled;
+  }
+  return false;
 }
 
 PacketResult WlanLink::run_packet_with_payload(
@@ -59,17 +84,204 @@ PacketResult WlanLink::run_packet_with_payload(
     wave = mp.apply(wave);
   }
 
-  dsp::CVec padded;
+  dsp::CVec& padded = ws_.padded;
+  padded.clear();
   padded.reserve(cfg_.lead_samples + wave.size() + cfg_.tail_samples);
   padded.insert(padded.end(), cfg_.lead_samples, dsp::Cplx{0.0, 0.0});
   padded.insert(padded.end(), wave.begin(), wave.end());
   padded.insert(padded.end(), cfg_.tail_samples, dsp::Cplx{0.0, 0.0});
 
+  // --- Channel + RF front-end ----------------------------------------------
+  if (use_direct_path())
+    run_scene_direct(padded, rng);
+  else
+    run_scene_graph(std::move(padded), rng);
+
+  // --- DSP receiver -----------------------------------------------------------
+  const phy::RxResult res = rx_.receive(last_rx_);
+
+  PacketResult out;
+  out.bits = 8 * payload.size();
+  out.cfo_norm = res.cfo_norm;
+  const bool ok = res.header_ok && res.signal.length == payload.size() &&
+                  res.psdu.size() == payload.size();
+  out.decoded = ok;
+  if (!ok) {
+    out.bit_errors = out.bits / 2;  // undecoded: half the bits on average
+    return out;
+  }
+  phy::BerCounter ctr;
+  ctr.add_packet(payload, res.psdu, true);
+  out.bit_errors = ctr.bit_errors();
+  if (rx_psdu != nullptr) *rx_psdu = res.psdu;
+
+  // EVM against the transmitted constellation (the equalizer's channel
+  // estimate removes the chain gain, so points are directly comparable).
+  const auto ref = tx.data_symbol_points(frame);
+  phy::EvmCounter evm;
+  const std::size_t nsym = std::min(ref.size(), res.data_points.size());
+  for (std::size_t s = 0; s < nsym; ++s) evm.add(res.data_points[s], ref[s]);
+  out.evm_rms = evm.evm_rms();
+  return out;
+}
+
+// Allocation-free steady-state replica of the dataflow graph below. Every
+// node in that graph is a per-sample streaming operator, so evaluating the
+// chain whole-buffer in the same sample order — with the same filter taps,
+// the same rng.fork() sequence, and the graph's run length — produces
+// bit-identical output while skipping the per-packet graph assembly, FIFO
+// churn, and block construction (notably the flicker source's 32k-sample
+// spectral calibration).
+void WlanLink::run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng) {
+  const double p_sig = dsp::dbm_to_watts(cfg_.rx_power_dbm);
+  const double fs_over = cfg_.rf.sample_rate_hz;
+  const std::size_t os = cfg_.oversample;
+  const std::size_t over_len = padded.size() * os;
+
+  dsp::CVec& a = ws_.scene_a;
+
+  // Run length: the graph pumps every source for the longest source's
+  // duration (in base-rate units) plus the flush tail; shorter sources pad
+  // with zeros.
+  std::size_t base_units;
+  if (cfg_.sco_ppm != 0.0) {
+    // Sampling-clock offset: stretch the oversampled waveform by the ppm
+    // ratio before it enters the scene (the transmit DAC clock error).
+    dsp::CVec wave_over = dsp::upsample(padded, os);
+    wave_over = dsp::fractional_resample(wave_over, 1.0 + cfg_.sco_ppm * 1e-6);
+    base_units = (wave_over.size() + os - 1) / os + kFlushTail;
+    if (cfg_.interferer.has_value())
+      base_units = std::max(base_units, padded.size() + kFlushTail);
+    a.assign(base_units * os, dsp::Cplx{0.0, 0.0});
+    std::copy(wave_over.begin(), wave_over.end(), a.begin());
+  } else {
+    base_units = padded.size() + kFlushTail;
+    a.assign(base_units * os, dsp::Cplx{0.0, 0.0});
+    if (os > 1) {
+      // UpsampleNode semantics: zero-stuff scaled input, then stream it
+      // through the image-reject lowpass (state carried sample to sample).
+      if (!ws_.up_filt)
+        ws_.up_filt =
+            std::make_unique<dsp::FirFilter>(dsp::resampling_taps(os));
+      ws_.up_filt->reset();
+      const double scale = static_cast<double>(os);
+      for (std::size_t i = 0; i < padded.size(); ++i)
+        a[i * os] = scale * padded[i];
+      ws_.up_filt->process_into(a, a);
+    } else {
+      std::copy(padded.begin(), padded.end(), a.begin());
+    }
+  }
+
+  // The fork order below must match run_scene_graph exactly — every
+  // consumer draws from the same packet stream whether or not its block is
+  // freshly constructed.
+  if (cfg_.tx_pa_backoff_db.has_value()) {
+    if (!ws_.tx_pa) {
+      rf::AmplifierConfig pa;
+      pa.label = "tx_pa";
+      pa.gain_db = 0.0;
+      pa.model = cfg_.tx_pa_model;
+      pa.p1db_in_dbm = cfg_.rx_power_dbm + *cfg_.tx_pa_backoff_db;
+      pa.am_pm_max_deg = cfg_.tx_pa_am_pm_max_deg;
+      pa.noise_enabled = false;
+      ws_.tx_pa = std::make_unique<rf::Amplifier>(pa, fs_over, rng.fork());
+    } else {
+      ws_.tx_pa->reset();
+      ws_.tx_pa->set_rng(rng.fork());
+    }
+    ws_.tx_pa->process_into(a, a);
+  }
+
+  if (cfg_.tx_iq_gain_imbalance_db != 0.0 ||
+      cfg_.tx_iq_phase_error_deg != 0.0 || cfg_.tx_lo_leakage_rel != 0.0) {
+    if (!ws_.tx_upconverter) {
+      rf::MixerConfig up;
+      up.label = "tx_upconverter";
+      up.iq_gain_imbalance_db = cfg_.tx_iq_gain_imbalance_db;
+      up.iq_phase_error_deg = cfg_.tx_iq_phase_error_deg;
+      up.dc_offset = cfg_.tx_lo_leakage_rel * std::sqrt(p_sig);
+      up.noise_enabled = false;
+      ws_.tx_upconverter =
+          std::make_unique<rf::Mixer>(up, fs_over, rng.fork());
+    } else {
+      ws_.tx_upconverter->reset();
+      ws_.tx_upconverter->set_rng(rng.fork());
+    }
+    ws_.tx_upconverter->process_into(a, a);
+  }
+
+  if (cfg_.interferer.has_value()) {
+    dsp::Rng irng = rng.fork();
+    ws_.jam = channel::make_interferer(over_len, fs_over, p_sig,
+                                       *cfg_.interferer, irng);
+    const std::size_t n = std::min(ws_.jam.size(), a.size());
+    for (std::size_t i = 0; i < n; ++i) a[i] += ws_.jam[i];
+  }
+
+  double n_total =
+      cfg_.antenna_noise_density_dbm_hz > -250.0
+          ? dsp::dbm_to_watts(cfg_.antenna_noise_density_dbm_hz) * fs_over
+          : 0.0;
+  if (cfg_.snr_db.has_value()) {
+    n_total += p_sig / dsp::from_db(*cfg_.snr_db) *
+               static_cast<double>(cfg_.oversample);
+  }
+  if (n_total > 0.0) {
+    dsp::Rng nrng = rng.fork();
+    for (dsp::Cplx& v : a) v += nrng.cgaussian(n_total);
+  }
+
+  const dsp::CVec* rx_over = &a;
+  if (cfg_.rf_engine == RfEngine::kSystemLevel) {
+    if (!ws_.frontend) {
+      ws_.frontend =
+          std::make_unique<rf::DoubleConversionReceiver>(cfg_.rf, rng.fork());
+    } else {
+      ws_.frontend->reset();
+      ws_.frontend->reseed(rng.fork());
+    }
+    ws_.frontend->process_into(a, ws_.scene_b);
+    rx_over = &ws_.scene_b;
+  }
+
+  if (os > 1) {
+    last_rx_.resize(base_units);
+    if (cfg_.rf_engine == RfEngine::kNone) {
+      // DownsampleNode: anti-alias lowpass runs on every sample, phase-0
+      // outputs are kept.
+      if (!ws_.down_filt)
+        ws_.down_filt =
+            std::make_unique<dsp::FirFilter>(dsp::resampling_taps(os));
+      ws_.down_filt->reset();
+      std::size_t oi = 0;
+      for (std::size_t i = 0; i < rx_over->size(); ++i) {
+        const dsp::Cplx y = ws_.down_filt->step((*rx_over)[i]);
+        if (i % os == 0) last_rx_[oi++] = y;
+      }
+    } else {
+      // DecimateNode: the ADC samples the analog output raw.
+      for (std::size_t i = 0, oi = 0; i < rx_over->size(); i += os)
+        last_rx_[oi++] = (*rx_over)[i];
+    }
+  } else {
+    last_rx_.assign(rx_over->begin(), rx_over->end());
+  }
+
+  // The rf_input_probe tap: `a` still holds the post-noise/pre-frontend
+  // signal (the front-end wrote into scene_b), so hand the buffer over
+  // instead of copying it. The workspace gets it back at the next assign.
+  std::swap(last_rf_input_, a);
+}
+
+// Reference path: assemble and run the dataflow block diagram. Required for
+// interpreted execution, co-simulation, and custom RF blocks; also the
+// baseline the direct path is verified against.
+void WlanLink::run_scene_graph(dsp::CVec padded, dsp::Rng& rng) {
   const double p_sig = dsp::dbm_to_watts(cfg_.rx_power_dbm);
   const double fs_over = cfg_.rf.sample_rate_hz;
   const std::size_t over_len = padded.size() * cfg_.oversample;
 
-  // --- Assemble the block diagram ------------------------------------------
   sim::Graph g;
   sim::Node* head = nullptr;
   if (cfg_.sco_ppm != 0.0) {
@@ -204,37 +416,10 @@ PacketResult WlanLink::run_packet_with_payload(
   auto* sink = g.add<sim::SinkNode>("rx_wave");
   g.connect(head, sink);
 
-  g.run(cfg_.mode, 512, /*tail=*/64);
+  g.run(cfg_.mode, 512, /*tail=*/kFlushTail);
 
   last_rx_ = sink->data();
   last_rf_input_ = rf_probe->data();
-
-  // --- DSP receiver -----------------------------------------------------------
-  const phy::RxResult res = rx_.receive(last_rx_);
-
-  PacketResult out;
-  out.bits = 8 * payload.size();
-  out.cfo_norm = res.cfo_norm;
-  const bool ok = res.header_ok && res.signal.length == payload.size() &&
-                  res.psdu.size() == payload.size();
-  out.decoded = ok;
-  if (!ok) {
-    out.bit_errors = out.bits / 2;  // undecoded: half the bits on average
-    return out;
-  }
-  phy::BerCounter ctr;
-  ctr.add_packet(payload, res.psdu, true);
-  out.bit_errors = ctr.bit_errors();
-  if (rx_psdu != nullptr) *rx_psdu = res.psdu;
-
-  // EVM against the transmitted constellation (the equalizer's channel
-  // estimate removes the chain gain, so points are directly comparable).
-  const auto ref = tx.data_symbol_points(frame);
-  phy::EvmCounter evm;
-  const std::size_t nsym = std::min(ref.size(), res.data_points.size());
-  for (std::size_t s = 0; s < nsym; ++s) evm.add(res.data_points[s], ref[s]);
-  out.evm_rms = evm.evm_rms();
-  return out;
 }
 
 BerResult WlanLink::run_ber(std::size_t num_packets) {

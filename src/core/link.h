@@ -11,7 +11,10 @@
 // and reports bit errors and constellation quality.
 #pragma once
 
+#include <memory>
+
 #include "core/linkconfig.h"
+#include "dsp/fir.h"
 #include "phy80211a/measure.h"
 #include "phy80211a/receiver.h"
 #include "phy80211a/transmitter.h"
@@ -77,11 +80,32 @@ class WlanLink {
   const dsp::CVec& last_rf_input() const { return last_rf_input_; }
 
  private:
+  /// Per-link scratch state for the direct (allocation-free) packet path.
+  /// Buffers keep their capacity across packets; blocks are constructed
+  /// once and re-randomized per packet (reset + reseed), which is exactly
+  /// equivalent to the per-packet construction the graph path performs.
+  /// Every buffer is invalidated by the next run_packet call.
+  struct Workspace {
+    dsp::CVec padded;           ///< 20 Msps frame with lead/tail padding
+    dsp::CVec scene_a, scene_b; ///< oversampled ping-pong buffers
+    dsp::CVec jam;              ///< interferer waveform
+    std::unique_ptr<dsp::FirFilter> up_filt;    ///< TX interpolation
+    std::unique_ptr<dsp::FirFilter> down_filt;  ///< ideal RX decimation
+    std::unique_ptr<rf::Amplifier> tx_pa;
+    std::unique_ptr<rf::Mixer> tx_upconverter;
+    std::unique_ptr<rf::DoubleConversionReceiver> frontend;
+  };
+
+  bool use_direct_path() const;
+  void run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng);
+  void run_scene_graph(dsp::CVec padded, dsp::Rng& rng);
+
   LinkConfig cfg_;
   phy::Transmitter tx_;
   phy::Receiver rx_;
   dsp::CVec last_rx_;
   dsp::CVec last_rf_input_;
+  Workspace ws_;
 };
 
 }  // namespace wlansim::core

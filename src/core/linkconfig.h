@@ -18,6 +18,13 @@
 
 namespace wlansim::core {
 
+/// Packet evaluation strategy (see LinkConfig::packet_path).
+enum class PacketPath {
+  kAuto,    ///< direct when bit-identical to the graph, graph otherwise
+  kDirect,  ///< force the direct hot path (falls back where unsupported)
+  kGraph    ///< force the dataflow-graph reference path
+};
+
 /// Which model (if any) stands between the channel and the DSP receiver.
 enum class RfEngine {
   kNone,         ///< idealized RF (the "neglected or idealized" baseline)
@@ -87,6 +94,13 @@ struct LinkConfig {
 
   // --- Execution --------------------------------------------------------------
   sim::ExecutionMode mode = sim::ExecutionMode::kCompiled;
+  /// How run_packet evaluates the chain. kAuto picks the allocation-free
+  /// direct path (persistent blocks + reused buffers) whenever it is
+  /// bit-identical to the dataflow graph — compiled mode with the kNone or
+  /// kSystemLevel engine — and the graph otherwise. kGraph forces the
+  /// dataflow engine (the reference); kDirect forces the direct path where
+  /// supported and falls back to the graph elsewhere.
+  PacketPath packet_path = PacketPath::kAuto;
   /// Idle samples (20 Msps) before the frame: AGC settling + detection run-in.
   std::size_t lead_samples = 600;
   std::size_t tail_samples = 200;

@@ -2,64 +2,196 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
-#include <vector>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/thread_pool.h"
 
 namespace wlansim::core {
 
-BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
-                           std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+namespace {
+
+/// Packets per scheduling chunk: large enough that chunk handoff is noise
+/// next to a packet's cost, small enough to balance tail latency.
+constexpr std::size_t kPacketChunk = 8;
+
+template <typename T>
+void put(std::string& s, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  s.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void put_opt(std::string& s, const std::optional<T>& v) {
+  put(s, v.has_value());
+  if (v.has_value()) put(s, *v);
+}
+
+/// Byte-exact serialization of every LinkConfig field that influences
+/// run_packet, used as the worker-side link-cache key. Field-by-field (never
+/// whole structs) so padding bytes cannot poison the comparison. Returns ""
+/// when the config is not fingerprintable (callable members).
+std::string fingerprint(const LinkConfig& c) {
+  if (c.custom_rf) return {};
+  std::string s;
+  s.reserve(256);
+  put(s, c.rate);
+  put(s, c.psdu_bytes);
+  put(s, c.rx_power_dbm);
+  put_opt(s, c.snr_db);
+  put(s, c.antenna_noise_density_dbm_hz);
+  put(s, c.fading.has_value());
+  if (c.fading) {
+    put(s, c.fading->rms_delay_spread_s);
+    put(s, c.fading->sample_rate_hz);
+    put(s, c.fading->truncation);
+    put(s, c.fading->normalize);
   }
-  threads = std::min<std::size_t>(threads, std::max<std::size_t>(1, num_packets));
+  put(s, c.interferer.has_value());
+  if (c.interferer) {
+    put(s, c.interferer->offset_hz);
+    put(s, c.interferer->level_db);
+    put(s, c.interferer->rate);
+    put(s, c.interferer->psdu_bytes);
+  }
+  put(s, c.sco_ppm);
+  put_opt(s, c.tx_pa_backoff_db);
+  put(s, c.tx_pa_model);
+  put(s, c.tx_pa_am_pm_max_deg);
+  put(s, c.tx_iq_gain_imbalance_db);
+  put(s, c.tx_iq_phase_error_deg);
+  put(s, c.tx_lo_leakage_rel);
+  put(s, c.rf_engine);
+  put(s, c.oversample);
 
-  struct Partial {
-    std::size_t packets = 0, lost = 0, errors = 0, bits = 0, bit_errors = 0;
-    double evm_acc = 0.0;
-    std::size_t evm_n = 0;
-  };
-  std::vector<Partial> partials(threads);
-  std::atomic<std::size_t> next{0};
+  const rf::DoubleConversionConfig& rf = c.rf;
+  put(s, rf.sample_rate_hz);
+  put(s, rf.lna_gain_db);
+  put(s, rf.lna_nf_db);
+  put(s, rf.lna_p1db_in_dbm);
+  put(s, rf.lna_model);
+  put(s, rf.lna_am_pm_max_deg);
+  put(s, rf.mixer1_gain_db);
+  put(s, rf.mixer2_gain_db);
+  put(s, rf.lo_offset_hz);
+  put(s, rf.lo_phase_noise.level_dbc_hz);
+  put(s, rf.lo_phase_noise.offset_hz);
+  put(s, rf.mixer1_image_rejection_db);
+  put(s, rf.mixer2_dc_offset);
+  put(s, rf.mixer2_flicker_power_dbm);
+  put(s, rf.flicker_corner_hz);
+  put(s, rf.hpf_order);
+  put(s, rf.hpf_cutoff_hz);
+  put(s, rf.bb_filter_order);
+  put(s, rf.bb_filter_ripple_db);
+  put(s, rf.bb_filter_edge_hz);
+  put(s, rf.bb_bandwidth_factor);
+  put(s, rf.agc.target_power_dbm);
+  put(s, rf.agc.max_gain_db);
+  put(s, rf.agc.min_gain_db);
+  put(s, rf.agc.loop_gain);
+  put(s, rf.agc.attack_db_per_sample);
+  put(s, rf.agc.decay_db_per_sample);
+  put(s, rf.agc.detector_time_const);
+  put(s, rf.agc.initial_gain_db);
+  put(s, rf.agc.lock_window_db);
+  put(s, rf.agc.lock_count);
+  put(s, rf.agc.unlock_window_db);
+  put(s, rf.adc.bits);
+  put(s, rf.adc.full_scale);
+  put(s, rf.adc.enabled);
+  put(s, rf.noise_enabled);
 
-  auto worker = [&](std::size_t tid) {
-    WlanLink link(cfg);  // each worker owns an independent link
-    Partial& p = partials[tid];
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= num_packets) break;
-      const PacketResult r = link.run_packet(i);
-      ++p.packets;
-      p.bits += r.bits;
-      p.bit_errors += r.bit_errors;
-      if (r.bit_errors > 0 || !r.decoded) ++p.errors;
-      if (!r.decoded) {
-        ++p.lost;
-      } else {
-        p.evm_acc += r.evm_rms;
-        ++p.evm_n;
-      }
-    }
-  };
+  put(s, c.cosim.analog_oversample);
+  put(s, c.cosim.supports_noise_functions);
+  put(s, c.cosim.sync_overhead_ops);
+  put(s, c.receiver.track_phase);
+  put(s, c.receiver.track_timing);
+  put(s, c.receiver.detect_threshold);
+  put(s, c.receiver.chanest_smoothing);
+  put(s, c.mode);
+  put(s, c.packet_path);
+  put(s, c.lead_samples);
+  put(s, c.tail_samples);
+  put(s, c.seed);
+  return s;
+}
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-  for (auto& t : pool) t.join();
+/// The calling worker's cached link, rebuilt only when the key changes.
+/// Lives on the pool's persistent threads, so repeated measurements of one
+/// configuration construct each worker's link exactly once.
+WlanLink& worker_link(const LinkConfig& cfg, const std::string& key) {
+  thread_local std::string cached_key;
+  thread_local std::unique_ptr<WlanLink> link;
+  if (!link || cached_key != key) {
+    link = std::make_unique<WlanLink>(cfg);
+    cached_key = key;
+  }
+  return *link;
+}
 
-  BerResult out;
+BerResult reduce_in_packet_order(const std::vector<PacketResult>& results) {
+  // Sequential fold in packet order — the exact arithmetic of
+  // WlanLink::run_ber, so the parallel result matches bit for bit.
+  BerResult agg;
   double evm_acc = 0.0;
   std::size_t evm_n = 0;
-  for (const Partial& p : partials) {
-    out.packets += p.packets;
-    out.packets_lost += p.lost;
-    out.packet_errors += p.errors;
-    out.bits += p.bits;
-    out.bit_errors += p.bit_errors;
-    evm_acc += p.evm_acc;
-    evm_n += p.evm_n;
+  for (const PacketResult& r : results) {
+    ++agg.packets;
+    agg.bits += r.bits;
+    agg.bit_errors += r.bit_errors;
+    if (r.bit_errors > 0 || !r.decoded) ++agg.packet_errors;
+    if (!r.decoded) {
+      ++agg.packets_lost;
+    } else {
+      evm_acc += r.evm_rms;
+      ++evm_n;
+    }
   }
-  out.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  agg.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  return agg;
+}
+
+}  // namespace
+
+BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
+                           std::size_t threads) {
+  if (num_packets == 0) return {};
+
+  std::string key = fingerprint(cfg);
+  if (key.empty()) {
+    // Not fingerprintable: key the cache to this call so links are fresh
+    // per call but still shared by all packets of the call.
+    static std::atomic<std::uint64_t> serial{0};
+    key = "#call-" + std::to_string(++serial);
+  }
+
+  std::vector<PacketResult> results(num_packets);
+  const auto body = [&](std::size_t /*worker*/, std::size_t i) {
+    results[i] = worker_link(cfg, key).run_packet(i);
+  };
+
+  // More threads than 8-packet chunks would only contend on the queue.
+  const std::size_t max_useful = (num_packets + kPacketChunk - 1) / kPacketChunk;
+  if (threads == 0) {
+    ThreadPool::shared().parallel_for(num_packets, kPacketChunk, body);
+  } else if (std::min(threads, max_useful) <= 1) {
+    for (std::size_t i = 0; i < num_packets; ++i) body(0, i);
+  } else {
+    ThreadPool dedicated(std::min(threads, max_useful));
+    dedicated.parallel_for(num_packets, kPacketChunk, body);
+  }
+  return reduce_in_packet_order(results);
+}
+
+std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
+                                          std::size_t num_packets,
+                                          std::size_t threads) {
+  std::vector<BerResult> out;
+  out.reserve(configs.size());
+  for (const LinkConfig& cfg : configs)
+    out.push_back(run_ber_parallel(cfg, num_packets, threads));
   return out;
 }
 

@@ -2,15 +2,34 @@
 // (seed, i), so partitioning packets across worker threads reproduces the
 // serial result bit-for-bit — parameter sweeps get a near-linear speedup
 // without giving up reproducibility.
+//
+// Work runs on the process-wide persistent ThreadPool; each worker thread
+// caches its WlanLink between calls (keyed by a config fingerprint), so a
+// sweep re-running the same configuration pays neither thread creation nor
+// link construction per point.
 #pragma once
+
+#include <span>
+#include <vector>
 
 #include "core/link.h"
 
 namespace wlansim::core {
 
-/// Run `num_packets` through `cfg` using `threads` workers (0 = hardware
-/// concurrency). Identical results to WlanLink(cfg).run_ber(num_packets).
+/// Run `num_packets` through `cfg` using `threads` workers (0 = the shared
+/// persistent pool at hardware concurrency; an explicit count runs on a
+/// dedicated pool of that size). The thread count never exceeds one worker
+/// per 8-packet chunk. Results are identical to
+/// WlanLink(cfg).run_ber(num_packets) bit for bit, including the EVM
+/// average's floating-point accumulation order.
 BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
                            std::size_t threads = 0);
+
+/// Measure every configuration of a sweep: points run sequentially, the
+/// packets of each point in parallel. Equivalent to calling
+/// run_ber_parallel(configs[k], num_packets, threads) for each k.
+std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
+                                          std::size_t num_packets,
+                                          std::size_t threads = 0);
 
 }  // namespace wlansim::core

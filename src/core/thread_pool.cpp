@@ -1,0 +1,90 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace wlansim::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  size_ = threads;
+  workers_.reserve(size_ > 0 ? size_ - 1 : 0);
+  // Worker 0 is the calling thread; spawn the rest.
+  for (std::size_t w = 1; w < size_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::drain(std::size_t worker) {
+  for (;;) {
+    std::size_t begin, end;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= n_) return;
+      begin = next_;
+      end = std::min(n_, begin + chunk_);
+      next_ = end;
+    }
+    for (std::size_t i = begin; i < end; ++i) (*fn_)(worker, i);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      ++active_;
+    }
+    drain(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (size_ <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    chunk_ = chunk;
+    next_ = 0;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  drain(/*worker=*/0);  // the caller works too
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool* pool = new ThreadPool();  // immortal
+  return *pool;
+}
+
+}  // namespace wlansim::core

@@ -1,6 +1,9 @@
 #include "dsp/fft.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "dsp/mathutil.h"
@@ -20,25 +23,21 @@ Fft::Fft(std::size_t n) : n_(n) {
     bitrev_[i] = r;
   }
   twiddle_fwd_.resize(n / 2);
+  twiddle_inv_.resize(n / 2);
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
     twiddle_fwd_[k] = {std::cos(ang), std::sin(ang)};
+    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
   }
 }
 
-void Fft::transform(std::span<Cplx> x, bool inv) const {
-  if (x.size() != n_) throw std::invalid_argument("Fft: size mismatch");
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::size_t j = bitrev_[i];
-    if (j > i) std::swap(x[i], x[j]);
-  }
+void Fft::butterflies(Cplx* __restrict x, const Cplx* __restrict twiddle) const {
   for (std::size_t len = 2; len <= n_; len <<= 1) {
     const std::size_t half = len / 2;
     const std::size_t step = n_ / len;
     for (std::size_t base = 0; base < n_; base += len) {
       for (std::size_t k = 0; k < half; ++k) {
-        Cplx w = twiddle_fwd_[k * step];
-        if (inv) w = std::conj(w);
+        const Cplx w = twiddle[k * step];
         const Cplx u = x[base + k];
         const Cplx v = x[base + k + half] * w;
         x[base + k] = u + v;
@@ -46,29 +45,76 @@ void Fft::transform(std::span<Cplx> x, bool inv) const {
       }
     }
   }
-  if (inv) {
-    const double s = 1.0 / static_cast<double>(n_);
-    for (Cplx& v : x) v *= s;
-  }
 }
 
-void Fft::forward(std::span<Cplx> x) const { transform(x, false); }
-void Fft::inverse(std::span<Cplx> x) const { transform(x, true); }
+void Fft::scatter_bitrev(std::span<const Cplx> in, std::span<Cplx> out) const {
+  const Cplx* __restrict src = in.data();
+  Cplx* __restrict dst = out.data();
+  const std::size_t* __restrict rev = bitrev_.data();
+  for (std::size_t i = 0; i < n_; ++i) dst[i] = src[rev[i]];
+}
+
+void Fft::forward(std::span<Cplx> x) const {
+  if (x.size() != n_) throw std::invalid_argument("Fft: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (j > i) std::swap(x[i], x[j]);
+  }
+  butterflies(x.data(), twiddle_fwd_.data());
+}
+
+void Fft::inverse(std::span<Cplx> x) const {
+  if (x.size() != n_) throw std::invalid_argument("Fft: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (j > i) std::swap(x[i], x[j]);
+  }
+  butterflies(x.data(), twiddle_inv_.data());
+  const double s = 1.0 / static_cast<double>(n_);
+  for (Cplx& v : x) v *= s;
+}
+
+void Fft::forward(std::span<const Cplx> in, std::span<Cplx> out) const {
+  if (in.size() != n_ || out.size() != n_)
+    throw std::invalid_argument("Fft: size mismatch");
+  scatter_bitrev(in, out);
+  butterflies(out.data(), twiddle_fwd_.data());
+}
+
+void Fft::inverse(std::span<const Cplx> in, std::span<Cplx> out) const {
+  if (in.size() != n_ || out.size() != n_)
+    throw std::invalid_argument("Fft: size mismatch");
+  scatter_bitrev(in, out);
+  butterflies(out.data(), twiddle_inv_.data());
+  const double s = 1.0 / static_cast<double>(n_);
+  for (Cplx& v : out) v *= s;
+}
 
 CVec Fft::forward(std::span<const Cplx> x) const {
-  CVec out(x.begin(), x.end());
-  forward(std::span<Cplx>(out));
+  CVec out(n_);
+  forward(x, std::span<Cplx>(out));
   return out;
 }
 
 CVec Fft::inverse(std::span<const Cplx> x) const {
-  CVec out(x.begin(), x.end());
-  inverse(std::span<Cplx>(out));
+  CVec out(n_);
+  inverse(x, std::span<Cplx>(out));
   return out;
 }
 
-CVec fft(std::span<const Cplx> x) { return Fft(x.size()).forward(x); }
-CVec ifft(std::span<const Cplx> x) { return Fft(x.size()).inverse(x); }
+const Fft& fft_plan(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<Fft>>* cache =
+      new std::map<std::size_t, std::unique_ptr<Fft>>();  // leaked: immortal
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(n);
+  if (it == cache->end())
+    it = cache->emplace(n, std::make_unique<Fft>(n)).first;
+  return *it->second;
+}
+
+CVec fft(std::span<const Cplx> x) { return fft_plan(x.size()).forward(x); }
+CVec ifft(std::span<const Cplx> x) { return fft_plan(x.size()).inverse(x); }
 
 CVec fftshift(std::span<const Cplx> x) {
   CVec out(x.size());

@@ -3,6 +3,15 @@
 // 802.11a OFDM uses 64-point transforms; spectral measurements use up to a
 // few thousand points. An iterative radix-2 kernel with per-size twiddle
 // caching is sufficient and allocation-free on the hot path.
+//
+// Hot-path design notes:
+//  * forward and inverse twiddles are both precomputed, so the butterfly
+//    inner loop carries no direction branch and no per-butterfly conj;
+//  * the out-of-place transforms copy the input in bit-reversed order,
+//    which removes the separate in-place permutation pass — this is the
+//    plan the per-symbol OFDM (de)modulator uses;
+//  * `fft()`/`ifft()` draw their engine from a process-wide plan cache
+//    keyed by size instead of rebuilding twiddle tables per call.
 #pragma once
 
 #include <cstddef>
@@ -28,22 +37,37 @@ class Fft {
   /// inverse(forward(x)) == x.
   void inverse(std::span<Cplx> x) const;
 
+  /// Out-of-place transforms into a caller-provided buffer (`out` must not
+  /// alias `in`; both sized size()). The input copy happens in bit-reversed
+  /// order, skipping the in-place permutation pass — the fastest plan for
+  /// repeated fixed-size transforms. Allocation-free.
+  void forward(std::span<const Cplx> in, std::span<Cplx> out) const;
+  void inverse(std::span<const Cplx> in, std::span<Cplx> out) const;
+
   /// Out-of-place convenience wrappers.
   CVec forward(std::span<const Cplx> x) const;
   CVec inverse(std::span<const Cplx> x) const;
 
  private:
-  void transform(std::span<Cplx> x, bool inv) const;
+  // Raw pointers, not span/vector refs: g++ -O2 keeps reloading a
+  // vector-reference's data pointer in the inner loop (~1.8x slower).
+  void butterflies(Cplx* x, const Cplx* twiddle) const;
+  void scatter_bitrev(std::span<const Cplx> in, std::span<Cplx> out) const;
 
   std::size_t n_;
   std::vector<std::size_t> bitrev_;
   CVec twiddle_fwd_;  // e^{-j 2 pi k / N}, k = 0..N/2-1
+  CVec twiddle_inv_;  // conj(twiddle_fwd_), hoisted out of the inner loop
 };
 
-/// One-shot FFT of any power-of-two-length signal.
+/// Process-wide plan cache: the shared engine for size `n` (power of two
+/// >= 2). Thread-safe; the returned reference lives for the process.
+const Fft& fft_plan(std::size_t n);
+
+/// One-shot FFT of any power-of-two-length signal (plan-cached).
 CVec fft(std::span<const Cplx> x);
 
-/// One-shot inverse FFT (includes 1/N).
+/// One-shot inverse FFT (includes 1/N; plan-cached).
 CVec ifft(std::span<const Cplx> x);
 
 /// Rotate a spectrum so DC is centered (bin N/2), matching analyzer plots.

@@ -64,29 +64,36 @@ RVec design_kaiser_lowpass(double cutoff_norm, double transition_norm,
 
 FirFilter::FirFilter(RVec taps) : taps_(std::move(taps)), pos_(0) {
   if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
-  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+  delay_.assign(2 * taps_.size(), Cplx{0.0, 0.0});
 }
 
 Cplx FirFilter::step(Cplx in) {
-  delay_[pos_] = in;
-  Cplx acc{0.0, 0.0};
-  std::size_t idx = pos_;
-  for (std::size_t k = 0; k < taps_.size(); ++k) {
-    acc += taps_[k] * delay_[idx];
-    idx = (idx == 0) ? taps_.size() - 1 : idx - 1;
+  const std::size_t n = taps_.size();
+  pos_ = (pos_ == 0) ? n - 1 : pos_ - 1;
+  delay_[pos_] = delay_[pos_ + n] = in;
+  // delay_[pos_ + k] is the k-th most recent sample: contiguous window,
+  // taps ascending — the same summation order as a circular delay line.
+  const Cplx* w = delay_.data() + pos_;
+  double re = 0.0, im = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    re += taps_[k] * w[k].real();
+    im += taps_[k] * w[k].imag();
   }
-  pos_ = (pos_ + 1) % taps_.size();
-  return acc;
+  return {re, im};
 }
 
 CVec FirFilter::process(std::span<const Cplx> in) {
   CVec out(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  process_into(in, out);
   return out;
 }
 
+void FirFilter::process_into(std::span<const Cplx> in, std::span<Cplx> out) {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+}
+
 void FirFilter::reset() {
-  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+  delay_.assign(2 * taps_.size(), Cplx{0.0, 0.0});
   pos_ = 0;
 }
 
@@ -101,29 +108,36 @@ Cplx FirFilter::response(double f_norm) const {
 
 CFirFilter::CFirFilter(CVec taps) : taps_(std::move(taps)), pos_(0) {
   if (taps_.empty()) throw std::invalid_argument("CFirFilter: empty taps");
-  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+  delay_.assign(2 * taps_.size(), Cplx{0.0, 0.0});
 }
 
 Cplx CFirFilter::step(Cplx in) {
-  delay_[pos_] = in;
-  Cplx acc{0.0, 0.0};
-  std::size_t idx = pos_;
-  for (std::size_t k = 0; k < taps_.size(); ++k) {
-    acc += taps_[k] * delay_[idx];
-    idx = (idx == 0) ? taps_.size() - 1 : idx - 1;
+  const std::size_t n = taps_.size();
+  pos_ = (pos_ == 0) ? n - 1 : pos_ - 1;
+  delay_[pos_] = delay_[pos_ + n] = in;
+  const Cplx* w = delay_.data() + pos_;
+  double re = 0.0, im = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double tr = taps_[k].real(), ti = taps_[k].imag();
+    const double xr = w[k].real(), xi = w[k].imag();
+    re += tr * xr - ti * xi;
+    im += tr * xi + ti * xr;
   }
-  pos_ = (pos_ + 1) % taps_.size();
-  return acc;
+  return {re, im};
 }
 
 CVec CFirFilter::process(std::span<const Cplx> in) {
   CVec out(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  process_into(in, out);
   return out;
 }
 
+void CFirFilter::process_into(std::span<const Cplx> in, std::span<Cplx> out) {
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+}
+
 void CFirFilter::reset() {
-  delay_.assign(taps_.size(), Cplx{0.0, 0.0});
+  delay_.assign(2 * taps_.size(), Cplx{0.0, 0.0});
   pos_ = 0;
 }
 

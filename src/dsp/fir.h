@@ -32,6 +32,12 @@ RVec design_kaiser_lowpass(double cutoff_norm, double transition_norm,
 
 /// Streaming FIR filter over complex samples with real taps. Keeps state
 /// across process() calls so a long signal can be filtered in chunks.
+///
+/// The delay line is stored twice back to back so the newest-to-oldest
+/// window is always contiguous: no modulo in the inner loop and the
+/// compiler can vectorize the dot product. Summation order matches the
+/// classic circular implementation (taps ascending, samples newest first),
+/// so results are bit-identical to it.
 class FirFilter {
  public:
   explicit FirFilter(RVec taps);
@@ -50,6 +56,10 @@ class FirFilter {
   /// Filter a block; output has the same length (streaming convolution).
   CVec process(std::span<const Cplx> in);
 
+  /// Filter a block into a caller-provided buffer (`out.size()` must equal
+  /// `in.size()`; `out` may alias `in` for in-place use). Allocation-free.
+  void process_into(std::span<const Cplx> in, std::span<Cplx> out);
+
   /// Clear the delay line.
   void reset();
 
@@ -59,8 +69,8 @@ class FirFilter {
 
  private:
   RVec taps_;
-  CVec delay_;       // circular delay line
-  std::size_t pos_;  // next write index
+  CVec delay_;       // doubled delay line (size 2 * num_taps)
+  std::size_t pos_;  // newest-sample index, in [0, num_taps)
 };
 
 /// Convolve then trim the tails so the output aligns with and matches the
@@ -78,6 +88,11 @@ class CFirFilter {
 
   Cplx step(Cplx in);
   CVec process(std::span<const Cplx> in);
+
+  /// Filter a block into a caller-provided buffer (`out.size()` must equal
+  /// `in.size()`; `out` may alias `in`). Allocation-free.
+  void process_into(std::span<const Cplx> in, std::span<Cplx> out);
+
   void reset();
 
   /// Complex frequency response at normalized frequency f (may be
@@ -86,8 +101,8 @@ class CFirFilter {
 
  private:
   CVec taps_;
-  CVec delay_;
-  std::size_t pos_;
+  CVec delay_;       // doubled delay line (size 2 * num_taps)
+  std::size_t pos_;  // newest-sample index, in [0, num_taps)
 };
 
 }  // namespace wlansim::dsp

@@ -30,8 +30,36 @@ Cplx BiquadCascade::step(Cplx x) {
 
 CVec BiquadCascade::process(std::span<const Cplx> in) {
   CVec out(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  process_into(in, out);
   return out;
+}
+
+void BiquadCascade::process_into(std::span<const Cplx> in,
+                                 std::span<Cplx> out) {
+  // Stage-outer: each section streams over the whole block with its state
+  // and coefficients in registers, instead of walking the section vector
+  // per sample. Values are identical to the step() form — every sample
+  // still passes through the stages in the same order with the same
+  // recurrence; only the iteration order over (sample, stage) changes, and
+  // no arithmetic is reassociated.
+  const std::size_t n = in.size();
+  const Cplx* src = in.data();  // may alias dst (in-place is allowed)
+  Cplx* dst = out.data();
+  const double g = gain_;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = g * src[i];
+  for (Biquad& s : sections_) {
+    const double b0 = s.b0, b1 = s.b1, b2 = s.b2, a1 = s.a1, a2 = s.a2;
+    Cplx s1 = s.s1, s2 = s.s2;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cplx x = dst[i];
+      const Cplx y = b0 * x + s1;
+      s1 = b1 * x - a1 * y + s2;
+      s2 = b2 * x - a2 * y;
+      dst[i] = y;
+    }
+    s.s1 = s1;
+    s.s2 = s2;
+  }
 }
 
 void BiquadCascade::reset() {

@@ -41,6 +41,11 @@ class BiquadCascade {
 
   Cplx step(Cplx x);
   CVec process(std::span<const Cplx> in);
+
+  /// Filter a block into a caller-provided buffer (`out.size()` must equal
+  /// `in.size()`; `out` may alias `in`). Allocation-free.
+  void process_into(std::span<const Cplx> in, std::span<Cplx> out);
+
   void reset();
 
   Cplx response(double f_norm) const;

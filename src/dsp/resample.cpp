@@ -1,7 +1,10 @@
 #include "dsp/resample.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "dsp/fir.h"
 #include "dsp/mathutil.h"
@@ -10,36 +13,110 @@ namespace wlansim::dsp {
 
 namespace {
 
-RVec resampling_filter(std::size_t factor, double atten_db) {
-  // Cut at half the original Nyquist band in the high-rate domain, with a
-  // transition band that keeps tap counts moderate.
-  const double cutoff = 0.5 / static_cast<double>(factor);
-  const double transition = 0.25 * cutoff;
-  return design_kaiser_lowpass(cutoff - transition / 2.0, transition, atten_db);
+// Per-thread streaming filter reused across calls. reset() before each use
+// makes it equivalent to a freshly constructed FirFilter.
+FirFilter& cached_filter(std::size_t factor, double atten_db) {
+  thread_local std::map<std::pair<std::size_t, double>, FirFilter>* filters =
+      new std::map<std::pair<std::size_t, double>, FirFilter>();  // immortal
+  const auto key = std::make_pair(factor, atten_db);
+  auto it = filters->find(key);
+  if (it == filters->end())
+    it = filters->emplace(key, FirFilter(resampling_taps(factor, atten_db)))
+             .first;
+  it->second.reset();
+  return it->second;
+}
+
+// Run `f` over the virtual input produced by `sample(j)` for j in [0, n),
+// writing the group-delay-aligned output (same length n) into out.
+template <typename SampleFn>
+void filter_aligned_into(FirFilter& f, std::size_t n, SampleFn sample,
+                         CVec& out) {
+  out.resize(n);
+  const std::size_t delay = (f.num_taps() - 1) / 2;
+  std::size_t oi = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const Cplx y = f.step(sample(j));
+    if (j >= delay) out[oi++] = y;
+  }
+  for (std::size_t j = 0; j < delay; ++j) out[oi++] = f.step(Cplx{0.0, 0.0});
 }
 
 }  // namespace
 
+const RVec& resampling_taps(std::size_t factor, double atten_db) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, double>, RVec>* cache =
+      new std::map<std::pair<std::size_t, double>, RVec>();  // immortal
+  std::lock_guard<std::mutex> lock(mu);
+  const auto key = std::make_pair(factor, atten_db);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    // Cut at half the original Nyquist band in the high-rate domain, with a
+    // transition band that keeps tap counts moderate.
+    const double cutoff = 0.5 / static_cast<double>(factor);
+    const double transition = 0.25 * cutoff;
+    it = cache
+             ->emplace(key, design_kaiser_lowpass(cutoff - transition / 2.0,
+                                                  transition, atten_db))
+             .first;
+  }
+  return it->second;
+}
+
 CVec upsample(std::span<const Cplx> in, std::size_t factor, double atten_db) {
+  CVec out;
+  upsample_into(in, factor, out, atten_db);
+  return out;
+}
+
+void upsample_into(std::span<const Cplx> in, std::size_t factor, CVec& out,
+                   double atten_db) {
   if (factor == 0) throw std::invalid_argument("upsample: factor must be >= 1");
-  if (factor == 1) return CVec(in.begin(), in.end());
-  CVec stuffed(in.size() * factor, Cplx{0.0, 0.0});
-  for (std::size_t i = 0; i < in.size(); ++i)
-    stuffed[i * factor] = in[i] * static_cast<double>(factor);  // keep amplitude
-  const RVec taps = resampling_filter(factor, atten_db);
-  return filter_aligned(taps, stuffed);
+  if (factor == 1) {
+    out.assign(in.begin(), in.end());
+    return;
+  }
+  FirFilter& f = cached_filter(factor, atten_db);
+  const double scale = static_cast<double>(factor);  // keep amplitude
+  filter_aligned_into(
+      f, in.size() * factor,
+      [&](std::size_t j) {
+        return (j % factor == 0) ? in[j / factor] * scale : Cplx{0.0, 0.0};
+      },
+      out);
 }
 
 CVec downsample(std::span<const Cplx> in, std::size_t factor, double atten_db) {
-  if (factor == 0) throw std::invalid_argument("downsample: factor must be >= 1");
-  if (factor == 1) return CVec(in.begin(), in.end());
-  const RVec taps = resampling_filter(factor, atten_db);
-  const CVec filtered = filter_aligned(taps, in);
   CVec out;
-  out.reserve(filtered.size() / factor);
-  for (std::size_t i = 0; i < filtered.size(); i += factor)
-    out.push_back(filtered[i]);
+  downsample_into(in, factor, out, atten_db);
   return out;
+}
+
+void downsample_into(std::span<const Cplx> in, std::size_t factor, CVec& out,
+                     double atten_db) {
+  if (factor == 0)
+    throw std::invalid_argument("downsample: factor must be >= 1");
+  if (factor == 1) {
+    out.assign(in.begin(), in.end());
+    return;
+  }
+  FirFilter& f = cached_filter(factor, atten_db);
+  // Aligned filter then keep every factor-th sample, without materializing
+  // the intermediate full-rate vector.
+  out.resize((in.size() + factor - 1) / factor);
+  const std::size_t delay = (f.num_taps() - 1) / 2;
+  std::size_t oi = 0, aligned_idx = 0;
+  auto emit = [&](Cplx y) {
+    if (aligned_idx % factor == 0) out[oi++] = y;
+    ++aligned_idx;
+  };
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    const Cplx y = f.step(in[j]);
+    if (j >= delay) emit(y);
+  }
+  for (std::size_t j = 0; j < delay; ++j) emit(f.step(Cplx{0.0, 0.0}));
+  out.resize(oi);
 }
 
 CVec frequency_shift(std::span<const Cplx> in, double freq_norm,

@@ -22,6 +22,20 @@ CVec upsample(std::span<const Cplx> in, std::size_t factor,
 CVec downsample(std::span<const Cplx> in, std::size_t factor,
                 double atten_db = 60.0);
 
+/// Caller-provided-output variants of the above. `out` is resized to the
+/// result length; once its capacity is warm these perform no heap
+/// allocation (the anti-alias taps and filter state come from per-thread
+/// caches keyed by (factor, atten_db)). Results are bit-identical to the
+/// returning versions.
+void upsample_into(std::span<const Cplx> in, std::size_t factor, CVec& out,
+                   double atten_db = 60.0);
+void downsample_into(std::span<const Cplx> in, std::size_t factor, CVec& out,
+                     double atten_db = 60.0);
+
+/// The shared anti-alias/anti-image lowpass used by the resamplers for a
+/// given factor (process-wide cache; the reference lives for the process).
+const RVec& resampling_taps(std::size_t factor, double atten_db = 60.0);
+
 /// Frequency-shift a signal by `freq_norm` cycles/sample (fraction of fs):
 /// y[n] = x[n] * exp(j 2 pi freq_norm (n + phase0/2pi...)). `start_phase`
 /// is the oscillator phase at the first sample, in radians.

@@ -127,8 +127,10 @@ Bits viterbi_decode(const SoftBits& soft, bool terminated) {
 
   // One predecessor-decision word per step: bit s = chosen input bit that
   // led into state s (the input bit equals next_state bit 0, so we instead
-  // record which of the two predecessors won).
-  std::vector<std::uint64_t> decisions(steps, 0);
+  // record which of the two predecessors won). The buffer is reused across
+  // calls on the same thread; every word is overwritten before traceback.
+  thread_local std::vector<std::uint64_t> decisions;
+  if (decisions.size() < steps) decisions.resize(steps);
 
   std::array<double, kNumStates> next_metric{};
   for (std::size_t t = 0; t < steps; ++t) {

@@ -63,9 +63,18 @@ std::size_t carrier_to_bin(int carrier) {
 
 dsp::CVec ofdm_modulate_symbol(std::span<const dsp::Cplx> data48,
                                std::size_t symbol_index) {
+  dsp::CVec out;
+  ofdm_modulate_symbol_into(data48, symbol_index, out);
+  return out;
+}
+
+void ofdm_modulate_symbol_into(std::span<const dsp::Cplx> data48,
+                               std::size_t symbol_index, dsp::CVec& out) {
   if (data48.size() != kNumDataCarriers)
     throw std::invalid_argument("ofdm_modulate_symbol: need 48 points");
-  dsp::CVec fd(kNfft, dsp::Cplx{0.0, 0.0});
+  thread_local dsp::CVec fd, td;
+  fd.assign(kNfft, dsp::Cplx{0.0, 0.0});
+  td.resize(kNfft);
   const auto& dc = data_carrier_indices();
   for (std::size_t i = 0; i < kNumDataCarriers; ++i)
     fd[carrier_to_bin(dc[i])] = data48[i];
@@ -75,20 +84,21 @@ dsp::CVec ofdm_modulate_symbol(std::span<const dsp::Cplx> data48,
   for (std::size_t i = 0; i < kNumPilots; ++i)
     fd[carrier_to_bin(pc[i])] = pol * pv[i];
 
-  dsp::CVec td = fft64().inverse(std::span<const dsp::Cplx>(fd));
+  fft64().inverse(std::span<const dsp::Cplx>(fd), std::span<dsp::Cplx>(td));
   // The 64-point IFFT with 52 unit-power carriers yields mean power 52/64;
   // no extra scaling — the transmitter normalizes the whole frame.
-  dsp::CVec out;
-  out.reserve(kSymbolLen);
-  out.insert(out.end(), td.end() - kCpLen, td.end());  // cyclic prefix
-  out.insert(out.end(), td.begin(), td.end());
-  return out;
+  out.resize(kSymbolLen);
+  for (std::size_t i = 0; i < kCpLen; ++i)
+    out[i] = td[kNfft - kCpLen + i];  // cyclic prefix
+  for (std::size_t i = 0; i < kNfft; ++i) out[kCpLen + i] = td[i];
 }
 
 DemodulatedSymbol ofdm_demodulate_symbol(std::span<const dsp::Cplx> time64) {
   if (time64.size() != kNfft)
     throw std::invalid_argument("ofdm_demodulate_symbol: need 64 samples");
-  const dsp::CVec fd = fft64().forward(time64);
+  thread_local dsp::CVec fd;
+  fd.resize(kNfft);
+  fft64().forward(time64, std::span<dsp::Cplx>(fd));
   DemodulatedSymbol out;
   const auto& dc = data_carrier_indices();
   for (std::size_t i = 0; i < kNumDataCarriers; ++i)

@@ -31,6 +31,12 @@ double pilot_polarity(std::size_t symbol_index);
 dsp::CVec ofdm_modulate_symbol(std::span<const dsp::Cplx> data48,
                                std::size_t symbol_index);
 
+/// Same, into a caller-provided buffer (resized to kSymbolLen). With a warm
+/// `out` this performs no heap allocation: the 64-point IFFT runs through a
+/// cached out-of-place plan and per-thread scratch.
+void ofdm_modulate_symbol_into(std::span<const dsp::Cplx> data48,
+                               std::size_t symbol_index, dsp::CVec& out);
+
 /// FFT of one received symbol (64 samples, CP already removed) and
 /// extraction of the 48 data bins and 4 pilot bins.
 struct DemodulatedSymbol {

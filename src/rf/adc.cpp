@@ -23,12 +23,20 @@ double Adc::quantize(double v) const {
 }
 
 dsp::CVec Adc::process(std::span<const dsp::Cplx> in) {
-  if (!cfg_.enabled) return dsp::CVec(in.begin(), in.end());
-  dsp::CVec out(in.size());
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void Adc::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+  if (!cfg_.enabled) {
+    out.assign(in.begin(), in.end());
+    return;
+  }
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     out[i] = dsp::Cplx{quantize(in[i].real()), quantize(in[i].imag())};
   }
-  return out;
 }
 
 }  // namespace wlansim::rf

@@ -20,6 +20,7 @@ class Adc : public RfBlock {
   explicit Adc(const AdcConfig& cfg);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   std::string name() const override { return cfg_.label; }
 
   /// Quantize one rail value.

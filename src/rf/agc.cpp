@@ -21,8 +21,14 @@ Agc::Agc(const AgcConfig& cfg)
 }
 
 dsp::CVec Agc::process(std::span<const dsp::Cplx> in) {
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void Agc::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
   const double target_dbm = cfg_.target_power_dbm;
-  dsp::CVec out(in.size());
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     const double g = std::pow(10.0, gain_db_ / 20.0);
     const dsp::Cplx y = g * in[i];
@@ -51,7 +57,6 @@ dsp::CVec Agc::process(std::span<const dsp::Cplx> in) {
       }
     }
   }
-  return out;
 }
 
 void Agc::reset() {

@@ -41,6 +41,7 @@ class Agc : public RfBlock {
   explicit Agc(const AgcConfig& cfg);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override;
   std::string name() const override { return cfg_.label; }
 

@@ -64,7 +64,13 @@ double Amplifier::am_pm(double a) const {
 }
 
 dsp::CVec Amplifier::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec out(in.size());
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void Amplifier::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     dsp::Cplx x = in[i];
     if (noise_power_ > 0.0) x += rng_.cgaussian(noise_power_);
@@ -77,7 +83,6 @@ dsp::CVec Amplifier::process(std::span<const dsp::Cplx> in) {
     const double phi = am_pm(a);
     out[i] = x * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
   }
-  return out;
 }
 
 }  // namespace wlansim::rf

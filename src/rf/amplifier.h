@@ -38,7 +38,12 @@ class Amplifier : public RfBlock {
   Amplifier(const AmplifierConfig& cfg, double sample_rate_hz, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   std::string name() const override { return cfg_.label; }
+
+  /// Replace the noise generator — with the rng a fresh construction would
+  /// receive, this makes a persistent block equivalent to a new one.
+  void set_rng(dsp::Rng rng) { rng_ = rng; }
 
   /// Instantaneous output envelope for input envelope `a` (volts); exposes
   /// the static AM/AM curve for characterization tests.

@@ -28,6 +28,12 @@ dsp::CVec ChebyshevLowpass::process(std::span<const dsp::Cplx> in) {
   return filt_.process(in);
 }
 
+void ChebyshevLowpass::process_into(std::span<const dsp::Cplx> in,
+                                    dsp::CVec& out) {
+  out.resize(in.size());
+  filt_.process_into(in, out);
+}
+
 double ChebyshevLowpass::magnitude_at(double f_hz) const {
   return std::abs(filt_.response(f_hz / sample_rate_hz_));
 }
@@ -43,6 +49,12 @@ dsp::CVec DcBlockHighpass::process(std::span<const dsp::Cplx> in) {
   return filt_.process(in);
 }
 
+void DcBlockHighpass::process_into(std::span<const dsp::Cplx> in,
+                                   dsp::CVec& out) {
+  out.resize(in.size());
+  filt_.process_into(in, out);
+}
+
 ButterworthLowpass::ButterworthLowpass(std::size_t order, double cutoff_hz,
                                        double sample_rate_hz, std::string label)
     : label_(std::move(label)),
@@ -51,6 +63,12 @@ ButterworthLowpass::ButterworthLowpass(std::size_t order, double cutoff_hz,
 
 dsp::CVec ButterworthLowpass::process(std::span<const dsp::Cplx> in) {
   return filt_.process(in);
+}
+
+void ButterworthLowpass::process_into(std::span<const dsp::Cplx> in,
+                                      dsp::CVec& out) {
+  out.resize(in.size());
+  filt_.process_into(in, out);
 }
 
 }  // namespace wlansim::rf

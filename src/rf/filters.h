@@ -17,6 +17,7 @@ class ChebyshevLowpass : public RfBlock {
                    double sample_rate_hz, std::string label = "bb_lpf");
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 
@@ -40,6 +41,7 @@ class DcBlockHighpass : public RfBlock {
                   std::string label = "hpf");
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 
@@ -58,6 +60,7 @@ class ButterworthLowpass : public RfBlock {
                      double sample_rate_hz, std::string label = "lpf");
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 

@@ -33,7 +33,13 @@ Mixer::Mixer(const MixerConfig& cfg, double sample_rate_hz, dsp::Rng rng)
 }
 
 dsp::CVec Mixer::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec out(in.size());
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void Mixer::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
     if (pn_sigma_ > 0.0) pn_phase_ += rng_.gaussian(pn_sigma_);
     const double phi = lo_phase_ + pn_phase_;
@@ -59,7 +65,6 @@ dsp::CVec Mixer::process(std::span<const dsp::Cplx> in) {
     if (pn_phase_ > 64.0 * dsp::kPi || pn_phase_ < -64.0 * dsp::kPi)
       pn_phase_ = dsp::wrap_phase(pn_phase_);
   }
-  return out;
 }
 
 void Mixer::reset() {

@@ -43,8 +43,12 @@ class Mixer : public RfBlock {
   Mixer(const MixerConfig& cfg, double sample_rate_hz, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override;
   std::string name() const override { return cfg_.label; }
+
+  /// Replace the phase-noise generator (see Amplifier::set_rng).
+  void set_rng(dsp::Rng rng) { rng_ = rng; }
 
   const MixerConfig& config() const { return cfg_; }
 

@@ -15,11 +15,17 @@ WhiteNoiseSource::WhiteNoiseSource(double psd_w_per_hz, double sample_rate_hz,
 }
 
 dsp::CVec WhiteNoiseSource::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec out(in.begin(), in.end());
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void WhiteNoiseSource::process_into(std::span<const dsp::Cplx> in,
+                                    dsp::CVec& out) {
+  out.assign(in.begin(), in.end());
   if (power_ > 0.0) {
     for (auto& v : out) v += rng_.cgaussian(power_);
   }
-  return out;
 }
 
 namespace {
@@ -98,14 +104,20 @@ FlickerNoiseSource::FlickerNoiseSource(double power_watts, double corner_low_hz,
 }
 
 dsp::CVec FlickerNoiseSource::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec out(in.begin(), in.end());
-  if (drive_sigma_ <= 0.0) return out;
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void FlickerNoiseSource::process_into(std::span<const dsp::Cplx> in,
+                                      dsp::CVec& out) {
+  out.assign(in.begin(), in.end());
+  if (drive_sigma_ <= 0.0) return;
   for (auto& v : out) {
     dsp::Cplx n = rng_.cgaussian(1.0) * drive_sigma_;
     for (auto& s : stages_) n = s.step(n);
     v += n;
   }
-  return out;
 }
 
 void FlickerNoiseSource::reset() {
@@ -129,23 +141,43 @@ WanderingDcSource::WanderingDcSource(double rms_amplitude, double bandwidth_hz,
 }
 
 dsp::CVec WanderingDcSource::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec out(in.begin(), in.end());
-  if (rms_ <= 0.0) return out;
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void WanderingDcSource::process_into(std::span<const dsp::Cplx> in,
+                                     dsp::CVec& out) {
+  out.assign(in.begin(), in.end());
+  if (rms_ <= 0.0) return;
   for (auto& v : out) {
     state_ += alpha_ * (dsp::Cplx{rng_.gaussian(drive_std_),
                                   rng_.gaussian(drive_std_)} -
                         state_);
     v += state_;
   }
-  return out;
 }
 
 void WanderingDcSource::reset() { state_ = dsp::Cplx{0.0, 0.0}; }
 
+void WanderingDcSource::reseed(dsp::Rng rng) {
+  rng_ = rng;
+  // Same draw a fresh construction performs.
+  const double var_per_rail = rms_ * rms_ / 2.0;
+  state_ = {rng_.gaussian(std::sqrt(var_per_rail)),
+            rng_.gaussian(std::sqrt(var_per_rail))};
+}
+
 dsp::CVec DcOffsetSource::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec out(in.begin(), in.end());
-  for (auto& v : out) v += offset_;
+  dsp::CVec out;
+  process_into(in, out);
   return out;
+}
+
+void DcOffsetSource::process_into(std::span<const dsp::Cplx> in,
+                                  dsp::CVec& out) {
+  out.assign(in.begin(), in.end());
+  for (auto& v : out) v += offset_;
 }
 
 }  // namespace wlansim::rf

@@ -18,7 +18,11 @@ class WhiteNoiseSource : public RfBlock {
   WhiteNoiseSource(double psd_w_per_hz, double sample_rate_hz, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   std::string name() const override { return "white_noise"; }
+
+  /// Replace the noise generator (see Amplifier::set_rng).
+  void set_rng(dsp::Rng rng) { rng_ = rng; }
 
   double total_power_watts() const { return power_; }
 
@@ -38,8 +42,14 @@ class FlickerNoiseSource : public RfBlock {
                      dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override;
   std::string name() const override { return "flicker_noise"; }
+
+  /// Replace the drive generator (the calibration in the constructor uses
+  /// its own fixed-seed rng, so reset() + set_rng() makes a persistent
+  /// source equivalent to a freshly constructed one).
+  void set_rng(dsp::Rng rng) { rng_ = rng; }
 
  private:
   double drive_sigma_;
@@ -60,8 +70,13 @@ class WanderingDcSource : public RfBlock {
                     double sample_rate_hz, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override;
   std::string name() const override { return "wandering_dc"; }
+
+  /// Replace the rng and redo the construction-time draw of the initial
+  /// walk state, so the source behaves exactly like a new one.
+  void reseed(dsp::Rng rng);
 
  private:
   double rms_;
@@ -78,6 +93,7 @@ class DcOffsetSource : public RfBlock {
   explicit DcOffsetSource(dsp::Cplx offset) : offset_(offset) {}
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   std::string name() const override { return "dc_offset"; }
 
   dsp::Cplx offset() const { return offset_; }

@@ -45,7 +45,7 @@ DoubleConversionReceiver::DoubleConversionReceiver(
   mixer2_ = chain_.emplace<Mixer>(m2, fs, rng.fork());
 
   if (cfg_.noise_enabled && cfg_.mixer2_flicker_power_dbm > -150.0) {
-    chain_.emplace<FlickerNoiseSource>(
+    flicker_ = chain_.emplace<FlickerNoiseSource>(
         dsp::dbm_to_watts(cfg_.mixer2_flicker_power_dbm),
         /*corner_low_hz=*/1e3, cfg_.flicker_corner_hz, fs, rng.fork());
   }
@@ -63,6 +63,19 @@ DoubleConversionReceiver::DoubleConversionReceiver(
 
 dsp::CVec DoubleConversionReceiver::process(std::span<const dsp::Cplx> in) {
   return chain_.process(in);
+}
+
+void DoubleConversionReceiver::process_into(std::span<const dsp::Cplx> in,
+                                            dsp::CVec& out) {
+  chain_.process_into(in, out);
+}
+
+void DoubleConversionReceiver::reseed(dsp::Rng rng) {
+  // Same fork order as the constructor: lna, mixer1, mixer2, flicker.
+  lna_->set_rng(rng.fork());
+  mixer1_->set_rng(rng.fork());
+  mixer2_->set_rng(rng.fork());
+  if (flicker_) flicker_->set_rng(rng.fork());
 }
 
 double DoubleConversionReceiver::front_end_gain_db() const {

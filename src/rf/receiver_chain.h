@@ -85,8 +85,16 @@ class DoubleConversionReceiver : public RfBlock {
   DoubleConversionReceiver(const DoubleConversionConfig& cfg, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override { chain_.reset(); }
   std::string name() const override { return "double_conversion_rx"; }
+
+  /// Re-fork the per-stage rngs from `rng` in construction order. After
+  /// reset() + reseed(rng) a persistent receiver produces exactly the
+  /// stream a DoubleConversionReceiver(cfg, rng) built from scratch would
+  /// (the flicker calibration uses its own fixed seed, so skipping it
+  /// changes nothing).
+  void reseed(dsp::Rng rng);
 
   const DoubleConversionConfig& config() const { return cfg_; }
 
@@ -106,6 +114,7 @@ class DoubleConversionReceiver : public RfBlock {
   Amplifier* lna_ = nullptr;
   Mixer* mixer1_ = nullptr;
   Mixer* mixer2_ = nullptr;
+  FlickerNoiseSource* flicker_ = nullptr;
   ChebyshevLowpass* bb_lpf_ = nullptr;
   Agc* agc_ = nullptr;
 };

@@ -3,11 +3,27 @@
 namespace wlansim::rf {
 
 dsp::CVec RfChain::process(std::span<const dsp::Cplx> in) {
-  dsp::CVec buf(in.begin(), in.end());
-  for (auto& b : blocks_) {
-    buf = b->process(buf);
+  dsp::CVec out;
+  process_into(in, out);
+  return out;
+}
+
+void RfChain::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+  if (blocks_.empty()) {
+    out.assign(in.begin(), in.end());
+    return;
   }
-  return buf;
+  // Ping-pong between `out` and the member scratch buffer so each block
+  // writes into a warm vector. Starting on `out` for odd cascades and on
+  // the scratch for even ones makes the final block always land in `out`.
+  dsp::CVec* dst = (blocks_.size() % 2 == 1) ? &out : &scratch_;
+  dsp::CVec* alt = (blocks_.size() % 2 == 1) ? &scratch_ : &out;
+  std::span<const dsp::Cplx> cur = in;
+  for (auto& b : blocks_) {
+    b->process_into(cur, *dst);
+    cur = *dst;
+    std::swap(dst, alt);
+  }
 }
 
 void RfChain::reset() {

@@ -26,6 +26,14 @@ class RfBlock {
   /// Process a chunk; output has the same length as the input.
   virtual dsp::CVec process(std::span<const dsp::Cplx> in) = 0;
 
+  /// Process a chunk into a caller-provided vector, which is resized to the
+  /// input length. Blocks on the packet hot path override this so that a
+  /// warm `out` means zero heap allocation; the default delegates to
+  /// process(). `out` must not alias `in`.
+  virtual void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+    out = process(in);
+  }
+
   /// Clear internal state (filters, AGC loops, oscillator phase).
   virtual void reset() {}
 
@@ -55,11 +63,13 @@ class RfChain : public RfBlock {
   RfBlock& at(std::size_t i) { return *blocks_.at(i); }
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
   void reset() override;
   std::string name() const override { return "chain"; }
 
  private:
   std::vector<std::unique_ptr<RfBlock>> blocks_;
+  dsp::CVec scratch_;  // ping-pong partner of the caller's `out` buffer
 };
 
 }  // namespace wlansim::rf

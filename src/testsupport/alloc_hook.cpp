@@ -1,0 +1,78 @@
+// Counting replacements for the global allocation functions. Defining
+// these in exactly one translation unit of an executable replaces the
+// toolchain's versions (C++ [replacement.functions]); the counters are
+// thread_local so concurrent workers don't interfere.
+#include "testsupport/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local std::uint64_t g_count = 0;
+thread_local std::uint64_t g_bytes = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_count;
+  g_bytes += size;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  ++g_count;
+  g_bytes += size;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+namespace wlansim::testhook {
+
+std::uint64_t allocation_count() { return g_count; }
+std::uint64_t allocation_bytes() { return g_bytes; }
+void reset_allocation_count() {
+  g_count = 0;
+  g_bytes = 0;
+}
+
+}  // namespace wlansim::testhook
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_count;
+  g_bytes += size;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_count;
+  g_bytes += size;
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

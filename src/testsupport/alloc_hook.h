@@ -1,0 +1,20 @@
+// Heap-allocation counter for tests and benchmarks: this library replaces
+// the global operator new/delete with counting versions. Link it ONLY into
+// test/bench executables — production targets must not pay the counter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wlansim::testhook {
+
+/// Number of heap allocations (any operator new) performed by the calling
+/// thread since the last reset_allocation_count().
+std::uint64_t allocation_count();
+
+/// Bytes requested by those allocations.
+std::uint64_t allocation_bytes();
+
+void reset_allocation_count();
+
+}  // namespace wlansim::testhook

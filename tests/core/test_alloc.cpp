@@ -1,0 +1,97 @@
+// Steady-state heap discipline of the packet hot path, measured through the
+// counting operator new this executable links (see src/testsupport).
+//
+// Two contracts:
+//  * the RF front-end chain itself is allocation-free once its scratch
+//    buffers have grown to the packet size;
+//  * a warmed-up WlanLink::run_packet stops growing — repeated packets
+//    allocate no more than the first post-warm-up packet (the remaining
+//    allocations are the TX/RX bit pipeline's, documented in
+//    docs/PERFORMANCE.md), and the dominant oversampled scene buffers are
+//    reused rather than reallocated.
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "core/link.h"
+#include "dsp/rng.h"
+#include "rf/receiver_chain.h"
+#include "testsupport/alloc_hook.h"
+
+namespace wlansim::core {
+namespace {
+
+using testhook::allocation_count;
+using testhook::reset_allocation_count;
+
+TEST(AllocationDiscipline, RfChainSteadyStateIsAllocationFree) {
+  rf::DoubleConversionConfig cfg;
+  rf::DoubleConversionReceiver rx(cfg, dsp::Rng(123));
+
+  dsp::Rng rng(5);
+  dsp::CVec in(4096);
+  for (auto& v : in) v = rng.cgaussian(1e-9);
+  dsp::CVec out;
+
+  // Warm up: grows `out` and the chain's internal ping-pong scratch.
+  rx.process_into(in, out);
+  rx.reset();
+  rx.reseed(dsp::Rng(99));
+
+  reset_allocation_count();
+  rx.process_into(in, out);
+  EXPECT_EQ(allocation_count(), 0u)
+      << "RF chain allocated in steady state";
+}
+
+TEST(AllocationDiscipline, RunPacketStopsAllocatingAfterWarmup) {
+  LinkConfig cfg = default_link_config();
+  cfg.psdu_bytes = 60;
+  WlanLink link(cfg);
+
+  link.run_packet(0);  // cold: builds workspace blocks and grows buffers
+  link.run_packet(1);
+
+  reset_allocation_count();
+  link.run_packet(2);
+  const std::uint64_t warm = allocation_count();
+
+  for (std::uint64_t i = 3; i < 7; ++i) {
+    reset_allocation_count();
+    link.run_packet(i);
+    EXPECT_LE(allocation_count(), warm)
+        << "allocation count grew at packet " << i;
+  }
+}
+
+TEST(AllocationDiscipline, DirectPathShedsGraphHeapTraffic) {
+  LinkConfig cfg = default_link_config();
+  cfg.psdu_bytes = 60;
+
+  cfg.packet_path = PacketPath::kDirect;
+  WlanLink direct(cfg);
+  cfg.packet_path = PacketPath::kGraph;
+  WlanLink graph(cfg);
+
+  direct.run_packet(0);
+  graph.run_packet(0);
+
+  reset_allocation_count();
+  direct.run_packet(1);
+  const std::uint64_t na = allocation_count();
+  const std::uint64_t ba = testhook::allocation_bytes();
+  reset_allocation_count();
+  graph.run_packet(1);
+  const std::uint64_t ng = allocation_count();
+  const std::uint64_t bg = testhook::allocation_bytes();
+
+  // The direct path's remaining allocations are the 20 Msps TX/RX bit
+  // pipeline; everything the graph adds on top (FIFOs, per-chunk vectors,
+  // flicker calibration) must be gone. The scene runs at 4x the bit
+  // pipeline's rate, so the graph's heap traffic in bytes dwarfs what the
+  // direct path has left.
+  EXPECT_LT(na, ng) << "direct=" << na << " graph=" << ng;
+  EXPECT_LT(ba * 4, bg) << "direct bytes=" << ba << " graph bytes=" << bg;
+}
+
+}  // namespace
+}  // namespace wlansim::core

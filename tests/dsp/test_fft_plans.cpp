@@ -1,0 +1,93 @@
+// The FFT's execution plans — in-place, out-of-place (bit-reversed copy),
+// and the process-wide cached fft()/ifft() — must all agree with each other
+// and round-trip to the input.
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+
+namespace wlansim::dsp {
+namespace {
+
+CVec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  CVec x(n);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  return x;
+}
+
+TEST(FftPlans, OutOfPlaceRoundTrip) {
+  for (const std::size_t n : {2u, 4u, 8u, 64u, 256u, 1024u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const Fft plan(n);
+    const CVec x = random_signal(n, 7 + n);
+    CVec spec(n), back(n);
+    plan.forward(std::span<const Cplx>(x), std::span<Cplx>(spec));
+    plan.inverse(std::span<const Cplx>(spec), std::span<Cplx>(back));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i].real(), x[i].real(), 1e-12);
+      EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-12);
+    }
+  }
+}
+
+TEST(FftPlans, InPlaceMatchesOutOfPlaceExactly) {
+  for (const std::size_t n : {8u, 64u, 512u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const Fft plan(n);
+    const CVec x = random_signal(n, 11 + n);
+
+    CVec oop(n);
+    plan.forward(std::span<const Cplx>(x), std::span<Cplx>(oop));
+    CVec inp = x;
+    plan.forward(std::span<Cplx>(inp));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(inp[i].real(), oop[i].real());
+      EXPECT_EQ(inp[i].imag(), oop[i].imag());
+    }
+
+    CVec oop_inv(n);
+    plan.inverse(std::span<const Cplx>(oop), std::span<Cplx>(oop_inv));
+    CVec inp_inv = oop;
+    plan.inverse(std::span<Cplx>(inp_inv));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(inp_inv[i].real(), oop_inv[i].real());
+      EXPECT_EQ(inp_inv[i].imag(), oop_inv[i].imag());
+    }
+  }
+}
+
+TEST(FftPlans, CachedHelpersMatchDedicatedEngine) {
+  const std::size_t n = 128;
+  const CVec x = random_signal(n, 42);
+  const Fft plan(n);
+  const CVec ref = plan.forward(std::span<const Cplx>(x));
+  const CVec cached = fft(x);
+  ASSERT_EQ(cached.size(), ref.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(cached[i].real(), ref[i].real());
+    EXPECT_EQ(cached[i].imag(), ref[i].imag());
+  }
+
+  const CVec back = ifft(cached);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-12);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-12);
+  }
+}
+
+TEST(FftPlans, PlanCacheReturnsSameEngine) {
+  const Fft& a = fft_plan(64);
+  const Fft& b = fft_plan(64);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 64u);
+}
+
+TEST(FftPlans, RejectsBadSizes) {
+  EXPECT_THROW(Fft(0), std::invalid_argument);
+  EXPECT_THROW(Fft(1), std::invalid_argument);
+  EXPECT_THROW(Fft(48), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wlansim::dsp

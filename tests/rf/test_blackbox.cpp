@@ -1,8 +1,10 @@
 // Tests of the J&K-style black-box extraction (paper §4, option two).
 #include "rf/blackbox.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -163,12 +165,20 @@ TEST(Blackbox, SurrogateIsFasterThanChain) {
   dsp::CVec in(1 << 14);
   for (auto& v : in) v = 1e-4 * rng.cgaussian(1.0);
 
+  // Best-of-3: a single-shot measurement flips under scheduler noise once
+  // the optimized chain is only ~1.4x slower than the surrogate.
   const auto time_of = [&](RfBlock& b) {
-    b.reset();
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < 5; ++i) b.process(in);
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-        .count();
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      b.reset();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < 5; ++i) b.process(in);
+      best = std::min(
+          best, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count());
+    }
+    return best;
   };
   const double t_chain = time_of(chain);
   const double t_model = time_of(model);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the engine microbenchmarks, writing Google-Benchmark JSON to
+# BENCH_engine.json at the repo root (the file docs/PERFORMANCE.md explains).
+#
+# Usage: tools/run_bench.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+
+cmake -B "$build_dir" -S "$repo_root" > /dev/null
+cmake --build "$build_dir" -j --target engine_perf > /dev/null
+
+out="$repo_root/BENCH_engine.json"
+# Older google-benchmark wants a plain number for --benchmark_min_time.
+"$build_dir/bench/engine_perf" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  "$@" > /dev/null
+
+echo "wrote $out"
