@@ -275,6 +275,58 @@ void BM_BerSweepParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_BerSweepParallel)->Unit(benchmark::kMillisecond)->Iterations(1);
 
+std::vector<core::LinkConfig> waterfall_points() {
+  // The paper's §4.1 verification shape: TX PA at finite backoff, adjacent
+  // -channel interferer at +16 dB (§2.2 spec), SNR swept across the
+  // waterfall. Every point shares the TX-and-channel half, which is what
+  // the memoized sweep caches.
+  core::LinkConfig base = core::default_link_config();
+  base.psdu_bytes = 100;
+  base.tx_pa_backoff_db = 8.0;
+  base.interferer =
+      channel::InterfererConfig{.offset_hz = 20e6, .level_db = 16.0};
+  std::vector<core::LinkConfig> points;
+  for (int k = 0; k < 8; ++k) {
+    core::LinkConfig c = base;
+    c.snr_db = 14.0 + 2.0 * k;
+    points.push_back(c);
+  }
+  return points;
+}
+
+void BM_BerWaterfallMemoized(benchmark::State& state) {
+  // The same 8 x 50 waterfall with TX-scene memoization: each packet's
+  // pre-noise scene (TX chain, upsampling, impairments) is built at one SNR
+  // point and replayed at the other seven. Bit-identical to the unmemoized
+  // sweep below.
+  const auto points = waterfall_points();
+  core::SweepOptions opts;
+  opts.memoize_tx = true;
+  for (auto _ : state) {
+    const auto sweep = core::sweep_ber_parallel(points, 50, opts);
+    benchmark::DoNotOptimize(sweep.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 50);
+}
+BENCHMARK(BM_BerWaterfallMemoized)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_BerWaterfallUnmemoized(benchmark::State& state) {
+  // Reference: every point rebuilds every packet from scratch.
+  const auto points = waterfall_points();
+  core::SweepOptions opts;
+  opts.memoize_tx = false;
+  for (auto _ : state) {
+    const auto sweep = core::sweep_ber_parallel(points, 50, opts);
+    benchmark::DoNotOptimize(sweep.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 50);
+}
+BENCHMARK(BM_BerWaterfallUnmemoized)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

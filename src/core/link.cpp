@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "channel/awgn.h"
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 #include "dsp/resample.h"
 #include "phy80211a/bits.h"
@@ -62,6 +63,37 @@ bool WlanLink::use_direct_path() const {
 PacketResult WlanLink::run_packet_with_payload(
     std::span<const std::uint8_t> psdu, std::uint64_t packet_index,
     phy::Bytes* rx_psdu) {
+  return run_packet_impl(psdu, packet_index, rx_psdu, nullptr);
+}
+
+PacketResult WlanLink::run_packet_memo(std::uint64_t packet_index,
+                                       TxScene& scene) {
+  return run_packet_impl({}, packet_index, nullptr, &scene);
+}
+
+PacketResult WlanLink::run_packet_impl(std::span<const std::uint8_t> psdu,
+                                       std::uint64_t packet_index,
+                                       phy::Bytes* rx_psdu, TxScene* scene) {
+  // Scene replay: the TX waveform, impairments, and interferer for this
+  // packet index were already built by an earlier run whose config differs
+  // only in noise level. Restore the packet RNG at the noise fork and run
+  // just the noise + front-end + receiver half.
+  if (scene != nullptr && scene->valid_ &&
+      scene->packet_index_ == packet_index && psdu.empty() &&
+      use_direct_path()) {
+    ws_.scene_a.assign(scene->scene_.begin(), scene->scene_.end());
+    dsp::Rng rng = scene->rng_post_tx_;
+    finish_scene_direct(scene->base_units_, rng, &scene->noise_units_);
+    return receiver_epilogue(scene->payload_, nullptr, nullptr, scene,
+                             rx_psdu);
+  }
+
+  // The scene can only be captured on the direct path with a generated
+  // payload; anything else runs unmemoized.
+  const bool memoize =
+      scene != nullptr && psdu.empty() && use_direct_path();
+  if (scene != nullptr) scene->reset();
+
   dsp::Rng rng(mix_seed(cfg_.seed, packet_index));
 
   // --- Transmit side (20 Msps) --------------------------------------------
@@ -92,12 +124,32 @@ PacketResult WlanLink::run_packet_with_payload(
   padded.insert(padded.end(), cfg_.tail_samples, dsp::Cplx{0.0, 0.0});
 
   // --- Channel + RF front-end ----------------------------------------------
-  if (use_direct_path())
+  if (memoize) {
+    const std::size_t base_units = build_scene_prenoise(padded, rng);
+    scene->valid_ = true;
+    scene->packet_index_ = packet_index;
+    scene->scrambler_seed_ = txc.scrambler_seed;
+    scene->payload_ = payload;
+    scene->scene_.assign(ws_.scene_a.begin(), ws_.scene_a.end());
+    scene->base_units_ = base_units;
+    scene->rng_post_tx_ = rng;
+    scene->noise_units_.clear();
+    finish_scene_direct(base_units, rng, &scene->noise_units_);
+  } else if (use_direct_path()) {
     run_scene_direct(padded, rng);
-  else
+  } else {
     run_scene_graph(std::move(padded), rng);
+  }
 
-  // --- DSP receiver -----------------------------------------------------------
+  return receiver_epilogue(payload, &tx, &frame, memoize ? scene : nullptr,
+                           rx_psdu);
+}
+
+PacketResult WlanLink::receiver_epilogue(const phy::Bytes& payload,
+                                         const phy::Transmitter* tx,
+                                         const phy::Frame* frame,
+                                         TxScene* scene, phy::Bytes* rx_psdu) {
+  // --- DSP receiver ---------------------------------------------------------
   const phy::RxResult res = rx_.receive(last_rx_);
 
   PacketResult out;
@@ -117,10 +169,33 @@ PacketResult WlanLink::run_packet_with_payload(
 
   // EVM against the transmitted constellation (the equalizer's channel
   // estimate removes the chain gain, so points are directly comparable).
-  const auto ref = tx.data_symbol_points(frame);
+  // The reference is a pure function of (scrambler seed, frame), so a
+  // memoized scene computes it once and reuses it at every noise level.
+  const std::vector<dsp::CVec>* ref = nullptr;
+  std::vector<dsp::CVec> local_ref;
+  if (scene != nullptr && scene->valid_) {
+    if (!scene->ref_points_valid_) {
+      if (tx != nullptr) {
+        scene->ref_points_ = tx->data_symbol_points(*frame);
+      } else {
+        phy::Transmitter::Config txc;
+        txc.scrambler_seed = scene->scrambler_seed_;
+        txc.output_power_dbm = cfg_.rx_power_dbm;
+        const phy::Transmitter stx(txc);
+        const phy::Frame sframe{cfg_.rate, scene->payload_};
+        scene->ref_points_ = stx.data_symbol_points(sframe);
+      }
+      scene->ref_points_valid_ = true;
+    }
+    ref = &scene->ref_points_;
+  } else {
+    local_ref = tx->data_symbol_points(*frame);
+    ref = &local_ref;
+  }
   phy::EvmCounter evm;
-  const std::size_t nsym = std::min(ref.size(), res.data_points.size());
-  for (std::size_t s = 0; s < nsym; ++s) evm.add(res.data_points[s], ref[s]);
+  const std::size_t nsym = std::min(ref->size(), res.data_points.size());
+  for (std::size_t s = 0; s < nsym; ++s)
+    evm.add(res.data_points[s], (*ref)[s]);
   out.evm_rms = evm.evm_rms();
   return out;
 }
@@ -133,6 +208,12 @@ PacketResult WlanLink::run_packet_with_payload(
 // churn, and block construction (notably the flicker source's 32k-sample
 // spectral calibration).
 void WlanLink::run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng) {
+  const std::size_t base_units = build_scene_prenoise(padded, rng);
+  finish_scene_direct(base_units, rng, nullptr);
+}
+
+std::size_t WlanLink::build_scene_prenoise(const dsp::CVec& padded,
+                                           dsp::Rng& rng) {
   const double p_sig = dsp::dbm_to_watts(cfg_.rx_power_dbm);
   const double fs_over = cfg_.rf.sample_rate_hz;
   const std::size_t os = cfg_.oversample;
@@ -156,19 +237,19 @@ void WlanLink::run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng) {
     std::copy(wave_over.begin(), wave_over.end(), a.begin());
   } else {
     base_units = padded.size() + kFlushTail;
-    a.assign(base_units * os, dsp::Cplx{0.0, 0.0});
     if (os > 1) {
-      // UpsampleNode semantics: zero-stuff scaled input, then stream it
-      // through the image-reject lowpass (state carried sample to sample).
-      if (!ws_.up_filt)
-        ws_.up_filt =
-            std::make_unique<dsp::FirFilter>(dsp::resampling_taps(os));
-      ws_.up_filt->reset();
-      const double scale = static_cast<double>(os);
-      for (std::size_t i = 0; i < padded.size(); ++i)
-        a[i * os] = scale * padded[i];
-      ws_.up_filt->process_into(a, a);
+      // UpsampleNode semantics: zero-stuff scaled input streamed through
+      // the image-reject lowpass from cleared state. The polyphase kernel
+      // skips the structurally-zero products and reads `padded` directly,
+      // but sums the surviving terms in the same order, so its output is
+      // bit-identical to the zero-stuff + stream formulation.
+      if (ws_.up_taps.empty()) ws_.up_taps = dsp::resampling_taps(os);
+      a.resize(base_units * os);
+      dsp::kernels::fir_interp(ws_.up_taps.data(), ws_.up_taps.size(), os,
+                               padded.data(), padded.size(),
+                               static_cast<double>(os), a.data(), a.size());
     } else {
+      a.assign(base_units, dsp::Cplx{0.0, 0.0});
       std::copy(padded.begin(), padded.end(), a.begin());
     }
   }
@@ -219,6 +300,17 @@ void WlanLink::run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng) {
     for (std::size_t i = 0; i < n; ++i) a[i] += ws_.jam[i];
   }
 
+  return base_units;
+}
+
+void WlanLink::finish_scene_direct(std::size_t base_units, dsp::Rng& rng,
+                                   dsp::RVec* noise_units) {
+  const double p_sig = dsp::dbm_to_watts(cfg_.rx_power_dbm);
+  const double fs_over = cfg_.rf.sample_rate_hz;
+  const std::size_t os = cfg_.oversample;
+
+  dsp::CVec& a = ws_.scene_a;
+
   double n_total =
       cfg_.antenna_noise_density_dbm_hz > -250.0
           ? dsp::dbm_to_watts(cfg_.antenna_noise_density_dbm_hz) * fs_over
@@ -229,7 +321,21 @@ void WlanLink::run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng) {
   }
   if (n_total > 0.0) {
     dsp::Rng nrng = rng.fork();
-    for (dsp::Cplx& v : a) v += nrng.cgaussian(n_total);
+    if (noise_units == nullptr) {
+      for (dsp::Cplx& v : a) v += nrng.cgaussian(n_total);
+    } else {
+      // Memoized noise: cache the unit normals on the first pass and
+      // replay them at every other noise level. cgaussian(v) evaluates
+      // s*u0, s*u1 with s = sqrt(v/2), so scaling the cached normals here
+      // performs the exact same arithmetic as the direct loop above.
+      if (noise_units->empty()) {
+        noise_units->resize(2 * a.size());
+        for (double& u : *noise_units) u = nrng.gaussian();
+      }
+      const double s = std::sqrt(n_total / 2.0);
+      dsp::kernels::add_scaled_pairs(a.data(), a.size(), s,
+                                     noise_units->data());
+    }
   }
 
   const dsp::CVec* rx_over = &a;
@@ -248,17 +354,13 @@ void WlanLink::run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng) {
   if (os > 1) {
     last_rx_.resize(base_units);
     if (cfg_.rf_engine == RfEngine::kNone) {
-      // DownsampleNode: anti-alias lowpass runs on every sample, phase-0
-      // outputs are kept.
+      // DownsampleNode: the anti-alias lowpass delay line advances on every
+      // sample but only the kept phase-0 outputs need their dot product.
       if (!ws_.down_filt)
         ws_.down_filt =
             std::make_unique<dsp::FirFilter>(dsp::resampling_taps(os));
       ws_.down_filt->reset();
-      std::size_t oi = 0;
-      for (std::size_t i = 0; i < rx_over->size(); ++i) {
-        const dsp::Cplx y = ws_.down_filt->step((*rx_over)[i]);
-        if (i % os == 0) last_rx_[oi++] = y;
-      }
+      ws_.down_filt->process_decim_into(*rx_over, os, last_rx_);
     } else {
       // DecimateNode: the ADC samples the analog output raw.
       for (std::size_t i = 0, oi = 0; i < rx_over->size(); i += os)

@@ -15,11 +15,47 @@
 
 #include "core/linkconfig.h"
 #include "dsp/fir.h"
+#include "dsp/rng.h"
 #include "phy80211a/measure.h"
 #include "phy80211a/receiver.h"
 #include "phy80211a/transmitter.h"
 
 namespace wlansim::core {
+
+/// Memoized TX scene for one (configuration, packet index) pair: the
+/// payload, the pre-noise oversampled composite (TX waveform + impairments
+/// + interferer), the RNG state at the noise-injection point, and the unit
+/// noise normals. Everything stored here is independent of the noise level
+/// (SNR / antenna noise density), so a BER sweep can build the scene once
+/// at the first SNR point and replay it bit-identically at every other —
+/// see WlanLink::run_packet_memo.
+class TxScene {
+ public:
+  TxScene() = default;
+
+  bool valid() const { return valid_; }
+  std::uint64_t packet_index() const { return packet_index_; }
+
+  /// Drop the cached scene (e.g. when the owning sweep changes packets).
+  void reset() {
+    valid_ = false;
+    ref_points_valid_ = false;
+  }
+
+ private:
+  friend class WlanLink;
+
+  bool valid_ = false;
+  std::uint64_t packet_index_ = 0;
+  std::uint8_t scrambler_seed_ = 1;
+  phy::Bytes payload_;
+  dsp::CVec scene_;            ///< pre-noise oversampled composite
+  std::size_t base_units_ = 0; ///< scene run length in base-rate units
+  dsp::Rng rng_post_tx_{0};    ///< packet RNG state at the noise fork
+  dsp::RVec noise_units_;      ///< cached unit normals (2 per scene sample)
+  bool ref_points_valid_ = false;
+  std::vector<dsp::CVec> ref_points_;  ///< TX constellation (EVM reference)
+};
 
 /// Outcome of one packet through the link.
 struct PacketResult {
@@ -66,6 +102,15 @@ class WlanLink {
                                        std::uint64_t packet_index,
                                        phy::Bytes* rx_psdu = nullptr);
 
+  /// Run one packet, caching or replaying its noise-independent TX scene
+  /// in `scene`. When `scene` is valid for this packet index (built by an
+  /// earlier call on a link whose config differs only in noise level), the
+  /// TX side, channel build, and interferer are replayed bit-identically
+  /// instead of recomputed. Otherwise the packet runs in full and `scene`
+  /// is (re)built. Configurations the direct packet path cannot serve run
+  /// unmemoized and leave `scene` invalid.
+  PacketResult run_packet_memo(std::uint64_t packet_index, TxScene& scene);
+
   /// Run `num_packets` packets and aggregate.
   BerResult run_ber(std::size_t num_packets);
 
@@ -89,7 +134,7 @@ class WlanLink {
     dsp::CVec padded;           ///< 20 Msps frame with lead/tail padding
     dsp::CVec scene_a, scene_b; ///< oversampled ping-pong buffers
     dsp::CVec jam;              ///< interferer waveform
-    std::unique_ptr<dsp::FirFilter> up_filt;    ///< TX interpolation
+    dsp::RVec up_taps;          ///< TX interpolation taps (polyphase kernel)
     std::unique_ptr<dsp::FirFilter> down_filt;  ///< ideal RX decimation
     std::unique_ptr<rf::Amplifier> tx_pa;
     std::unique_ptr<rf::Mixer> tx_upconverter;
@@ -99,6 +144,27 @@ class WlanLink {
   bool use_direct_path() const;
   void run_scene_direct(const dsp::CVec& padded, dsp::Rng& rng);
   void run_scene_graph(dsp::CVec padded, dsp::Rng& rng);
+
+  PacketResult run_packet_impl(std::span<const std::uint8_t> psdu,
+                               std::uint64_t packet_index, phy::Bytes* rx_psdu,
+                               TxScene* scene);
+  /// First half of the direct scene: upsample + TX impairments + interferer
+  /// into ws_.scene_a. Returns the run length in base-rate units.
+  std::size_t build_scene_prenoise(const dsp::CVec& padded, dsp::Rng& rng);
+  /// Second half: channel noise, RF front-end, downsample (ws_.scene_a ->
+  /// last_rx_ / last_rf_input_). `noise_units` selects the noise mode:
+  /// nullptr draws directly from the rng fork; empty caches the unit
+  /// normals while applying them; non-empty replays the cached normals
+  /// (advancing the rng fork identically). All three are bit-identical.
+  void finish_scene_direct(std::size_t base_units, dsp::Rng& rng,
+                           dsp::RVec* noise_units);
+  /// DSP receiver + BER/EVM bookkeeping on last_rx_. `tx`/`frame` are the
+  /// live transmitter when the packet was just built (null on scene
+  /// replay, where the EVM reference is rebuilt from `scene`).
+  PacketResult receiver_epilogue(const phy::Bytes& payload,
+                                 const phy::Transmitter* tx,
+                                 const phy::Frame* frame, TxScene* scene,
+                                 phy::Bytes* rx_psdu);
 
   LinkConfig cfg_;
   phy::Transmitter tx_;

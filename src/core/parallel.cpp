@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "core/thread_pool.h"
 
@@ -118,6 +119,52 @@ std::string fingerprint(const LinkConfig& c) {
   return s;
 }
 
+/// Byte-exact serialization of the LinkConfig fields that shape a packet's
+/// noise-independent TX scene: everything WlanLink consumes up to (and
+/// including) the interferer, plus the fields that decide the packet path.
+/// Two configs with equal TX fingerprints build bit-identical pre-noise
+/// scenes for every packet index, so a sweep over them can share one
+/// TxScene per packet. Noise-level fields (snr_db, antenna noise density),
+/// the RF front-end, and the receiver are deliberately absent — those act
+/// after the scene snapshot. Returns "" when not fingerprintable.
+std::string tx_scene_fingerprint(const LinkConfig& c) {
+  if (c.custom_rf) return {};
+  std::string s;
+  s.reserve(160);
+  put(s, c.rate);
+  put(s, c.psdu_bytes);
+  put(s, c.rx_power_dbm);
+  put(s, c.fading.has_value());
+  if (c.fading) {
+    put(s, c.fading->rms_delay_spread_s);
+    put(s, c.fading->sample_rate_hz);
+    put(s, c.fading->truncation);
+    put(s, c.fading->normalize);
+  }
+  put(s, c.interferer.has_value());
+  if (c.interferer) {
+    put(s, c.interferer->offset_hz);
+    put(s, c.interferer->level_db);
+    put(s, c.interferer->rate);
+    put(s, c.interferer->psdu_bytes);
+  }
+  put(s, c.sco_ppm);
+  put_opt(s, c.tx_pa_backoff_db);
+  put(s, c.tx_pa_model);
+  put(s, c.tx_pa_am_pm_max_deg);
+  put(s, c.tx_iq_gain_imbalance_db);
+  put(s, c.tx_iq_phase_error_deg);
+  put(s, c.tx_lo_leakage_rel);
+  put(s, c.rf_engine);
+  put(s, c.oversample);
+  put(s, c.mode);
+  put(s, c.packet_path);
+  put(s, c.lead_samples);
+  put(s, c.tail_samples);
+  put(s, c.seed);
+  return s;
+}
+
 /// The calling worker's cached link, rebuilt only when the key changes.
 /// Lives on the pool's persistent threads, so repeated measurements of one
 /// configuration construct each worker's link exactly once.
@@ -130,6 +177,31 @@ WlanLink& worker_link(const LinkConfig& cfg, const std::string& key) {
   }
   return *link;
 }
+
+/// A sweep worker holds one link per sweep point (keyed by the full config
+/// fingerprint), unlike worker_link's single slot: the joint schedule
+/// alternates points within a chunk, and rebuilding a link per item would
+/// dwarf the memoization win.
+WlanLink& sweep_worker_link(const LinkConfig& cfg, const std::string& key) {
+  thread_local std::unordered_map<std::string, std::unique_ptr<WlanLink>>*
+      links = new std::unordered_map<std::string,
+                                     std::unique_ptr<WlanLink>>();  // immortal
+  auto it = links->find(key);
+  if (it == links->end()) {
+    if (links->size() >= 64) links->clear();  // bound long-lived growth
+    it = links->emplace(key, std::make_unique<WlanLink>(cfg)).first;
+  }
+  return *it->second;
+}
+
+/// Per-worker TX scenes for the packet chunk the worker is currently
+/// sweeping across points. Invalidated whenever the worker moves to a
+/// different chunk (or a different sweep call).
+struct SceneCache {
+  std::uint64_t sweep_id = 0;
+  std::size_t chunk = static_cast<std::size_t>(-1);
+  std::vector<TxScene> scenes;
+};
 
 BerResult reduce_in_packet_order(const std::vector<PacketResult>& results) {
   // Sequential fold in packet order — the exact arithmetic of
@@ -185,14 +257,102 @@ BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
   return reduce_in_packet_order(results);
 }
 
+namespace {
+
+/// Joint (point, packet-chunk) schedule with TX-scene memoization. Work
+/// item i covers packet chunk i/npts at sweep point i%npts; the chunk-major
+/// order means a worker draining consecutive items runs one chunk across
+/// all points — building each packet's TX scene at the first point it
+/// serves and replaying it (bit-identically) at the rest. Per-point results
+/// still reduce in packet order, so the output matches the sequential
+/// per-point sweep bit for bit.
+std::vector<BerResult> sweep_ber_memoized(std::span<const LinkConfig> configs,
+                                          std::size_t num_packets,
+                                          std::size_t threads,
+                                          std::span<const std::string> keys) {
+  static std::atomic<std::uint64_t> sweep_serial{0};
+  const std::uint64_t sweep_id = ++sweep_serial;
+  const std::size_t npts = configs.size();
+  const std::size_t nchunks =
+      (num_packets + kPacketChunk - 1) / kPacketChunk;
+  const std::size_t nitems = nchunks * npts;
+
+  std::vector<std::vector<PacketResult>> results(npts);
+  for (auto& r : results) r.resize(num_packets);
+
+  const auto body = [&](std::size_t /*worker*/, std::size_t item) {
+    const std::size_t k = item % npts;
+    const std::size_t chunk = item / npts;
+    thread_local SceneCache cache;
+    if (cache.sweep_id != sweep_id || cache.chunk != chunk) {
+      cache.sweep_id = sweep_id;
+      cache.chunk = chunk;
+      cache.scenes.assign(kPacketChunk, TxScene());
+    }
+    WlanLink& link = sweep_worker_link(configs[k], keys[k]);
+    const std::size_t begin = chunk * kPacketChunk;
+    const std::size_t end = std::min(begin + kPacketChunk, num_packets);
+    for (std::size_t p = begin; p < end; ++p)
+      results[k][p] = link.run_packet_memo(p, cache.scenes[p - begin]);
+  };
+
+  // Granularity npts: a worker claims one chunk's items across all points
+  // contiguously, so it builds each scene once and replays it npts-1 times
+  // — two workers never duplicate a chunk's scene builds.
+  const std::size_t max_useful = nchunks;
+  if (threads == 0) {
+    ThreadPool::shared().parallel_for(nitems, npts, body);
+  } else if (std::min(threads, max_useful) <= 1) {
+    for (std::size_t i = 0; i < nitems; ++i) body(0, i);
+  } else {
+    ThreadPool dedicated(std::min(threads, max_useful));
+    dedicated.parallel_for(nitems, npts, body);
+  }
+
+  std::vector<BerResult> out;
+  out.reserve(npts);
+  for (const auto& r : results) out.push_back(reduce_in_packet_order(r));
+  return out;
+}
+
+}  // namespace
+
+std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
+                                          std::size_t num_packets,
+                                          const SweepOptions& opts) {
+  const std::size_t npts = configs.size();
+  if (npts == 0) return {};
+
+  // Memoize only when every point shares one TX-side fingerprint and every
+  // full config is fingerprintable (the worker link-cache key).
+  bool memo = opts.memoize_tx && npts > 1 && num_packets > 0;
+  std::vector<std::string> keys;
+  if (memo) {
+    const std::string tx0 = tx_scene_fingerprint(configs[0]);
+    if (tx0.empty()) memo = false;
+    keys.reserve(npts);
+    for (std::size_t k = 0; memo && k < npts; ++k) {
+      if (k > 0 && tx_scene_fingerprint(configs[k]) != tx0) memo = false;
+      keys.push_back(fingerprint(configs[k]));
+      if (keys.back().empty()) memo = false;
+    }
+  }
+  if (!memo) {
+    std::vector<BerResult> out;
+    out.reserve(npts);
+    for (const LinkConfig& cfg : configs)
+      out.push_back(run_ber_parallel(cfg, num_packets, opts.threads));
+    return out;
+  }
+  return sweep_ber_memoized(configs, num_packets, opts.threads, keys);
+}
+
 std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
                                           std::size_t num_packets,
                                           std::size_t threads) {
-  std::vector<BerResult> out;
-  out.reserve(configs.size());
-  for (const LinkConfig& cfg : configs)
-    out.push_back(run_ber_parallel(cfg, num_packets, threads));
-  return out;
+  SweepOptions opts;
+  opts.threads = threads;
+  return sweep_ber_parallel(configs, num_packets, opts);
 }
 
 }  // namespace wlansim::core

@@ -25,11 +25,31 @@ namespace wlansim::core {
 BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
                            std::size_t threads = 0);
 
-/// Measure every configuration of a sweep: points run sequentially, the
-/// packets of each point in parallel. Equivalent to calling
-/// run_ber_parallel(configs[k], num_packets, threads) for each k.
+struct SweepOptions {
+  /// Worker count, run_ber_parallel semantics (0 = shared pool).
+  std::size_t threads = 0;
+  /// Reuse each packet's noise-independent TX scene across sweep points
+  /// (see WlanLink::run_packet_memo). Applies when every config shares the
+  /// same TX-side fingerprint — the usual SNR waterfall — and is bit-exact:
+  /// results are identical to memoize_tx = false either way.
+  bool memoize_tx = true;
+};
+
+/// Measure every configuration of a sweep. Results are bit-identical to
+/// calling run_ber_parallel(configs[k], num_packets, threads) for each k.
+///
+/// When the configs differ only in noise level (SNR / antenna noise
+/// density / RF front-end fields), the sweep schedules (point, packet
+/// chunk) pairs jointly: a worker runs one chunk of packets across all
+/// sweep points before moving on, building each packet's TX scene once and
+/// replaying it at the other points.
 std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
                                           std::size_t num_packets,
-                                          std::size_t threads = 0);
+                                          const SweepOptions& opts = {});
+
+/// Back-compat overload: explicit worker count, TX memoization on.
+std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
+                                          std::size_t num_packets,
+                                          std::size_t threads);
 
 }  // namespace wlansim::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::dsp {
@@ -89,7 +90,16 @@ CVec FirFilter::process(std::span<const Cplx> in) {
 }
 
 void FirFilter::process_into(std::span<const Cplx> in, std::span<Cplx> out) {
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = step(in[i]);
+  // Same per-sample arithmetic as step(), block-wise on the kernel layer.
+  pos_ = kernels::fir_stream(taps_.data(), taps_.size(), delay_.data(), pos_,
+                             in.data(), in.size(), out.data());
+}
+
+void FirFilter::process_decim_into(std::span<const Cplx> in, std::size_t decim,
+                                   std::span<Cplx> out) {
+  pos_ = kernels::fir_stream_decim(taps_.data(), taps_.size(), delay_.data(),
+                                   pos_, in.data(), in.size(), decim,
+                                   out.data());
 }
 
 void FirFilter::reset() {

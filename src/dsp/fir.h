@@ -60,6 +60,13 @@ class FirFilter {
   /// `in.size()`; `out` may alias `in` for in-place use). Allocation-free.
   void process_into(std::span<const Cplx> in, std::span<Cplx> out);
 
+  /// Filter a block but evaluate only every `decim`-th output (input phase
+  /// 0), writing ceil(in.size()/decim) samples to `out`. The delay line
+  /// advances for every input, so the kept outputs are bit-identical to
+  /// step()-ing each sample and keeping indices i % decim == 0.
+  void process_decim_into(std::span<const Cplx> in, std::size_t decim,
+                          std::span<Cplx> out);
+
   /// Clear the delay line.
   void reset();
 

@@ -1,0 +1,126 @@
+#include "dsp/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace wlansim::dsp::kernels {
+
+namespace ref {
+#include "dsp/kernels_impl.inc"
+}  // namespace ref
+
+#ifdef WLANSIM_HAVE_NATIVE
+namespace native {
+// Defined in kernels_native.cpp (compiled -march=native -ffp-contract=off).
+void mix_const_lo(const Cplx* in, std::size_t n, Cplx lo, const MixParams& p,
+                  Cplx* out);
+void mix_phase(const Cplx* in, const double* phase, std::size_t n,
+               const MixParams& p, Cplx* out);
+std::size_t fir_stream(const double* taps, std::size_t ntaps, Cplx* delay,
+                       std::size_t pos, const Cplx* in, std::size_t m,
+                       Cplx* out);
+std::size_t fir_stream_decim(const double* taps, std::size_t ntaps,
+                             Cplx* delay, std::size_t pos, const Cplx* in,
+                             std::size_t m, std::size_t decim, Cplx* out);
+void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
+                const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
+                std::size_t nout);
+double power_sum(const Cplx* x, std::size_t n);
+void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
+               double* ref_pow);
+void scale(double* x, std::size_t n, double s);
+void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
+bool cpu_supported();
+}  // namespace native
+#endif
+
+namespace {
+
+struct Table {
+  decltype(&ref::mix_const_lo) mix_const_lo = &ref::mix_const_lo;
+  decltype(&ref::mix_phase) mix_phase = &ref::mix_phase;
+  decltype(&ref::fir_stream) fir_stream = &ref::fir_stream;
+  decltype(&ref::fir_stream_decim) fir_stream_decim = &ref::fir_stream_decim;
+  decltype(&ref::fir_interp) fir_interp = &ref::fir_interp;
+  decltype(&ref::power_sum) power_sum = &ref::power_sum;
+  decltype(&ref::evm_accum) evm_accum = &ref::evm_accum;
+  decltype(&ref::scale) scale = &ref::scale;
+  decltype(&ref::add_scaled_pairs) add_scaled_pairs = &ref::add_scaled_pairs;
+  const char* name = "scalar";
+};
+
+Table make_table() {
+  Table t;
+#ifdef WLANSIM_HAVE_NATIVE
+  const char* force = std::getenv("WLANSIM_KERNELS");
+  const bool want_scalar = force != nullptr && std::strcmp(force, "scalar") == 0;
+  if (!want_scalar && native::cpu_supported()) {
+    t.mix_const_lo = &native::mix_const_lo;
+    t.mix_phase = &native::mix_phase;
+    t.fir_stream = &native::fir_stream;
+    t.fir_stream_decim = &native::fir_stream_decim;
+    t.fir_interp = &native::fir_interp;
+    t.power_sum = &native::power_sum;
+    t.evm_accum = &native::evm_accum;
+    t.scale = &native::scale;
+    t.add_scaled_pairs = &native::add_scaled_pairs;
+    t.name = "native";
+  }
+#endif
+  return t;
+}
+
+const Table& table() {
+  static const Table t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void mix_const_lo(const Cplx* in, std::size_t n, Cplx lo, const MixParams& p,
+                  Cplx* out) {
+  table().mix_const_lo(in, n, lo, p, out);
+}
+
+void mix_phase(const Cplx* in, const double* phase, std::size_t n,
+               const MixParams& p, Cplx* out) {
+  table().mix_phase(in, phase, n, p, out);
+}
+
+std::size_t fir_stream(const double* taps, std::size_t ntaps, Cplx* delay,
+                       std::size_t pos, const Cplx* in, std::size_t m,
+                       Cplx* out) {
+  return table().fir_stream(taps, ntaps, delay, pos, in, m, out);
+}
+
+std::size_t fir_stream_decim(const double* taps, std::size_t ntaps,
+                             Cplx* delay, std::size_t pos, const Cplx* in,
+                             std::size_t m, std::size_t decim, Cplx* out) {
+  return table().fir_stream_decim(taps, ntaps, delay, pos, in, m, decim, out);
+}
+
+void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
+                const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
+                std::size_t nout) {
+  table().fir_interp(taps, ntaps, os, src, nsrc, scale, out, nout);
+}
+
+double power_sum(const Cplx* x, std::size_t n) {
+  return table().power_sum(x, n);
+}
+
+void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
+               double* ref_pow) {
+  table().evm_accum(rx, ref, n, err, ref_pow);
+}
+
+void scale(double* x, std::size_t n, double s) { table().scale(x, n, s); }
+
+void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units) {
+  table().add_scaled_pairs(a, n, s, units);
+}
+
+const char* active_path() { return table().name; }
+
+}  // namespace wlansim::dsp::kernels

@@ -1,0 +1,119 @@
+// Flat-array compute kernels for the oversampled hot path.
+//
+// Every kernel exists twice: `kernels::ref::X` is the scalar reference
+// (always compiled, plain loops, the semantic definition), and `kernels::X`
+// is the runtime-dispatched entry the hot path calls. In the default build
+// the dispatched entry *is* the scalar reference. With -DWLANSIM_NATIVE=ON
+// a second translation unit compiles the identical loop bodies with
+// -march=native -ffp-contract=off -fopenmp-simd; it is selected at startup
+// only when the running CPU supports every ISA extension that TU was built
+// with. Because the wide build keeps FP contraction off and every kernel
+// either is element-wise or carries its reduction order in its contract
+// (fixed 4-lane chains, sequential FIR dots), the dispatched results are
+// componentwise-identical to the scalar reference in both builds —
+// tests/dsp/test_kernels.cpp asserts exact equality.
+//
+// Layout rules: kernels take raw pointers + lengths (never vector/span
+// references — the optimizer re-loads spans' data pointers through the
+// reference on every iteration), and any per-sample parameter stream
+// (e.g. the mixer's LO phase) is a separate flat double array (SoA), not
+// an array of structs.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace wlansim::dsp::kernels {
+
+/// Static impairment parameters for the mixer kernels (see rf::Mixer:
+/// the kernels reproduce its per-sample arithmetic exactly, including
+/// association order).
+struct MixParams {
+  double gain = 1.0;       ///< linear conversion gain
+  double image_amp = 0.0;  ///< relative image amplitude (0 = perfect IR)
+  double iq_eps = 1.0;     ///< Q-rail gain ratio
+  double iq_sin = 0.0;     ///< sin(quadrature phase error)
+  double iq_cos = 1.0;     ///< cos(quadrature phase error)
+  bool iq_active = false;  ///< apply the I/Q imbalance stage
+  Cplx dc{0.0, 0.0};       ///< additive DC offset (always added)
+};
+
+// ---- scalar reference ------------------------------------------------------
+namespace ref {
+
+/// Mix with a constant LO phasor: y = g*x*lo [+ ia*g*conj(x*lo)] [IQ] + dc.
+/// In-place safe (out may alias in).
+void mix_const_lo(const Cplx* in, std::size_t n, Cplx lo, const MixParams& p,
+                  Cplx* out);
+
+/// Mix with a per-sample LO phase (radians): lo[i] = exp(j*phase[i]).
+void mix_phase(const Cplx* in, const double* phase, std::size_t n,
+               const MixParams& p, Cplx* out);
+
+/// Streaming FIR over a doubled delay line (dsp::FirFilter layout:
+/// delay[pos..pos+ntaps) is the window, newest first, taps ascending, split
+/// real/imag accumulation chains). Processes m samples, returns the updated
+/// write position. In-place safe.
+std::size_t fir_stream(const double* taps, std::size_t ntaps, Cplx* delay,
+                       std::size_t pos, const Cplx* in, std::size_t m,
+                       Cplx* out);
+
+/// fir_stream that evaluates the dot product only every `decim`-th input
+/// (phase 0), writing ceil(m/decim) outputs. The delay line is updated for
+/// every input, so the kept outputs are bit-identical to fir_stream's.
+std::size_t fir_stream_decim(const double* taps, std::size_t ntaps,
+                             Cplx* delay, std::size_t pos, const Cplx* in,
+                             std::size_t m, std::size_t decim, Cplx* out);
+
+/// Polyphase zero-stuffed interpolation: identical (including the summation
+/// order of the nonzero terms) to streaming `taps` over the sequence
+/// z[j*os] = scale*src[j], z elsewhere 0, with a zero-initialized filter —
+/// skipping only the structurally-zero products. Writes nout samples; src
+/// positions beyond nsrc are the zero flush tail.
+void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
+                const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
+                std::size_t nout);
+
+/// sum |x[i]|^2 over four fixed stride-4 partial chains, combined as
+/// (a0+a1)+(a2+a3). The chain structure is part of the contract.
+double power_sum(const Cplx* x, std::size_t n);
+
+/// err += sum |rx-ref|^2, ref_pow += sum |ref|^2 (same 4-lane chains).
+void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
+               double* ref_pow);
+
+/// LLR / weight scaling: x[i] *= s.
+void scale(double* x, std::size_t n, double s);
+
+/// Noise replay: a[i] += Cplx{s*units[2i], s*units[2i+1]} — the arithmetic
+/// of adding Rng::cgaussian draws whose unit normals were cached.
+void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
+
+}  // namespace ref
+
+// ---- runtime-dispatched entries (same signatures, same results) ------------
+void mix_const_lo(const Cplx* in, std::size_t n, Cplx lo, const MixParams& p,
+                  Cplx* out);
+void mix_phase(const Cplx* in, const double* phase, std::size_t n,
+               const MixParams& p, Cplx* out);
+std::size_t fir_stream(const double* taps, std::size_t ntaps, Cplx* delay,
+                       std::size_t pos, const Cplx* in, std::size_t m,
+                       Cplx* out);
+std::size_t fir_stream_decim(const double* taps, std::size_t ntaps,
+                             Cplx* delay, std::size_t pos, const Cplx* in,
+                             std::size_t m, std::size_t decim, Cplx* out);
+void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
+                const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
+                std::size_t nout);
+double power_sum(const Cplx* x, std::size_t n);
+void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
+               double* ref_pow);
+void scale(double* x, std::size_t n, double s);
+void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
+
+/// "scalar" or "native" — which implementation the dispatched entries call.
+/// WLANSIM_KERNELS=scalar in the environment forces the scalar path.
+const char* active_path();
+
+}  // namespace wlansim::dsp::kernels

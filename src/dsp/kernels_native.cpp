@@ -1,0 +1,40 @@
+// Wide kernel path: the exact loop bodies of kernels_impl.inc rebuilt with
+// -march=native -mno-fma -mno-avx512vl -ffp-contract=off -fopenmp-simd
+// (see src/dsp/CMakeLists.txt). Contraction stays off — including gcc's
+// complex-multiply vfmaddsub idiom, which fuses past -ffp-contract=off
+// unless FMA and AVX512VL are both disabled — and the loops carry their
+// reduction order explicitly, so this TU is componentwise-identical to the
+// scalar reference: it only gets wider registers and unrolling. Compiled
+// only when -DWLANSIM_NATIVE=ON; selected at runtime when cpu_supported()
+// says the host has every ISA extension this TU was built for.
+#include "dsp/kernels.h"
+
+#include <cmath>
+
+namespace wlansim::dsp::kernels::native {
+
+#include "dsp/kernels_impl.inc"
+
+bool cpu_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+#ifdef __AVX512F__
+  if (!__builtin_cpu_supports("avx512f")) return false;
+#endif
+#ifdef __AVX2__
+  if (!__builtin_cpu_supports("avx2")) return false;
+#endif
+#ifdef __FMA__
+  if (!__builtin_cpu_supports("fma")) return false;
+#endif
+#ifdef __AVX__
+  if (!__builtin_cpu_supports("avx")) return false;
+#endif
+#ifdef __SSE4_2__
+  if (!__builtin_cpu_supports("sse4.2")) return false;
+#endif
+#endif
+  return true;
+}
+
+}  // namespace wlansim::dsp::kernels::native

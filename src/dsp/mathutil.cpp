@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
+
 namespace wlansim::dsp {
 
 double to_db(double ratio) { return 10.0 * std::log10(ratio); }
@@ -15,9 +17,8 @@ double dbm_to_watts(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
 
 double mean_power(std::span<const Cplx> x) {
   if (x.empty()) return 0.0;
-  double acc = 0.0;
-  for (const Cplx& v : x) acc += std::norm(v);
-  return acc / static_cast<double>(x.size());
+  return kernels::power_sum(x.data(), x.size()) /
+         static_cast<double>(x.size());
 }
 
 double mean_power_real(std::span<const double> x) {

@@ -16,9 +16,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
 }
 
-double Rng::gaussian() {
-  return std::normal_distribution<double>(0.0, 1.0)(gen_);
-}
+double Rng::gaussian() { return normal_(gen_); }
 
 double Rng::gaussian(double sigma) { return sigma * gaussian(); }
 

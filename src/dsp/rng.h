@@ -18,7 +18,10 @@ class Rng {
   explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
 
   /// Re-seed; the stream restarts deterministically.
-  void seed(std::uint64_t s) { gen_.seed(s); }
+  void seed(std::uint64_t s) {
+    gen_.seed(s);
+    normal_.reset();
+  }
 
   /// Uniform in [0, 1).
   double uniform();
@@ -54,6 +57,11 @@ class Rng {
 
  private:
   std::mt19937_64 gen_;
+  // Persistent so the pair the polar method produces per round trip is not
+  // thrown away: constructing a fresh distribution per draw (the obvious
+  // one-liner) doubles the cost of every noise sample, and the front-end
+  // noise draws dominate the packet hot path.
+  std::normal_distribution<double> normal_{0.0, 1.0};
 };
 
 }  // namespace wlansim::dsp

@@ -6,6 +6,7 @@
 #include <limits>
 #include <span>
 #include <stdexcept>
+#include <utility>
 
 namespace wlansim::phy {
 
@@ -18,9 +19,28 @@ constexpr std::uint32_t kMaskA = 0x6D;
 constexpr std::uint32_t kMaskB = 0x4F;
 constexpr std::size_t kNumStates = 64;
 
-inline std::uint8_t parity(std::uint32_t v) {
-  return static_cast<std::uint8_t>(std::popcount(v) & 1);
-}
+// Output pair (A<<1)|B for every 7-bit encoder window — shared by the
+// encoder and the Viterbi branch tables.
+constexpr std::array<std::uint8_t, 128> kEncOut = [] {
+  std::array<std::uint8_t, 128> t{};
+  for (std::uint32_t full = 0; full < 128; ++full) {
+    const std::uint32_t a = static_cast<std::uint32_t>(std::popcount(full & kMaskA)) & 1u;
+    const std::uint32_t b = static_cast<std::uint32_t>(std::popcount(full & kMaskB)) & 1u;
+    t[full] = static_cast<std::uint8_t>((a << 1) | b);
+  }
+  return t;
+}();
+
+// Branch-metric selector per butterfly: butterfly j pairs next states
+// {2j, 2j+1} with predecessors {j, j+32}. Both generator masks contain bits
+// 0 and 6, so flipping the input bit or the oldest state bit negates both
+// output parities: all four branch metrics of a butterfly are +/-d with
+// d = bm(pred j, input 0), whose sign pattern is kEncOut[j<<1].
+constexpr std::array<std::uint8_t, 32> kDeltaIdx = [] {
+  std::array<std::uint8_t, 32> t{};
+  for (std::uint32_t j = 0; j < 32; ++j) t[j] = kEncOut[j << 1];
+  return t;
+}();
 
 // Puncturing patterns over one period of mother-coded bits (A/B interlaced).
 // kR23: keep A1 B1 A2, drop B2. kR34: keep A1 B1 A2 B3, drop B2 A3.
@@ -39,13 +59,13 @@ std::span<const std::uint8_t> keep_pattern(CodeRate rate) {
 }  // namespace
 
 Bits convolutional_encode(const Bits& in) {
-  Bits out;
-  out.reserve(in.size() * 2);
+  Bits out(in.size() * 2);
   std::uint32_t state = 0;  // last six input bits, newest at bit 0
-  for (std::uint8_t b : in) {
-    const std::uint32_t full = (state << 1) | (b & 1);
-    out.push_back(parity(full & kMaskA));
-    out.push_back(parity(full & kMaskB));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::uint32_t full = (state << 1) | (in[i] & 1u);
+    const std::uint8_t o = kEncOut[full];
+    out[2 * i] = static_cast<std::uint8_t>(o >> 1);
+    out[2 * i + 1] = static_cast<std::uint8_t>(o & 1);
     state = full & 0x3F;
   }
   return out;
@@ -56,10 +76,10 @@ Bits puncture(const Bits& coded, CodeRate rate) {
   if (keep.empty()) return coded;
   if (coded.size() % keep.size() != 0)
     throw std::invalid_argument("puncture: length not a pattern multiple");
-  Bits out;
-  out.reserve(punctured_length(coded.size() / 2, rate));
+  Bits out(punctured_length(coded.size() / 2, rate));
+  std::size_t o = 0;
   for (std::size_t i = 0; i < coded.size(); ++i)
-    if (keep[i % keep.size()]) out.push_back(coded[i]);
+    if (keep[i % keep.size()]) out[o++] = coded[i];
   return out;
 }
 
@@ -87,18 +107,104 @@ SoftBits depuncture(const SoftBits& soft, CodeRate rate) {
   if (soft.size() % kept_per_period != 0)
     throw std::invalid_argument("depuncture: length not a pattern multiple");
   const std::size_t periods = soft.size() / kept_per_period;
-  SoftBits out;
-  out.reserve(periods * keep.size());
+  SoftBits out(periods * keep.size());
   std::size_t src = 0;
+  std::size_t o = 0;
   for (std::size_t p = 0; p < periods; ++p) {
     for (std::uint8_t k : keep) {
-      out.push_back(k ? soft[src++] : 0.0);
+      out[o++] = k ? soft[src++] : 0.0;
     }
   }
   return out;
 }
 
+// Butterfly add-compare-select. Per step only four branch-metric values
+// exist (±la±lb); butterfly j reads survivors {j, j+32}, writes {2j, 2j+1}
+// with a branchless max-select, and packs the decision bits into the same
+// per-step std::uint64_t words the traceback has always consumed. Float
+// path metrics with periodic renormalization replace the old -inf
+// sentinels: never-reached states carry a large negative value that cannot
+// win a comparison against any live survivor, and the bits recorded for
+// them are never visited by a traceback that starts in a live state.
+// Tie-breaking matches the reference decoder: the strict `greater`
+// comparison lets the low predecessor (oldest state bit 0) win ties.
 Bits viterbi_decode(const SoftBits& soft, bool terminated) {
+  if (soft.size() % 2 != 0)
+    throw std::invalid_argument("viterbi_decode: need A/B pairs");
+  const std::size_t steps = soft.size() / 2;
+
+  constexpr float kUnreachable = -1.0e9f;
+  alignas(64) float m0buf[kNumStates];
+  alignas(64) float m1buf[kNumStates];
+  for (std::size_t s = 0; s < kNumStates; ++s) m0buf[s] = kUnreachable;
+  m0buf[0] = 0.0f;  // encoder starts in the zero state
+  float* cur = m0buf;
+  float* nxt = m1buf;
+
+  // One predecessor-decision word per step: bit s records which of state
+  // s's two predecessors won (1 = the one with the oldest bit set). The
+  // buffer is reused across calls on the same thread; every word is
+  // overwritten before traceback.
+  thread_local std::vector<std::uint64_t> decisions;
+  if (decisions.size() < steps) decisions.resize(steps);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const float la = static_cast<float>(soft[2 * t]);      // + -> A likely 0
+    const float lb = static_cast<float>(soft[2 * t + 1]);  // + -> B likely 0
+    const float bm4[4] = {la + lb, la - lb, -la + lb, -la - lb};
+    std::uint64_t dec = 0;
+    for (std::uint32_t j = 0; j < 32; ++j) {
+      const float d = bm4[kDeltaIdx[j]];
+      const float ma = cur[j];
+      const float mb = cur[j + 32];
+      const float c00 = ma + d;  // into 2j   via predecessor j
+      const float c01 = mb - d;  // into 2j   via predecessor j+32
+      const float c10 = ma - d;  // into 2j+1 via predecessor j
+      const float c11 = mb + d;  // into 2j+1 via predecessor j+32
+      const bool w0 = c01 > c00;
+      const bool w1 = c11 > c10;
+      nxt[2 * j] = w0 ? c01 : c00;
+      nxt[2 * j + 1] = w1 ? c11 : c10;
+      dec |= (static_cast<std::uint64_t>(w0) << (2 * j)) |
+             (static_cast<std::uint64_t>(w1) << (2 * j + 1));
+    }
+    decisions[t] = dec;
+    std::swap(cur, nxt);
+    if ((t & 63u) == 63u) {
+      float mx = cur[0];
+      for (std::size_t s = 1; s < kNumStates; ++s)
+        if (cur[s] > mx) mx = cur[s];
+      for (std::size_t s = 0; s < kNumStates; ++s) cur[s] -= mx;
+    }
+  }
+
+  // Traceback start: the zero state for exactly-terminated streams, the
+  // best-metric survivor otherwise.
+  Bits out(steps, 0);
+  std::uint32_t state = 0;
+  if (!terminated) {
+    float best = cur[0];
+    for (std::uint32_t s = 1; s < kNumStates; ++s) {
+      if (cur[s] > best) {
+        best = cur[s];
+        state = s;
+      }
+    }
+  }
+  for (std::size_t t = steps; t-- > 0;) {
+    out[t] = static_cast<std::uint8_t>(state & 1);  // input bit = state bit 0
+    const std::uint32_t old_bit5 =
+        static_cast<std::uint32_t>((decisions[t] >> state) & 1);
+    state = (state >> 1) | (old_bit5 << 5);
+  }
+  return out;
+}
+
+// The pre-butterfly decoder, retained verbatim as the semantic reference:
+// double metrics, -inf sentinels, explicit per-branch metric evaluation.
+// tests/phy/test_viterbi_equivalence.cpp pins viterbi_decode against it
+// bit for bit on randomized quantized inputs.
+Bits viterbi_decode_reference(const SoftBits& soft, bool terminated) {
   if (soft.size() % 2 != 0)
     throw std::invalid_argument("viterbi_decode: need A/B pairs");
   const std::size_t steps = soft.size() / 2;
@@ -114,7 +220,8 @@ Bits viterbi_decode(const SoftBits& soft, bool terminated) {
       for (std::uint32_t b = 0; b < 2; ++b) {
         const std::uint32_t full = (s << 1) | b;
         t[s][b] = {static_cast<std::uint8_t>(full & 0x3F),
-                   parity(full & kMaskA), parity(full & kMaskB)};
+                   static_cast<std::uint8_t>(kEncOut[full] >> 1),
+                   static_cast<std::uint8_t>(kEncOut[full] & 1)};
       }
     }
     return t;
@@ -125,12 +232,7 @@ Bits viterbi_decode(const SoftBits& soft, bool terminated) {
   metric.fill(kNegInf);
   metric[0] = 0.0;  // encoder starts in the zero state
 
-  // One predecessor-decision word per step: bit s = chosen input bit that
-  // led into state s (the input bit equals next_state bit 0, so we instead
-  // record which of the two predecessors won). The buffer is reused across
-  // calls on the same thread; every word is overwritten before traceback.
-  thread_local std::vector<std::uint64_t> decisions;
-  if (decisions.size() < steps) decisions.resize(steps);
+  std::vector<std::uint64_t> decisions(steps);
 
   std::array<double, kNumStates> next_metric{};
   for (std::size_t t = 0; t < steps; ++t) {
@@ -142,7 +244,8 @@ Bits viterbi_decode(const SoftBits& soft, bool terminated) {
       if (metric[s] == kNegInf) continue;
       for (std::uint32_t b = 0; b < 2; ++b) {
         const Branch& br = kBranches[s][b];
-        const double m = metric[s] + (br.out_a ? -la : la) + (br.out_b ? -lb : lb);
+        const double m =
+            metric[s] + (br.out_a ? -la : la) + (br.out_b ? -lb : lb);
         if (m > next_metric[br.next]) {
           next_metric[br.next] = m;
           // Predecessor of `next` is s; record its oldest bit (bit 5),
@@ -158,8 +261,6 @@ Bits viterbi_decode(const SoftBits& soft, bool terminated) {
     metric = next_metric;
   }
 
-  // Traceback start: the zero state for exactly-terminated streams, the
-  // best-metric survivor otherwise.
   Bits out(steps, 0);
   std::uint32_t state = 0;
   if (!terminated) {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
+
 namespace wlansim::phy {
 
 namespace {
@@ -97,6 +99,26 @@ Bits Mapper::demap_hard(std::span<const dsp::Cplx> pts) const {
   return out;
 }
 
+void Mapper::demap_axis_raw(double y, double* out) const {
+  // Max-log: LLR_i = min_{s:bit=1} (y-s)^2 - min_{s:bit=0} (y-s)^2;
+  // positive favors bit 0. The caller applies the CSI weight.
+  for (std::size_t i = 0; i < bits_per_axis_; ++i) {
+    double d0 = std::numeric_limits<double>::max();
+    double d1 = std::numeric_limits<double>::max();
+    for (std::size_t g = 0; g < levels_.size(); ++g) {
+      const double diff = y - levels_[g] * norm_;
+      const double d = diff * diff;
+      const bool bit = ((g >> (bits_per_axis_ - 1 - i)) & 1) != 0;
+      if (bit) {
+        if (d < d1) d1 = d;
+      } else {
+        if (d < d0) d0 = d;
+      }
+    }
+    out[i] = d1 - d0;
+  }
+}
+
 void Mapper::demap_axis_soft(double y, double weight, SoftBits* out) const {
   // Max-log: LLR_i = w * (min_{s:bit=1} (y-s)^2 - min_{s:bit=0} (y-s)^2);
   // positive favors bit 0.
@@ -129,11 +151,16 @@ SoftBits Mapper::demap_soft(std::span<const dsp::Cplx> pts,
                             std::span<const double> weights) const {
   if (pts.size() != weights.size())
     throw std::invalid_argument("Mapper: weights size mismatch");
-  SoftBits out;
-  out.reserve(pts.size() * nbpsc_);
+  // Sized output, indexed writes (no per-point vector), with the CSI
+  // weight applied as a block scale over each point's LLRs: w*(d1-d0)
+  // bit-identically equals (d1-d0)*w.
+  SoftBits out(pts.size() * nbpsc_);
   for (std::size_t i = 0; i < pts.size(); ++i) {
-    const SoftBits s = demap_soft_point(pts[i], weights[i]);
-    out.insert(out.end(), s.begin(), s.end());
+    double* dst = out.data() + i * nbpsc_;
+    demap_axis_raw(pts[i].real(), dst);
+    if (mod_ != Modulation::kBpsk)
+      demap_axis_raw(pts[i].imag(), dst + bits_per_axis_);
+    dsp::kernels::scale(dst, nbpsc_, weights[i]);
   }
   return out;
 }

@@ -54,6 +54,8 @@ class Mapper {
   /// Per-axis helpers: `axis_bits` gray bits -> level index and back.
   double axis_level(std::span<const std::uint8_t> axis_bits) const;
   void demap_axis_soft(double y, double weight, SoftBits* out) const;
+  /// Unweighted max-log LLRs for one axis, written to out[0..bits_per_axis).
+  void demap_axis_raw(double y, double* out) const;
   void demap_axis_hard(double y, Bits* out) const;
 
   Modulation mod_;

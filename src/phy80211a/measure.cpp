@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 #include "phy80211a/mapper.h"
 #include "phy80211a/ofdm.h"
@@ -58,11 +59,9 @@ void EvmCounter::add(std::span<const dsp::Cplx> rx,
                      std::span<const dsp::Cplx> ref) {
   if (rx.size() != ref.size())
     throw std::invalid_argument("EvmCounter: size mismatch");
-  for (std::size_t i = 0; i < rx.size(); ++i) {
-    err_acc_ += std::norm(rx[i] - ref[i]);
-    ref_acc_ += std::norm(ref[i]);
-    ++count_;
-  }
+  dsp::kernels::evm_accum(rx.data(), ref.data(), rx.size(), &err_acc_,
+                          &ref_acc_);
+  count_ += rx.size();
 }
 
 void EvmCounter::add_decision_directed(std::span<const dsp::Cplx> rx,

@@ -71,17 +71,31 @@ dsp::CVec Amplifier::process(std::span<const dsp::Cplx> in) {
 
 void Amplifier::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
   out.resize(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    dsp::Cplx x = in[i];
-    if (noise_power_ > 0.0) x += rng_.cgaussian(noise_power_);
+  const std::size_t n = in.size();
+  // Split the sequential part (the rng-ordered noise draws) from the
+  // element-wise envelope math, and skip the AM/PM rotation entirely when
+  // it is configured off: x*g*{cos 0, sin 0} is x*g.
+  const dsp::Cplx* src = in.data();
+  if (noise_power_ > 0.0) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = in[i] + rng_.cgaussian(noise_power_);
+    src = out.data();
+  }
+  const bool pm_active = cfg_.am_pm_max_deg != 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const dsp::Cplx x = src[i];
     const double a = std::abs(x);
     if (a <= 0.0) {
       out[i] = dsp::Cplx{0.0, 0.0};
       continue;
     }
     const double g = am_am(a) / a;
-    const double phi = am_pm(a);
-    out[i] = x * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
+    if (pm_active) {
+      const double phi = am_pm(a);
+      out[i] = x * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
+    } else {
+      out[i] = x * g;
+    }
   }
 }
 

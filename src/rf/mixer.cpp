@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::rf {
@@ -40,31 +41,41 @@ dsp::CVec Mixer::process(std::span<const dsp::Cplx> in) {
 
 void Mixer::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
   out.resize(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    if (pn_sigma_ > 0.0) pn_phase_ += rng_.gaussian(pn_sigma_);
+  const std::size_t n = in.size();
+  if (n == 0) return;
+
+  dsp::kernels::MixParams p;
+  p.gain = gain_;
+  p.image_amp = image_amp_;
+  p.iq_active = iq_eps_ != 1.0 || iq_phi_ != 0.0;
+  p.iq_eps = iq_eps_;
+  p.iq_sin = std::sin(iq_phi_);
+  p.iq_cos = std::cos(iq_phi_);
+  p.dc = cfg_.dc_offset;
+
+  // With no LO offset and no phase noise the LO phasor is one constant for
+  // the whole block (and no state advances), so the per-sample cos/sin —
+  // the bulk of this block's cost in the default receiver chain, where the
+  // phase is identically zero — collapses to a single evaluation.
+  if (pn_sigma_ <= 0.0 && dphi_lo_ == 0.0 && lo_phase_ <= 64.0 * dsp::kPi) {
     const double phi = lo_phase_ + pn_phase_;
     const dsp::Cplx lo{std::cos(phi), std::sin(phi)};
-    dsp::Cplx y = gain_ * in[i] * lo;
+    dsp::kernels::mix_const_lo(in.data(), n, lo, p, out.data());
+    return;
+  }
 
-    // Finite image rejection folds a conjugate copy on top.
-    if (image_amp_ > 0.0) y += image_amp_ * gain_ * std::conj(in[i] * lo);
-
-    // IQ imbalance: distinct gain and quadrature phase on the Q rail.
-    if (iq_eps_ != 1.0 || iq_phi_ != 0.0) {
-      const double ii = y.real();
-      const double qq = y.imag();
-      y = dsp::Cplx{ii + qq * std::sin(iq_phi_) * iq_eps_,
-                    qq * iq_eps_ * std::cos(iq_phi_)};
-    }
-
-    y += cfg_.dc_offset;
-    out[i] = y;
-
+  // General case: fill the per-sample phase stream (the sequential part —
+  // phase-noise draws and accumulator wrapping), then mix element-wise.
+  phase_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pn_sigma_ > 0.0) pn_phase_ += rng_.gaussian(pn_sigma_);
+    phase_scratch_[i] = lo_phase_ + pn_phase_;
     lo_phase_ += dphi_lo_;
     if (lo_phase_ > 64.0 * dsp::kPi) lo_phase_ = dsp::wrap_phase(lo_phase_);
     if (pn_phase_ > 64.0 * dsp::kPi || pn_phase_ < -64.0 * dsp::kPi)
       pn_phase_ = dsp::wrap_phase(pn_phase_);
   }
+  dsp::kernels::mix_phase(in.data(), phase_scratch_.data(), n, p, out.data());
 }
 
 void Mixer::reset() {

@@ -63,6 +63,7 @@ class Mixer : public RfBlock {
   double lo_phase_ = 0.0;
   double pn_phase_ = 0.0;
   dsp::Rng rng_;
+  dsp::RVec phase_scratch_;  ///< per-sample LO phase (SoA) for the kernel
 };
 
 }  // namespace wlansim::rf

@@ -1,0 +1,118 @@
+// The butterfly-ACS production decoder pinned against the retained
+// straightforward reference decoder. The inputs are quantized to small
+// dyadic rationals (multiples of 1/8, |v| <= 32) so every float metric sum
+// in the production decoder is exact and the decisions must match the
+// double-precision reference bit for bit.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "phy80211a/convcode.h"
+
+namespace wlansim::phy {
+namespace {
+
+/// Uniform dyadic-rational LLR in [-32, 32] with step 1/8.
+double quantized_llr(std::mt19937_64& gen) {
+  std::uniform_int_distribution<int> d(-256, 256);
+  return static_cast<double>(d(gen)) / 8.0;
+}
+
+SoftBits random_soft(std::size_t n_info, std::mt19937_64& gen) {
+  SoftBits soft(2 * n_info);
+  for (double& v : soft) v = quantized_llr(gen);
+  return soft;
+}
+
+/// Noisy-but-quantized soft metrics for an actual codeword: a strong
+/// correct component plus quantized perturbations, so the decoders face
+/// realistic near-ties without leaving the exactness domain.
+SoftBits codeword_soft(const Bits& coded, std::mt19937_64& gen) {
+  SoftBits soft(coded.size());
+  std::uniform_int_distribution<int> noise(-96, 96);  // +/-12 in 1/8 steps
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double sign = coded[i] ? -1.0 : 1.0;
+    soft[i] = sign * 8.0 + static_cast<double>(noise(gen)) / 8.0;
+  }
+  return soft;
+}
+
+Bits random_info(std::size_t n, std::mt19937_64& gen) {
+  Bits info(n);
+  for (auto& b : info) b = static_cast<std::uint8_t>(gen() & 1u);
+  return info;
+}
+
+TEST(ViterbiEquivalence, RandomSoftInputsTerminated) {
+  std::mt19937_64 gen(0x5eed0001);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + (gen() % 300);
+    const SoftBits soft = random_soft(n, gen);
+    EXPECT_EQ(viterbi_decode(soft, true), viterbi_decode_reference(soft, true))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(ViterbiEquivalence, RandomSoftInputsUnterminated) {
+  std::mt19937_64 gen(0x5eed0002);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + (gen() % 300);
+    const SoftBits soft = random_soft(n, gen);
+    EXPECT_EQ(viterbi_decode(soft, false),
+              viterbi_decode_reference(soft, false))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(ViterbiEquivalence, PuncturedCodewordsAllRates) {
+  std::mt19937_64 gen(0x5eed0003);
+  const CodeRate rates[] = {CodeRate::kR12, CodeRate::kR23, CodeRate::kR34};
+  for (CodeRate rate : rates) {
+    for (int trial = 0; trial < 12; ++trial) {
+      // Info length padded so the punctured length is pattern-aligned.
+      std::size_t n = 48 + 12 * (gen() % 20);
+      Bits info = random_info(n, gen);
+      for (int t = 0; t < 6; ++t) info.push_back(0);  // tail
+      const Bits coded = puncture(convolutional_encode(info), rate);
+      SoftBits soft(coded.size());
+      {
+        const SoftBits s = codeword_soft(coded, gen);
+        soft = s;
+      }
+      const SoftBits mother = depuncture(soft, rate);
+      for (bool terminated : {true, false}) {
+        EXPECT_EQ(viterbi_decode(mother, terminated),
+                  viterbi_decode_reference(mother, terminated))
+            << "rate " << static_cast<int>(rate) << " trial " << trial
+            << " terminated=" << terminated;
+      }
+    }
+  }
+}
+
+TEST(ViterbiEquivalence, DegenerateShortInputs) {
+  std::mt19937_64 gen(0x5eed0004);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{5}, std::size_t{7}}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const SoftBits soft = random_soft(n, gen);
+      for (bool terminated : {true, false}) {
+        EXPECT_EQ(viterbi_decode(soft, terminated),
+                  viterbi_decode_reference(soft, terminated))
+            << "n=" << n << " terminated=" << terminated;
+      }
+    }
+  }
+}
+
+TEST(ViterbiEquivalence, HardDecisionRoundTrip) {
+  // End-to-end sanity: clean hard metrics decode back to the info bits.
+  std::mt19937_64 gen(0x5eed0005);
+  Bits info = random_info(120, gen);
+  for (int t = 0; t < 6; ++t) info.push_back(0);
+  const Bits coded = convolutional_encode(info);
+  EXPECT_EQ(viterbi_decode_hard(coded, true), info);
+}
+
+}  // namespace
+}  // namespace wlansim::phy

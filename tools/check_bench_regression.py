@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+Fails (exit 1) when any watched benchmark's cpu_time regressed beyond the
+tolerance factor, so perf regressions on the packet hot path surface in CI
+instead of silently accumulating. Run via the `bench-check` CMake target or
+directly:
+
+    tools/run_bench.sh                      # re-record BENCH_engine.json
+    tools/check_bench_regression.py --fresh /tmp/fresh.json
+
+cpu_time is compared rather than real_time: the BER-sweep benches are
+wall-clock parallel and cpu_time is the steadier signal on loaded CI boxes.
+"""
+
+import argparse
+import json
+import sys
+
+# The hot-path benches the PR-level perf targets are stated against.
+DEFAULT_WATCHED = [
+    "BM_ViterbiDecode/4096",
+    "BM_FullPacketSystemLevel",
+    "BM_BerWaterfallMemoized/iterations:1",
+]
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    ctx = data.get("context", {})
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = (float(b["cpu_time"]), b.get("time_unit", "ns"))
+    return ctx, times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_engine.json",
+                    help="committed baseline JSON (default: %(default)s)")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly recorded benchmark JSON to check")
+    ap.add_argument("--tolerance", type=float, default=1.30,
+                    help="max allowed fresh/baseline cpu_time ratio "
+                         "(default: %(default)s)")
+    ap.add_argument("--benchmarks", default=",".join(DEFAULT_WATCHED),
+                    help="comma-separated benchmark names to watch "
+                         "(default: the hot-path set)")
+    args = ap.parse_args()
+
+    base_ctx, base = load_times(args.baseline)
+    fresh_ctx, fresh = load_times(args.fresh)
+
+    for ctx, label in ((base_ctx, args.baseline), (fresh_ctx, args.fresh)):
+        if ctx.get("wlansim_non_release_build"):
+            print(f"bench-check: {label} was recorded from a non-Release "
+                  f"build ({ctx['wlansim_non_release_build']}); refusing "
+                  "to compare.", file=sys.stderr)
+            return 1
+
+    watched = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+    failures = []
+    for name in watched:
+        if name not in base:
+            print(f"bench-check: '{name}' missing from baseline "
+                  f"{args.baseline}; skipping (new benchmark?)")
+            continue
+        if name not in fresh:
+            failures.append(f"'{name}' missing from fresh run {args.fresh}")
+            continue
+        (b, unit_b), (f, unit_f) = base[name], fresh[name]
+        if unit_b != unit_f:
+            failures.append(f"'{name}': time_unit mismatch "
+                            f"({unit_b} vs {unit_f})")
+            continue
+        ratio = f / b if b > 0 else float("inf")
+        status = "OK " if ratio <= args.tolerance else "FAIL"
+        print(f"bench-check: {status} {name}: {b:.0f} -> {f:.0f} {unit_b} "
+              f"(x{ratio:.3f}, tolerance x{args.tolerance:.2f})")
+        if ratio > args.tolerance:
+            failures.append(f"'{name}' regressed x{ratio:.3f} "
+                            f"(> x{args.tolerance:.2f})")
+
+    if failures:
+        for msg in failures:
+            print(f"bench-check: FAILURE: {msg}", file=sys.stderr)
+        return 1
+    print("bench-check: all watched benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,40 @@
 # Build and run the engine microbenchmarks, writing Google-Benchmark JSON to
 # BENCH_engine.json at the repo root (the file docs/PERFORMANCE.md explains).
 #
+# The committed baseline must come from a Release build: anything else
+# (RelWithDebInfo included) measures a different binary than the one the
+# perf targets are stated against. The script therefore refuses non-Release
+# build trees unless WLANSIM_BENCH_ALLOW_NONRELEASE=1, in which case the
+# output is loudly annotated instead.
+#
 # Usage: tools/run_bench.sh [build-dir] [extra benchmark args...]
+#   build-dir defaults to <repo>/build-release, configured as Release.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="${1:-$repo_root/build-release}"
 shift $(( $# > 0 ? 1 : 0 )) || true
 
-cmake -B "$build_dir" -S "$repo_root" > /dev/null
+if [[ -f "$build_dir/CMakeCache.txt" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" > /dev/null
+else
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release > /dev/null
+fi
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [[ "$build_type" != "Release" ]]; then
+  if [[ "${WLANSIM_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+    echo "run_bench.sh: '$build_dir' is configured as '${build_type:-<unset>}'," >&2
+    echo "  not Release. Benchmark numbers from such a build are not" >&2
+    echo "  comparable to the committed baseline. Either pass a Release" >&2
+    echo "  build dir (default: tools/run_bench.sh with no args) or set" >&2
+    echo "  WLANSIM_BENCH_ALLOW_NONRELEASE=1 to record annotated numbers." >&2
+    exit 1
+  fi
+  echo "run_bench.sh: WARNING: recording from a '${build_type:-<unset>}' build;" >&2
+  echo "  numbers will NOT be comparable to the Release baseline." >&2
+fi
+
 cmake --build "$build_dir" -j --target engine_perf > /dev/null
 
 out="$repo_root/BENCH_engine.json"
@@ -21,4 +47,18 @@ out="$repo_root/BENCH_engine.json"
   --benchmark_out_format=json \
   "$@" > /dev/null
 
-echo "wrote $out"
+if [[ "$build_type" != "Release" ]]; then
+  python3 - "$out" "$build_type" <<'EOF'
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["wlansim_non_release_build"] = build_type
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+EOF
+  echo "wrote $out (ANNOTATED: non-Release '$build_type' build)"
+else
+  echo "wrote $out"
+fi
