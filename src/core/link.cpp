@@ -44,11 +44,14 @@ PacketResult WlanLink::run_packet(std::uint64_t packet_index) {
 }
 
 bool WlanLink::use_direct_path() const {
-  // Only the engines whose blocks the workspace keeps persistent run
-  // directly; co-simulation and caller-supplied blocks go through the
-  // graph, which constructs them per packet.
+  // Co-simulation goes through the graph; everything else runs directly.
+  // Caller-supplied (kCustom) blocks are constructed per packet on both
+  // paths, so the direct scene gives them the same lifecycle the graph
+  // did — and the same fast engine the built-in front-end enjoys.
   const bool supported = cfg_.rf_engine == RfEngine::kNone ||
-                         cfg_.rf_engine == RfEngine::kSystemLevel;
+                         cfg_.rf_engine == RfEngine::kSystemLevel ||
+                         (cfg_.rf_engine == RfEngine::kCustom &&
+                          cfg_.custom_rf != nullptr);
   switch (cfg_.packet_path) {
     case PacketPath::kGraph:
       return false;
@@ -347,7 +350,17 @@ void WlanLink::finish_scene_direct(std::size_t base_units, dsp::Rng& rng,
       ws_.frontend->reset();
       ws_.frontend->reseed(rng.fork());
     }
+    // Runs the fused ChainExecutor: the whole oversampled scene streams
+    // through the front-end cascade in L1-sized tiles (cfg_.rf.tile_size,
+    // 0 = auto), bit-identical to block-at-a-time execution and to the
+    // 512-chunk graph path by the tile-continuity contract.
     ws_.frontend->process_into(a, ws_.scene_b);
+    rx_over = &ws_.scene_b;
+  } else if (cfg_.rf_engine == RfEngine::kCustom) {
+    // Constructed per packet, exactly like the graph's rf_frontend_custom
+    // node (the factory owns any state reset policy).
+    const auto frontend = cfg_.custom_rf(rng.fork());
+    frontend->process_into(a, ws_.scene_b);
     rx_over = &ws_.scene_b;
   }
 

@@ -29,6 +29,8 @@ void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
 double power_sum(const Cplx* x, std::size_t n);
 void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
                double* ref_pow);
+void xcorr_accum(const Cplx* x, const Cplx* ref, std::size_t n, double* re,
+                 double* im);
 void scale(double* x, std::size_t n, double s);
 void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
 bool cpu_supported();
@@ -45,6 +47,7 @@ struct Table {
   decltype(&ref::fir_interp) fir_interp = &ref::fir_interp;
   decltype(&ref::power_sum) power_sum = &ref::power_sum;
   decltype(&ref::evm_accum) evm_accum = &ref::evm_accum;
+  decltype(&ref::xcorr_accum) xcorr_accum = &ref::xcorr_accum;
   decltype(&ref::scale) scale = &ref::scale;
   decltype(&ref::add_scaled_pairs) add_scaled_pairs = &ref::add_scaled_pairs;
   const char* name = "scalar";
@@ -63,6 +66,7 @@ Table make_table() {
     t.fir_interp = &native::fir_interp;
     t.power_sum = &native::power_sum;
     t.evm_accum = &native::evm_accum;
+    t.xcorr_accum = &native::xcorr_accum;
     t.scale = &native::scale;
     t.add_scaled_pairs = &native::add_scaled_pairs;
     t.name = "native";
@@ -113,6 +117,11 @@ double power_sum(const Cplx* x, std::size_t n) {
 void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
                double* ref_pow) {
   table().evm_accum(rx, ref, n, err, ref_pow);
+}
+
+void xcorr_accum(const Cplx* x, const Cplx* ref, std::size_t n, double* re,
+                 double* im) {
+  table().xcorr_accum(x, ref, n, re, im);
 }
 
 void scale(double* x, std::size_t n, double s) { table().scale(x, n, s); }

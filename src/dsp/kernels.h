@@ -83,6 +83,12 @@ double power_sum(const Cplx* x, std::size_t n);
 void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
                double* ref_pow);
 
+/// Cross-correlation: *re/*im = sum x[k]*conj(ref[k]) over four fixed
+/// stride-4 lane chains combined as (a0+a1)+(a2+a3); the chain structure is
+/// part of the contract. Used by the long-training fine-timing search.
+void xcorr_accum(const Cplx* x, const Cplx* ref, std::size_t n, double* re,
+                 double* im);
+
 /// LLR / weight scaling: x[i] *= s.
 void scale(double* x, std::size_t n, double s);
 
@@ -109,6 +115,8 @@ void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
 double power_sum(const Cplx* x, std::size_t n);
 void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
                double* ref_pow);
+void xcorr_accum(const Cplx* x, const Cplx* ref, std::size_t n, double* re,
+                 double* im);
 void scale(double* x, std::size_t n, double s);
 void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
 

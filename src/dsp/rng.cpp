@@ -16,15 +16,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
 }
 
-double Rng::gaussian() { return normal_(gen_); }
-
-double Rng::gaussian(double sigma) { return sigma * gaussian(); }
-
-Cplx Rng::cgaussian(double variance) {
-  const double s = std::sqrt(variance / 2.0);
-  return {gaussian(s), gaussian(s)};
-}
-
 bool Rng::bit() { return (gen_() & 1u) != 0; }
 
 void Rng::bytes(std::uint8_t* dst, std::size_t n) {

@@ -5,6 +5,7 @@
 // and so that parameter sweeps can use common random numbers across points.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -32,15 +33,22 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
-  /// Standard normal (mean 0, variance 1).
-  double gaussian();
+  /// Standard normal (mean 0, variance 1). Defined inline: the front-end
+  /// noise sources draw per oversampled sample, and an out-of-line call
+  /// here (plus the nested gaussian()/cgaussian() calls) is measurable on
+  /// the packet hot path. Same engine, same persistent distribution object
+  /// — the stream is unchanged.
+  double gaussian() { return normal_(gen_); }
 
   /// Normal with the given standard deviation.
-  double gaussian(double sigma);
+  double gaussian(double sigma) { return sigma * gaussian(); }
 
   /// Circularly-symmetric complex Gaussian with total variance
   /// E|x|^2 == variance (variance/2 per rail).
-  Cplx cgaussian(double variance);
+  Cplx cgaussian(double variance) {
+    const double s = std::sqrt(variance / 2.0);
+    return {gaussian(s), gaussian(s)};
+  }
 
   /// A single fair random bit.
   bool bit();

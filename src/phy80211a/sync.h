@@ -18,8 +18,20 @@ struct DetectionResult {
 
 /// Detect a frame via the 16-sample periodicity of the short preamble.
 /// Returns nullopt if no plateau is found.
+///
+/// O(N): the 32-sample correlation, power, and mean windows advance by a
+/// sliding-window recurrence (add the entering term, subtract the leaving
+/// one) with an exact recomputation every few hundred positions to bound
+/// rounding drift, instead of re-summing the window at every position.
+/// The decision sequence matches detect_packet_reference on any signal
+/// whose metric is not within ~1e-12 of the threshold.
 std::optional<DetectionResult> detect_packet(std::span<const dsp::Cplx> rx,
                                              double threshold = 0.6);
+
+/// Reference O(N*W) implementation (full window re-sum per position), the
+/// semantic definition detect_packet is tested against.
+std::optional<DetectionResult> detect_packet_reference(
+    std::span<const dsp::Cplx> rx, double threshold = 0.6);
 
 /// Coarse CFO (cycles/sample) from lag-16 autocorrelation over `len`
 /// samples starting at `start`.
@@ -34,9 +46,22 @@ double fine_cfo(std::span<const dsp::Cplx> rx, std::size_t lts_start);
 /// Locate the start of the first long training symbol by cross-correlating
 /// with the known LTS within [search_start, search_end). Returns the index
 /// of the first sample of the first 64-sample LTS.
+///
+/// The 64-sample window power slides by recurrence (exact recompute every
+/// few hundred positions) and the cross-correlation runs on the
+/// dsp::kernels xcorr_accum kernel (split re/im 4-lane chains, vectorized
+/// in the WLANSIM_NATIVE build). Peak choice matches the reference except
+/// for metric ties closer than the accumulated ulp drift.
 std::optional<std::size_t> locate_long_training(std::span<const dsp::Cplx> rx,
                                                 std::size_t search_start,
                                                 std::size_t search_end);
+
+/// Reference implementation (sequential complex accumulation, full power
+/// re-sum per position), the semantic definition the fast path is tested
+/// against.
+std::optional<std::size_t> locate_long_training_reference(
+    std::span<const dsp::Cplx> rx, std::size_t search_start,
+    std::size_t search_end);
 
 /// Multiply by e^{-j 2 pi cfo n} in place to remove a frequency offset
 /// (n counted from the start of the span).

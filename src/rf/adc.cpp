@@ -13,12 +13,16 @@ Adc::Adc(const AdcConfig& cfg) : cfg_(cfg) {
     throw std::invalid_argument("Adc: full scale must be positive");
   step_ = 2.0 * cfg_.full_scale /
           static_cast<double>((std::size_t{1} << cfg_.bits) - 1);
+  inv_step_ = 1.0 / step_;
 }
 
 double Adc::quantize(double v) const {
   // Mid-tread rounding, then clip at the rails (the rail value itself need
-  // not sit on the quantization grid — it is the saturated output).
-  return std::clamp(std::round(v / step_) * step_, -cfg_.full_scale,
+  // not sit on the quantization grid — it is the saturated output). The
+  // reciprocal multiply replaces a ~20-cycle divide; it can pick the
+  // neighboring code only when v/step_ rounds within one ulp of a x.5
+  // boundary, where the two codes are equally valid quantizations.
+  return std::clamp(std::round(v * inv_step_) * step_, -cfg_.full_scale,
                     cfg_.full_scale);
 }
 
@@ -29,13 +33,21 @@ dsp::CVec Adc::process(std::span<const dsp::Cplx> in) {
 }
 
 void Adc::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+  out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void Adc::process_tile(std::span<const dsp::Cplx> in,
+                       std::span<dsp::Cplx> out) {
   if (!cfg_.enabled) {
-    out.assign(in.begin(), in.end());
+    if (out.data() != in.data())
+      std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  out.resize(in.size());
+  const dsp::Cplx* src = in.data();
+  dsp::Cplx* dst = out.data();
   for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = dsp::Cplx{quantize(in[i].real()), quantize(in[i].imag())};
+    dst[i] = dsp::Cplx{quantize(src[i].real()), quantize(src[i].imag())};
   }
 }
 

@@ -21,6 +21,8 @@ class Adc : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   std::string name() const override { return cfg_.label; }
 
   /// Quantize one rail value.
@@ -31,6 +33,7 @@ class Adc : public RfBlock {
  private:
   AdcConfig cfg_;
   double step_;
+  double inv_step_;  ///< 1/step_: the hot loop multiplies instead of divides
 };
 
 }  // namespace wlansim::rf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "dsp/mathutil.h"
@@ -12,12 +13,23 @@ Agc::Agc(const AgcConfig& cfg)
     : cfg_(cfg),
       gain_db_(cfg.initial_gain_db),
       det_power_(0.0),
-      alpha_(1.0 / std::max(1.0, cfg.detector_time_const)) {
+      alpha_(1.0 / std::max(1.0, cfg.detector_time_const)),
+      cached_gain_db_(std::numeric_limits<double>::quiet_NaN()) {
   if (cfg_.min_gain_db > cfg_.max_gain_db)
     throw std::invalid_argument("Agc: min gain above max gain");
   if (cfg_.attack_db_per_sample < 0.0 || cfg_.decay_db_per_sample < 0.0 ||
       cfg_.loop_gain < 0.0)
     throw std::invalid_argument("Agc: negative loop parameters");
+  // Widen the brackets by 1e-9 relative — orders of magnitude beyond the
+  // rounding error of dbm_to_watts — so they are a strict superset of the
+  // set where the exact dB comparison could unlock. Inside them, skipping
+  // the comparison is decision-identical to the legacy per-sample form.
+  unlock_lo_w_ =
+      dsp::dbm_to_watts(cfg_.target_power_dbm - cfg_.unlock_window_db) *
+      (1.0 + 1e-9);
+  unlock_hi_w_ =
+      dsp::dbm_to_watts(cfg_.target_power_dbm + cfg_.unlock_window_db) *
+      (1.0 - 1e-9);
 }
 
 dsp::CVec Agc::process(std::span<const dsp::Cplx> in) {
@@ -27,21 +39,40 @@ dsp::CVec Agc::process(std::span<const dsp::Cplx> in) {
 }
 
 void Agc::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
-  const double target_dbm = cfg_.target_power_dbm;
   out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void Agc::process_tile(std::span<const dsp::Cplx> in,
+                       std::span<dsp::Cplx> out) {
+  const double target_dbm = cfg_.target_power_dbm;
+  const dsp::Cplx* src = in.data();
+  dsp::Cplx* dst = out.data();
   for (std::size_t i = 0; i < in.size(); ++i) {
-    const double g = std::pow(10.0, gain_db_ / 20.0);
-    const dsp::Cplx y = g * in[i];
-    out[i] = y;
+    if (gain_db_ != cached_gain_db_) {
+      cached_gain_db_ = gain_db_;
+      cached_gain_lin_ = std::pow(10.0, gain_db_ / 20.0);
+    }
+    const dsp::Cplx y = cached_gain_lin_ * src[i];
+    dst[i] = y;
 
     det_power_ += alpha_ * (std::norm(y) - det_power_);
     if (det_power_ > 1e-30) {
-      const double err_db = target_dbm - dsp::watts_to_dbm(det_power_);
-      if (locked_ && std::abs(err_db) > cfg_.unlock_window_db) {
-        locked_ = false;  // level jumped: re-acquire
-        settled_run_ = 0;
+      if (locked_) {
+        // Level jumped: re-acquire. The cheap linear-domain bracket test
+        // rules out an unlock in the common settled case; only near or
+        // beyond the window does the exact dB comparison (the legacy
+        // decision boundary) run.
+        if (det_power_ < unlock_lo_w_ || det_power_ > unlock_hi_w_) {
+          const double err_db = target_dbm - dsp::watts_to_dbm(det_power_);
+          if (std::abs(err_db) > cfg_.unlock_window_db) {
+            locked_ = false;
+            settled_run_ = 0;
+          }
+        }
       }
       if (!frozen_ && !locked_) {
+        const double err_db = target_dbm - dsp::watts_to_dbm(det_power_);
         const double step =
             std::clamp(cfg_.loop_gain * err_db, -cfg_.attack_db_per_sample,
                        cfg_.decay_db_per_sample);

@@ -42,6 +42,8 @@ class Agc : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override;
   std::string name() const override { return cfg_.label; }
 
@@ -61,6 +63,18 @@ class Agc : public RfBlock {
   bool frozen_ = false;
   bool locked_ = false;
   std::size_t settled_run_ = 0;
+  /// pow(10, gain_db_/20) memoized on gain_db_: once the loop locks (or a
+  /// step lands on the slew clamp) the gain repeats for long runs and the
+  /// per-sample pow() disappears. Keyed on NaN initially so the first
+  /// sample always computes.
+  double cached_gain_db_;
+  double cached_gain_lin_ = 1.0;
+  /// Slightly widened linear-domain [W] brackets of the unlock window:
+  /// while det_power_ sits inside them the dB-domain unlock test cannot
+  /// fire, so the locked steady state skips the per-sample log10; outside
+  /// them the exact legacy comparison runs, preserving its boundary.
+  double unlock_lo_w_;
+  double unlock_hi_w_;
 };
 
 }  // namespace wlansim::rf

@@ -26,6 +26,10 @@ Amplifier::Amplifier(const AmplifierConfig& cfg, double sample_rate_hz,
   if (p <= 0.0) throw std::invalid_argument("Amplifier: bad Rapp smoothness");
   const double t = std::pow(10.0, p / 10.0) - 1.0;
   vsat_rapp_ = lin_gain_ * a1db_ / std::pow(t, 1.0 / (2.0 * p));
+  lin_gain2_ = lin_gain_ * lin_gain_;
+  inv_vsat2_ = 1.0 / (vsat_rapp_ * vsat_rapp_);
+  inv_2p_ = 1.0 / (2.0 * p);
+  rapp_is_p2_ = (p == 2.0);
 
   // Envelope-domain cubic y = g (a + c3 a^3): 1 dB compression at a1db
   // gives c3 = -kComp1dB / a1db^2; clip where the polynomial peaks.
@@ -38,16 +42,21 @@ Amplifier::Amplifier(const AmplifierConfig& cfg, double sample_rate_hz,
                      : 0.0;
 }
 
+double Amplifier::rapp_gain_from_norm(double n2) const {
+  // (lin*a / vsat)^(2p) == (lin^2 a^2 / vsat^2)^p, so the curve needs only
+  // the envelope squared; at p == 2 both pow() collapse to nested sqrt().
+  const double r2 = lin_gain2_ * n2 * inv_vsat2_;
+  if (rapp_is_p2_) return lin_gain_ / std::sqrt(std::sqrt(1.0 + r2 * r2));
+  return lin_gain_ /
+         std::pow(1.0 + std::pow(r2, cfg_.rapp_smoothness), inv_2p_);
+}
+
 double Amplifier::am_am(double a) const {
   switch (cfg_.model) {
     case NonlinearityModel::kLinear:
       return lin_gain_ * a;
-    case NonlinearityModel::kRapp: {
-      const double p = cfg_.rapp_smoothness;
-      const double num = lin_gain_ * a;
-      return num / std::pow(1.0 + std::pow(num / vsat_rapp_, 2.0 * p),
-                            1.0 / (2.0 * p));
-    }
+    case NonlinearityModel::kRapp:
+      return a * rapp_gain_from_norm(a * a);
     case NonlinearityModel::kClippedCubic: {
       const double ac = std::min(a, clip_in_);
       return lin_gain_ * (ac + cubic_a3_ * ac * ac * ac);
@@ -71,30 +80,50 @@ dsp::CVec Amplifier::process(std::span<const dsp::Cplx> in) {
 
 void Amplifier::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
   out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void Amplifier::process_tile(std::span<const dsp::Cplx> in,
+                             std::span<dsp::Cplx> out) {
   const std::size_t n = in.size();
   // Split the sequential part (the rng-ordered noise draws) from the
   // element-wise envelope math, and skip the AM/PM rotation entirely when
   // it is configured off: x*g*{cos 0, sin 0} is x*g.
   const dsp::Cplx* src = in.data();
+  dsp::Cplx* dst = out.data();
   if (noise_power_ > 0.0) {
     for (std::size_t i = 0; i < n; ++i)
-      out[i] = in[i] + rng_.cgaussian(noise_power_);
-    src = out.data();
+      dst[i] = src[i] + rng_.cgaussian(noise_power_);
+    src = dst;
   }
   const bool pm_active = cfg_.am_pm_max_deg != 0.0;
+  if (!pm_active && cfg_.model == NonlinearityModel::kRapp) {
+    // Norm-domain Rapp: no |x| (hypot) and no pow per sample. r2 == 0 gives
+    // the small-signal gain, so exact zeros need no special case.
+    for (std::size_t i = 0; i < n; ++i) {
+      const dsp::Cplx x = src[i];
+      const double n2 = x.real() * x.real() + x.imag() * x.imag();
+      dst[i] = x * rapp_gain_from_norm(n2);
+    }
+    return;
+  }
+  if (!pm_active && cfg_.model == NonlinearityModel::kLinear) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] * lin_gain_;
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const dsp::Cplx x = src[i];
     const double a = std::abs(x);
     if (a <= 0.0) {
-      out[i] = dsp::Cplx{0.0, 0.0};
+      dst[i] = dsp::Cplx{0.0, 0.0};
       continue;
     }
     const double g = am_am(a) / a;
     if (pm_active) {
       const double phi = am_pm(a);
-      out[i] = x * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
+      dst[i] = x * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
     } else {
-      out[i] = x * g;
+      dst[i] = x * g;
     }
   }
 }

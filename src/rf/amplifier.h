@@ -39,6 +39,8 @@ class Amplifier : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   std::string name() const override { return cfg_.label; }
 
   /// Replace the noise generator — with the rng a fresh construction would
@@ -59,10 +61,20 @@ class Amplifier : public RfBlock {
   double iip3_dbm() const { return cfg_.p1db_in_dbm + 9.6; }
 
  private:
+  /// Envelope gain (am_am(a)/a) computed from |x|^2, avoiding the per-sample
+  /// sqrt of |x|: the Rapp curve only needs the envelope squared, and for
+  /// the default smoothness p == 2 the two pow() calls collapse to two
+  /// sqrt() (g / (1 + (g^2 n2 / Vsat^2)^2)^(1/4)).
+  double rapp_gain_from_norm(double n2) const;
+
   AmplifierConfig cfg_;
   double lin_gain_;       ///< voltage gain
   double a1db_;           ///< input envelope at the compression point
   double vsat_rapp_;      ///< Rapp saturation parameter
+  double lin_gain2_;      ///< lin_gain_^2 (hot-loop constant)
+  double inv_vsat2_;      ///< 1 / vsat_rapp_^2
+  double inv_2p_;         ///< 1 / (2 * rapp_smoothness)
+  bool rapp_is_p2_;       ///< smoothness == 2: sqrt-only fast curve
   double cubic_a3_;       ///< cubic coefficient (envelope domain)
   double clip_in_;        ///< cubic model: input clip level
   double noise_power_;    ///< input-referred added noise power [W]

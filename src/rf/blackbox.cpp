@@ -138,44 +138,78 @@ BlackBoxModel::BlackBoxModel(BlackBoxData data, dsp::Rng rng)
       noise_sqrt_(std::sqrt(std::max(0.0, data_.noise_power))),
       rng_(rng) {}
 
-double BlackBoxModel::am_am_gain(double a) const {
+void BlackBoxModel::nl_gain_phase(double a, double* g, double* phi) const {
   const auto& xin = data_.env_in;
   const auto& xout = data_.env_out;
-  if (a <= xin.front()) return xout.front() / xin.front();
-  if (a >= xin.back()) return xout.back() / xin.back();
+  const auto& ph = data_.env_phase;
+  if (a <= xin.front()) {
+    *g = xout.front() / xin.front();
+    *phi = ph.front();
+    return;
+  }
+  if (a >= xin.back()) {
+    *g = xout.back() / xin.back();
+    *phi = ph.back();
+    return;
+  }
   const auto it = std::upper_bound(xin.begin(), xin.end(), a);
   const std::size_t i = static_cast<std::size_t>(it - xin.begin());
   const double w = (a - xin[i - 1]) / (xin[i] - xin[i - 1]);
   const double out = xout[i - 1] + w * (xout[i] - xout[i - 1]);
-  return out / a;
+  *g = out / a;
+  *phi = ph[i - 1] + w * (ph[i] - ph[i - 1]);
+}
+
+double BlackBoxModel::am_am_gain(double a) const {
+  double g, phi;
+  nl_gain_phase(a, &g, &phi);
+  return g;
 }
 
 double BlackBoxModel::am_pm(double a) const {
-  const auto& xin = data_.env_in;
-  const auto& ph = data_.env_phase;
-  if (a <= xin.front()) return ph.front();
-  if (a >= xin.back()) return ph.back();
-  const auto it = std::upper_bound(xin.begin(), xin.end(), a);
-  const std::size_t i = static_cast<std::size_t>(it - xin.begin());
-  const double w = (a - xin[i - 1]) / (xin[i] - xin[i - 1]);
-  return ph[i - 1] + w * (ph[i] - ph[i - 1]);
+  double g, phi;
+  nl_gain_phase(a, &g, &phi);
+  return phi;
 }
 
 dsp::CVec BlackBoxModel::process(std::span<const dsp::Cplx> in) {
   dsp::CVec out(in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const double a = std::abs(in[i]);
-    dsp::Cplx v{0.0, 0.0};
-    if (a > 0.0) {
-      const double g = am_am_gain(a);
-      const double phi = am_pm(a);
-      v = in[i] * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
-    }
-    v = filter_.step(v);
-    if (noise_sqrt_ > 0.0) v += rng_.cgaussian(data_.noise_power);
-    out[i] = v;
-  }
+  process_tile(in, out);
   return out;
+}
+
+void BlackBoxModel::process_into(std::span<const dsp::Cplx> in,
+                                 dsp::CVec& out) {
+  out.resize(in.size());
+  process_tile(in, out);
+}
+
+void BlackBoxModel::process_tile(std::span<const dsp::Cplx> in,
+                                 std::span<dsp::Cplx> out) {
+  // Three passes over the tile instead of one interleaved per-sample loop:
+  // the nonlinearity is sample-local, the filter state consumes only the
+  // NL outputs in order, and the noise stream is independent of the
+  // signal. Note the linear part is evaluated by block convolution, whose
+  // rounding depends on the call partition (see CFirFilter::process_into)
+  // — this block is exempt from the chain's tile-schedule bit-exactness
+  // contract, as the RfBlock doc allows for black-box models.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // sqrt(norm) instead of std::abs: the envelope range here is far from
+    // over/underflow, and hypot's extra rounding care costs ~3x per sample.
+    const double a = std::sqrt(std::norm(in[i]));
+    if (a > 0.0) {
+      double g, phi;
+      nl_gain_phase(a, &g, &phi);
+      out[i] = in[i] * g * dsp::Cplx{std::cos(phi), std::sin(phi)};
+    } else {
+      out[i] = dsp::Cplx{0.0, 0.0};
+    }
+  }
+  filter_.process_into(out, out);
+  if (noise_sqrt_ > 0.0) {
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] += rng_.cgaussian(data_.noise_power);
+  }
 }
 
 void BlackBoxModel::reset() { filter_.reset(); }

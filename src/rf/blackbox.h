@@ -69,6 +69,9 @@ class BlackBoxModel : public RfBlock {
   BlackBoxModel(BlackBoxData data, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override;
   std::string name() const override { return "blackbox"; }
 
@@ -82,6 +85,11 @@ class BlackBoxModel : public RfBlock {
   double am_pm(double a) const;
 
  private:
+  /// One table walk yielding both the AM/AM gain and the AM/PM shift at
+  /// envelope `a` (am_am_gain and am_pm each repeat the same binary
+  /// search; the replay loop needs both per sample).
+  void nl_gain_phase(double a, double* g, double* phi) const;
+
   BlackBoxData data_;
   dsp::CFirFilter filter_;  ///< normalized linear part H(f)/H(f_ref)
   double noise_sqrt_ = 0.0;

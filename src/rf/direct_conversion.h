@@ -81,6 +81,13 @@ class DirectConversionReceiver : public RfBlock {
   DirectConversionReceiver(const DirectConversionConfig& cfg, dsp::Rng rng);
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
+  void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override {
+    chain_.process_into(in, out);
+  }
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override {
+    chain_.process_tile(in, out);
+  }
   void reset() override { chain_.reset(); }
   std::string name() const override { return "direct_conversion_rx"; }
 

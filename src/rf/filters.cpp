@@ -31,6 +31,11 @@ dsp::CVec ChebyshevLowpass::process(std::span<const dsp::Cplx> in) {
 void ChebyshevLowpass::process_into(std::span<const dsp::Cplx> in,
                                     dsp::CVec& out) {
   out.resize(in.size());
+  filt_.process_into(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void ChebyshevLowpass::process_tile(std::span<const dsp::Cplx> in,
+                                    std::span<dsp::Cplx> out) {
   filt_.process_into(in, out);
 }
 
@@ -52,6 +57,11 @@ dsp::CVec DcBlockHighpass::process(std::span<const dsp::Cplx> in) {
 void DcBlockHighpass::process_into(std::span<const dsp::Cplx> in,
                                    dsp::CVec& out) {
   out.resize(in.size());
+  filt_.process_into(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void DcBlockHighpass::process_tile(std::span<const dsp::Cplx> in,
+                                   std::span<dsp::Cplx> out) {
   filt_.process_into(in, out);
 }
 
@@ -68,6 +78,11 @@ dsp::CVec ButterworthLowpass::process(std::span<const dsp::Cplx> in) {
 void ButterworthLowpass::process_into(std::span<const dsp::Cplx> in,
                                       dsp::CVec& out) {
   out.resize(in.size());
+  filt_.process_into(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void ButterworthLowpass::process_tile(std::span<const dsp::Cplx> in,
+                                      std::span<dsp::Cplx> out) {
   filt_.process_into(in, out);
 }
 

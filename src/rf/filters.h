@@ -18,6 +18,8 @@ class ChebyshevLowpass : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 
@@ -42,6 +44,8 @@ class DcBlockHighpass : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 
@@ -61,6 +65,8 @@ class ButterworthLowpass : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 

@@ -41,6 +41,11 @@ dsp::CVec Mixer::process(std::span<const dsp::Cplx> in) {
 
 void Mixer::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
   out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void Mixer::process_tile(std::span<const dsp::Cplx> in,
+                         std::span<dsp::Cplx> out) {
   const std::size_t n = in.size();
   if (n == 0) return;
 

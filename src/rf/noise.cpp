@@ -1,5 +1,6 @@
 #include "rf/noise.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,7 +23,14 @@ dsp::CVec WhiteNoiseSource::process(std::span<const dsp::Cplx> in) {
 
 void WhiteNoiseSource::process_into(std::span<const dsp::Cplx> in,
                                     dsp::CVec& out) {
-  out.assign(in.begin(), in.end());
+  out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void WhiteNoiseSource::process_tile(std::span<const dsp::Cplx> in,
+                                    std::span<dsp::Cplx> out) {
+  if (out.data() != in.data())
+    std::copy(in.begin(), in.end(), out.begin());
   if (power_ > 0.0) {
     for (auto& v : out) v += rng_.cgaussian(power_);
   }
@@ -111,13 +119,39 @@ dsp::CVec FlickerNoiseSource::process(std::span<const dsp::Cplx> in) {
 
 void FlickerNoiseSource::process_into(std::span<const dsp::Cplx> in,
                                       dsp::CVec& out) {
-  out.assign(in.begin(), in.end());
+  out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void FlickerNoiseSource::process_tile(std::span<const dsp::Cplx> in,
+                                      std::span<dsp::Cplx> out) {
+  if (out.data() != in.data())
+    std::copy(in.begin(), in.end(), out.begin());
   if (drive_sigma_ <= 0.0) return;
-  for (auto& v : out) {
-    dsp::Cplx n = rng_.cgaussian(1.0) * drive_sigma_;
-    for (auto& s : stages_) n = s.step(n);
-    v += n;
+  // Stage-outer shaping (the BiquadCascade::process_into argument): draw
+  // the whole tile's noise stream first (the rng-ordered sequential part),
+  // then stream each section over it with its state in registers. Every
+  // sample still traverses the sections in order with the same recurrence,
+  // so the values are identical to the sample-inner step() form.
+  const std::size_t n = in.size();
+  scratch_.resize(n);
+  dsp::Cplx* w = scratch_.data();
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = rng_.cgaussian(1.0) * drive_sigma_;
+  for (auto& s : stages_) {
+    const double b0 = s.b0, b1 = s.b1, b2 = s.b2, a1 = s.a1, a2 = s.a2;
+    dsp::Cplx s1 = s.s1, s2 = s.s2;
+    for (std::size_t i = 0; i < n; ++i) {
+      const dsp::Cplx x = w[i];
+      const dsp::Cplx y = b0 * x + s1;
+      s1 = b1 * x - a1 * y + s2;
+      s2 = b2 * x - a2 * y;
+      w[i] = y;
+    }
+    s.s1 = s1;
+    s.s2 = s2;
   }
+  for (std::size_t i = 0; i < n; ++i) out[i] += w[i];
 }
 
 void FlickerNoiseSource::reset() {
@@ -148,7 +182,14 @@ dsp::CVec WanderingDcSource::process(std::span<const dsp::Cplx> in) {
 
 void WanderingDcSource::process_into(std::span<const dsp::Cplx> in,
                                      dsp::CVec& out) {
-  out.assign(in.begin(), in.end());
+  out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void WanderingDcSource::process_tile(std::span<const dsp::Cplx> in,
+                                     std::span<dsp::Cplx> out) {
+  if (out.data() != in.data())
+    std::copy(in.begin(), in.end(), out.begin());
   if (rms_ <= 0.0) return;
   for (auto& v : out) {
     state_ += alpha_ * (dsp::Cplx{rng_.gaussian(drive_std_),
@@ -176,7 +217,14 @@ dsp::CVec DcOffsetSource::process(std::span<const dsp::Cplx> in) {
 
 void DcOffsetSource::process_into(std::span<const dsp::Cplx> in,
                                   dsp::CVec& out) {
-  out.assign(in.begin(), in.end());
+  out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void DcOffsetSource::process_tile(std::span<const dsp::Cplx> in,
+                                  std::span<dsp::Cplx> out) {
+  if (out.data() != in.data())
+    std::copy(in.begin(), in.end(), out.begin());
   for (auto& v : out) v += offset_;
 }
 

@@ -19,6 +19,8 @@ class WhiteNoiseSource : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   std::string name() const override { return "white_noise"; }
 
   /// Replace the noise generator (see Amplifier::set_rng).
@@ -43,6 +45,8 @@ class FlickerNoiseSource : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override;
   std::string name() const override { return "flicker_noise"; }
 
@@ -55,6 +59,7 @@ class FlickerNoiseSource : public RfBlock {
   double drive_sigma_;
   std::vector<dsp::Biquad> stages_;
   dsp::Rng rng_;
+  dsp::CVec scratch_;  ///< per-tile noise stream for stage-outer shaping
 };
 
 /// Slowly wandering complex offset: LO leakage reflecting off the moving
@@ -71,6 +76,8 @@ class WanderingDcSource : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override;
   std::string name() const override { return "wandering_dc"; }
 
@@ -94,6 +101,8 @@ class DcOffsetSource : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   std::string name() const override { return "dc_offset"; }
 
   dsp::Cplx offset() const { return offset_; }

@@ -59,6 +59,8 @@ DoubleConversionReceiver::DoubleConversionReceiver(
 
   agc_ = chain_.emplace<Agc>(cfg_.agc);
   chain_.emplace<Adc>(cfg_.adc);
+
+  chain_.set_tile_size(cfg_.tile_size);
 }
 
 dsp::CVec DoubleConversionReceiver::process(std::span<const dsp::Cplx> in) {
@@ -68,6 +70,11 @@ dsp::CVec DoubleConversionReceiver::process(std::span<const dsp::Cplx> in) {
 void DoubleConversionReceiver::process_into(std::span<const dsp::Cplx> in,
                                             dsp::CVec& out) {
   chain_.process_into(in, out);
+}
+
+void DoubleConversionReceiver::process_tile(std::span<const dsp::Cplx> in,
+                                            std::span<dsp::Cplx> out) {
+  chain_.process_tile(in, out);
 }
 
 void DoubleConversionReceiver::reseed(dsp::Rng rng) {

@@ -78,6 +78,11 @@ struct DoubleConversionConfig {
   /// §5.1 — "the AMS designer does not support ... white_noise,
   /// flicker_noise" — which made co-simulated BER optimistic.
   bool noise_enabled = true;
+
+  /// Fused-executor tile size in samples; 0 = auto (an L1-sized tile, see
+  /// ChainExecutor::auto_tile_size). Any value produces bit-identical
+  /// output — this only trades cache locality against per-tile overhead.
+  std::size_t tile_size = 0;
 };
 
 class DoubleConversionReceiver : public RfBlock {
@@ -86,8 +91,19 @@ class DoubleConversionReceiver : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override { chain_.reset(); }
   std::string name() const override { return "double_conversion_rx"; }
+
+  /// Reference block-at-a-time execution (see RfChain::process_blockwise_into)
+  /// for the fused-vs-blockwise equivalence tests and benchmarks.
+  void process_blockwise_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+    chain_.process_blockwise_into(in, out);
+  }
+
+  /// Fused-executor tile size (samples); 0 = auto.
+  void set_tile_size(std::size_t t) { chain_.set_tile_size(t); }
 
   /// Re-fork the per-stage rngs from `rng` in construction order. After
   /// reset() + reseed(rng) a persistent receiver produces exactly the

@@ -1,6 +1,14 @@
 #include "rf/rfblock.h"
 
+#include <algorithm>
+
 namespace wlansim::rf {
+
+void RfBlock::process_tile(std::span<const dsp::Cplx> in,
+                           std::span<dsp::Cplx> out) {
+  const dsp::CVec tmp = process(in);
+  std::copy(tmp.begin(), tmp.end(), out.begin());
+}
 
 dsp::CVec RfChain::process(std::span<const dsp::Cplx> in) {
   dsp::CVec out;
@@ -9,6 +17,17 @@ dsp::CVec RfChain::process(std::span<const dsp::Cplx> in) {
 }
 
 void RfChain::process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) {
+  out.resize(in.size());
+  process_tile(in, std::span<dsp::Cplx>(out.data(), out.size()));
+}
+
+void RfChain::process_tile(std::span<const dsp::Cplx> in,
+                           std::span<dsp::Cplx> out) {
+  exec_.run(raw_.data(), raw_.size(), in, out);
+}
+
+void RfChain::process_blockwise_into(std::span<const dsp::Cplx> in,
+                                     dsp::CVec& out) {
   if (blocks_.empty()) {
     out.assign(in.begin(), in.end());
     return;

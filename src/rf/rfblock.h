@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dsp/types.h"
+#include "rf/chain_executor.h"
 
 namespace wlansim::rf {
 
@@ -34,6 +35,17 @@ class RfBlock {
     out = process(in);
   }
 
+  /// Tile-safe streaming contract for the fused ChainExecutor: filter `in`
+  /// into the pre-sized `out` (out.size() == in.size(), aliasing allowed).
+  /// The output must depend only on carried state plus the input samples in
+  /// order, so that processing a buffer in consecutive tiles of any size is
+  /// bit-identical to one whole-buffer call. Every concrete block overrides
+  /// this with its allocation-free core loop; the base default routes
+  /// through process() (allocating) for blocks that never see the hot path
+  /// (black-box table models, co-simulation wrappers).
+  virtual void process_tile(std::span<const dsp::Cplx> in,
+                            std::span<dsp::Cplx> out);
+
   /// Clear internal state (filters, AGC loops, oscillator phase).
   virtual void reset() {}
 
@@ -41,7 +53,9 @@ class RfBlock {
   virtual std::string name() const = 0;
 };
 
-/// A serial cascade of RF blocks.
+/// A serial cascade of RF blocks, executed fused: L1-sized tiles stream
+/// through the whole cascade (see ChainExecutor), bit-identical to the
+/// retained block-at-a-time reference process_blockwise_into().
 class RfChain : public RfBlock {
  public:
   RfChain() = default;
@@ -51,11 +65,13 @@ class RfChain : public RfBlock {
   T* emplace(Args&&... args) {
     auto block = std::make_unique<T>(std::forward<Args>(args)...);
     T* raw = block.get();
+    raw_.push_back(raw);
     blocks_.push_back(std::move(block));
     return raw;
   }
 
   void append(std::unique_ptr<RfBlock> block) {
+    raw_.push_back(block.get());
     blocks_.push_back(std::move(block));
   }
 
@@ -64,12 +80,27 @@ class RfChain : public RfBlock {
 
   dsp::CVec process(std::span<const dsp::Cplx> in) override;
   void process_into(std::span<const dsp::Cplx> in, dsp::CVec& out) override;
+  void process_tile(std::span<const dsp::Cplx> in,
+                    std::span<dsp::Cplx> out) override;
   void reset() override;
   std::string name() const override { return "chain"; }
 
+  /// Fused-execution tile size (samples); 0 = auto. Forwarded to the
+  /// executor — see ChainExecutor::auto_tile_size() for the L1 model.
+  void set_tile_size(std::size_t t) { exec_.set_tile_size(t); }
+  std::size_t tile_size() const { return exec_.tile_size(); }
+
+  /// Reference block-at-a-time execution (the pre-fusion semantics): each
+  /// block does a full pass over the buffer, ping-ponging between `out` and
+  /// a member scratch vector. Kept for the fused-vs-blockwise equivalence
+  /// tests and the BM_RfChainBlockwise benchmark.
+  void process_blockwise_into(std::span<const dsp::Cplx> in, dsp::CVec& out);
+
  private:
   std::vector<std::unique_ptr<RfBlock>> blocks_;
-  dsp::CVec scratch_;  // ping-pong partner of the caller's `out` buffer
+  std::vector<RfBlock*> raw_;  // same order; flat array for the executor
+  ChainExecutor exec_;
+  dsp::CVec scratch_;  // ping-pong partner of `out` in the blockwise path
 };
 
 }  // namespace wlansim::rf

@@ -157,7 +157,15 @@ TEST(Blackbox, AmPmTableInterpolates) {
 }
 
 TEST(Blackbox, SurrogateIsFasterThanChain) {
-  DoubleConversionReceiver chain(static_chain(), dsp::Rng(1));
+  // Time against the surrogate's actual replacement target: the default
+  // (noise-on, AGC-adapting, ADC-quantizing) front-end that system-level
+  // runs instantiate.  static_chain() exists to make the *accuracy* tests
+  // deterministic; it strips out exactly the per-sample work (noise
+  // synthesis, gain adaptation) that the surrogate subsumes into a single
+  // equivalent output noise source, so it is not the speed baseline the
+  // J&K extraction is claimed against.  Extraction here runs on the same
+  // noisy DUT, so the surrogate pays for its own noise replay too.
+  DoubleConversionReceiver chain(DoubleConversionConfig{}, dsp::Rng(1));
   const BlackBoxData data = extract_blackbox(chain, fast_extraction());
   BlackBoxModel model(data, dsp::Rng(2));
 

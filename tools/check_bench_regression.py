@@ -22,6 +22,9 @@ DEFAULT_WATCHED = [
     "BM_ViterbiDecode/4096",
     "BM_FullPacketSystemLevel",
     "BM_BerWaterfallMemoized/iterations:1",
+    "BM_RfChainThroughput",
+    "BM_RfChainFused",
+    "BM_SyncDetect",
 ]
 
 
@@ -61,12 +64,31 @@ def main():
                   "to compare.", file=sys.stderr)
             return 1
 
+    # A debug google-benchmark library inflates harness overhead; comparing
+    # across library flavors measures the harness, not the code. Same flavor
+    # on both sides (even debug-vs-debug, for boxes whose packaged
+    # libbenchmark only ships debug) compares fine.
+    base_lib = base_ctx.get("library_build_type", "")
+    fresh_lib = fresh_ctx.get("library_build_type", "")
+    if base_lib != fresh_lib:
+        print(f"bench-check: library_build_type mismatch — baseline "
+              f"'{base_lib or '<unset>'}' vs fresh '{fresh_lib or '<unset>'}'; "
+              "refusing to compare across libbenchmark flavors.",
+              file=sys.stderr)
+        return 1
+
     watched = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
     failures = []
     for name in watched:
+        # A watched name absent from either file is a hard failure: a silent
+        # skip would let a renamed or accidentally-dropped benchmark
+        # evacuate the watch list without anyone noticing. After adding a
+        # benchmark, re-record the baseline (tools/run_bench.sh) in the same
+        # change.
         if name not in base:
-            print(f"bench-check: '{name}' missing from baseline "
-                  f"{args.baseline}; skipping (new benchmark?)")
+            failures.append(f"'{name}' missing from baseline "
+                            f"{args.baseline} (re-record it with "
+                            "tools/run_bench.sh)")
             continue
         if name not in fresh:
             failures.append(f"'{name}' missing from fresh run {args.fresh}")

@@ -8,6 +8,13 @@
 # build trees unless WLANSIM_BENCH_ALLOW_NONRELEASE=1, in which case the
 # output is loudly annotated instead.
 #
+# The same goes for the google-benchmark *library* itself: a debug
+# libbenchmark inflates the per-iteration harness overhead, which the JSON
+# records as context.library_build_type == "debug". Such a recording is
+# rejected (the partial output is removed), not merely annotated, unless
+# WLANSIM_BENCH_ALLOW_DEBUG_LIBBENCHMARK=1 — needed on boxes whose packaged
+# libbenchmark only ships the debug flavor.
+#
 # Usage: tools/run_bench.sh [build-dir] [extra benchmark args...]
 #   build-dir defaults to <repo>/build-release, configured as Release.
 set -euo pipefail
@@ -39,13 +46,35 @@ fi
 cmake --build "$build_dir" -j --target engine_perf > /dev/null
 
 out="$repo_root/BENCH_engine.json"
+tmp_out="$out.tmp"
 # Older google-benchmark wants a plain number for --benchmark_min_time.
 "$build_dir/bench/engine_perf" \
   --benchmark_min_time=0.2 \
   --benchmark_format=json \
-  --benchmark_out="$out" \
+  --benchmark_out="$tmp_out" \
   --benchmark_out_format=json \
   "$@" > /dev/null
+
+# Recording into a temp file means a rejected run leaves the committed
+# baseline untouched.
+lib_build_type="$(python3 -c 'import json,sys
+print(json.load(open(sys.argv[1]))["context"].get("library_build_type", ""))' \
+  "$tmp_out")"
+if [[ "$lib_build_type" == "debug" ]]; then
+  if [[ "${WLANSIM_BENCH_ALLOW_DEBUG_LIBBENCHMARK:-0}" != "1" ]]; then
+    rm -f "$tmp_out"
+    echo "run_bench.sh: the google-benchmark library linked into engine_perf" >&2
+    echo "  is a debug build (context.library_build_type == \"debug\"); its" >&2
+    echo "  harness overhead is not comparable to a release-library baseline." >&2
+    echo "  Link a release libbenchmark, or set" >&2
+    echo "  WLANSIM_BENCH_ALLOW_DEBUG_LIBBENCHMARK=1 to record anyway" >&2
+    echo "  (check_bench_regression.py still refuses cross-flavor compares)." >&2
+    exit 1
+  fi
+  echo "run_bench.sh: WARNING: debug libbenchmark; numbers are only" >&2
+  echo "  comparable to a baseline recorded with the same library flavor." >&2
+fi
+mv "$tmp_out" "$out"
 
 if [[ "$build_type" != "Release" ]]; then
   python3 - "$out" "$build_type" <<'EOF'
