@@ -13,7 +13,9 @@
 #include "dsp/rng.h"
 #include "phy80211a/convcode.h"
 #include "phy80211a/preamble.h"
+#include "phy80211a/receiver.h"
 #include "phy80211a/sync.h"
+#include "phy80211a/transmitter.h"
 #include "phy80211b/chips.h"
 #include "rf/receiver_chain.h"
 #include "sim/graph.h"
@@ -50,6 +52,56 @@ void BM_Fft64OutOfPlace(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Fft64OutOfPlace);
+
+void BM_FftBatch64(benchmark::State& state) {
+  // The batch plan the symbol engine runs: m stacked 64-point transforms
+  // through one twiddle walk, rows lifted at OFDM symbol stride (80).
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  dsp::Fft fft(64);
+  dsp::Rng rng(1);
+  dsp::CVec x((m - 1) * 80 + 64), y(m * 64);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  for (auto _ : state) {
+    fft.forward_batch(x.data(), 80, y.data(), m);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(m));
+}
+BENCHMARK(BM_FftBatch64)->Arg(8)->Arg(32);
+
+void BM_TxModulateBatch(benchmark::State& state) {
+  // Full DATA-field modulation on the batched pipeline (fused
+  // interleave+map gather, one batch IFFT, one-pass CP assembly).
+  dsp::Rng rng(9);
+  phy::Transmitter tx;
+  const phy::Frame f{phy::Rate::kMbps54, phy::random_bytes(1000, rng)};
+  for (auto _ : state) {
+    auto w = tx.modulate(f);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxModulateBatch);
+
+void BM_RxDataSymbolsBatch(benchmark::State& state) {
+  // Full receive of a long 54 Mbps frame — dominated by the fused batch
+  // data path (batch FFT, vectorized equalize, demap scattered straight
+  // into decoder order, Viterbi).
+  dsp::Rng rng(10);
+  phy::Transmitter tx;
+  const dsp::CVec frame =
+      tx.modulate({phy::Rate::kMbps54, phy::random_bytes(1000, rng)});
+  dsp::CVec rx(200, dsp::Cplx{0.0, 0.0});
+  rx.insert(rx.end(), frame.begin(), frame.end());
+  rx.insert(rx.end(), 80, dsp::Cplx{0.0, 0.0});
+  const phy::Receiver receiver;
+  for (auto _ : state) {
+    auto res = receiver.receive(rx);
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RxDataSymbolsBatch);
 
 void BM_ViterbiDecode(benchmark::State& state) {
   dsp::Rng rng(2);

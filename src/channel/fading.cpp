@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::channel {
@@ -52,6 +53,21 @@ MultipathChannel::MultipathChannel(dsp::CVec taps) : taps_(std::move(taps)) {
 }
 
 dsp::CVec MultipathChannel::apply(std::span<const dsp::Cplx> in) const {
+  dsp::CVec out(in.size());
+  apply_into(in, std::span<dsp::Cplx>(out));
+  return out;
+}
+
+void MultipathChannel::apply_into(std::span<const dsp::Cplx> in,
+                                  std::span<dsp::Cplx> out) const {
+  if (out.size() != in.size())
+    throw std::invalid_argument("MultipathChannel: output size mismatch");
+  dsp::kernels::cfir_conv(taps_.data(), taps_.size(), in.data(), in.size(),
+                          out.data());
+}
+
+dsp::CVec MultipathChannel::apply_reference(
+    std::span<const dsp::Cplx> in) const {
   dsp::CVec out(in.size(), dsp::Cplx{0.0, 0.0});
   for (std::size_t n = 0; n < in.size(); ++n) {
     dsp::Cplx acc{0.0, 0.0};

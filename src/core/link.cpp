@@ -247,10 +247,26 @@ std::size_t WlanLink::build_scene_prenoise(const dsp::CVec& padded,
       // but sums the surviving terms in the same order, so its output is
       // bit-identical to the zero-stuff + stream formulation.
       if (ws_.up_taps.empty()) ws_.up_taps = dsp::resampling_taps(os);
-      a.resize(base_units * os);
-      dsp::kernels::fir_interp(ws_.up_taps.data(), ws_.up_taps.size(), os,
-                               padded.data(), padded.size(),
-                               static_cast<double>(os), a.data(), a.size());
+      const std::size_t ntaps = ws_.up_taps.size();
+      // The lead/tail pads are exact +0.0 and a filter window of +-0.0
+      // inputs accumulates to +0.0 (the accumulator starts at +0.0 and
+      // adding +-0.0 never changes it), so outputs whose windows never
+      // touch the nonzero span equal the zero fill bit-for-bit. Run the
+      // kernel only over the span that can produce nonzero output.
+      std::size_t lo = 0, hi = padded.size();
+      const dsp::Cplx zero{0.0, 0.0};
+      while (lo < hi && padded[lo] == zero) ++lo;
+      while (hi > lo && padded[hi - 1] == zero) --hi;
+      a.assign(base_units * os, zero);
+      if (lo < hi) {
+        const std::size_t q0 = lo * os;
+        const std::size_t q_end =
+            std::min(a.size(), (hi + ntaps - 1) * os);
+        dsp::kernels::fir_interp(ws_.up_taps.data(), ntaps, os,
+                                 padded.data() + lo, padded.size() - lo,
+                                 static_cast<double>(os), a.data() + q0,
+                                 q_end - q0);
+      }
     } else {
       a.assign(base_units, dsp::Cplx{0.0, 0.0});
       std::copy(padded.begin(), padded.end(), a.begin());
@@ -325,7 +341,15 @@ void WlanLink::finish_scene_direct(std::size_t base_units, dsp::Rng& rng,
   if (n_total > 0.0) {
     dsp::Rng nrng = rng.fork();
     if (noise_units == nullptr) {
-      for (dsp::Cplx& v : a) v += nrng.cgaussian(n_total);
+      // Bulk form of `a[i] += cgaussian(n_total)`: cgaussian draws two
+      // unit normals and scales each by s = sqrt(v/2), so filling the
+      // normals first and applying the scaled pairs performs the exact
+      // same arithmetic in the exact same stream order.
+      ws_.noise_scratch.resize(2 * a.size());
+      nrng.fill_gaussian(ws_.noise_scratch.data(), ws_.noise_scratch.size());
+      const double s = std::sqrt(n_total / 2.0);
+      dsp::kernels::add_scaled_pairs(a.data(), a.size(), s,
+                                     ws_.noise_scratch.data());
     } else {
       // Memoized noise: cache the unit normals on the first pass and
       // replay them at every other noise level. cgaussian(v) evaluates
@@ -333,7 +357,7 @@ void WlanLink::finish_scene_direct(std::size_t base_units, dsp::Rng& rng,
       // performs the exact same arithmetic as the direct loop above.
       if (noise_units->empty()) {
         noise_units->resize(2 * a.size());
-        for (double& u : *noise_units) u = nrng.gaussian();
+        nrng.fill_gaussian(noise_units->data(), noise_units->size());
       }
       const double s = std::sqrt(n_total / 2.0);
       dsp::kernels::add_scaled_pairs(a.data(), a.size(), s,

@@ -135,6 +135,7 @@ class WlanLink {
     dsp::CVec scene_a, scene_b; ///< oversampled ping-pong buffers
     dsp::CVec jam;              ///< interferer waveform
     dsp::RVec up_taps;          ///< TX interpolation taps (polyphase kernel)
+    dsp::RVec noise_scratch;    ///< bulk unit normals for the AWGN fill
     std::unique_ptr<dsp::FirFilter> down_filt;  ///< ideal RX decimation
     std::unique_ptr<rf::Amplifier> tx_pa;
     std::unique_ptr<rf::Mixer> tx_upconverter;

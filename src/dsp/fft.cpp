@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::dsp {
@@ -88,6 +89,34 @@ void Fft::inverse(std::span<const Cplx> in, std::span<Cplx> out) const {
   butterflies(out.data(), twiddle_inv_.data());
   const double s = 1.0 / static_cast<double>(n_);
   for (Cplx& v : out) v *= s;
+}
+
+void Fft::forward_batch(const Cplx* in, std::size_t in_stride, Cplx* out,
+                        std::size_t m) const {
+  if (in_stride < n_)
+    throw std::invalid_argument("Fft: batch stride below size");
+  const std::size_t* __restrict rev = bitrev_.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Cplx* __restrict src = in + r * in_stride;
+    Cplx* __restrict dst = out + r * n_;
+    for (std::size_t i = 0; i < n_; ++i) dst[i] = src[rev[i]];
+  }
+  kernels::fft_butterflies_batch(out, m, n_, twiddle_fwd_.data());
+}
+
+void Fft::inverse_batch(const Cplx* in, std::size_t in_stride, Cplx* out,
+                        std::size_t m) const {
+  if (in_stride < n_)
+    throw std::invalid_argument("Fft: batch stride below size");
+  const std::size_t* __restrict rev = bitrev_.data();
+  for (std::size_t r = 0; r < m; ++r) {
+    const Cplx* __restrict src = in + r * in_stride;
+    Cplx* __restrict dst = out + r * n_;
+    for (std::size_t i = 0; i < n_; ++i) dst[i] = src[rev[i]];
+  }
+  kernels::fft_butterflies_batch(out, m, n_, twiddle_inv_.data());
+  const double s = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < m * n_; ++i) out[i] *= s;
 }
 
 CVec Fft::forward(std::span<const Cplx> x) const {

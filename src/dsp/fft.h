@@ -48,6 +48,20 @@ class Fft {
   CVec forward(std::span<const Cplx> x) const;
   CVec inverse(std::span<const Cplx> x) const;
 
+  /// Batched out-of-place transforms: `m` stacked size()-point transforms
+  /// through one twiddle walk (kernels::fft_butterflies_batch). Row r
+  /// reads in[r*in_stride .. r*in_stride+size()) and writes the contiguous
+  /// row out[r*size() ..). Each row's result is bit-identical to the
+  /// single-row forward()/inverse() — batching amortizes dispatch and
+  /// keeps the symbol matrix cache-resident, it never reassociates a
+  /// butterfly. `in_stride >= size()` lets callers lift symbol windows
+  /// straight out of a longer signal (e.g. 80-sample OFDM symbol spacing)
+  /// without a gather pass. `out` must not alias `in`. Allocation-free.
+  void forward_batch(const Cplx* in, std::size_t in_stride, Cplx* out,
+                     std::size_t m) const;
+  void inverse_batch(const Cplx* in, std::size_t in_stride, Cplx* out,
+                     std::size_t m) const;
+
  private:
   // Raw pointers, not span/vector refs: g++ -O2 keeps reloading a
   // vector-reference's data pointer in the inner loop (~1.8x slower).

@@ -1,6 +1,7 @@
 #include "dsp/kernels.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -26,6 +27,10 @@ std::size_t fir_stream_decim(const double* taps, std::size_t ntaps,
 void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
                 const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
                 std::size_t nout);
+void fft_butterflies_batch(Cplx* x, std::size_t rows, std::size_t n,
+                           const Cplx* twiddle);
+void cfir_conv(const Cplx* taps, std::size_t ntaps, const Cplx* in,
+               std::size_t n, Cplx* out);
 double power_sum(const Cplx* x, std::size_t n);
 void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
                double* ref_pow);
@@ -33,6 +38,8 @@ void xcorr_accum(const Cplx* x, const Cplx* ref, std::size_t n, double* re,
                  double* im);
 void scale(double* x, std::size_t n, double s);
 void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
+void quantize_clamp(const Cplx* in, std::size_t n, double inv_step,
+                    double step, double fs, Cplx* out);
 bool cpu_supported();
 }  // namespace native
 #endif
@@ -45,11 +52,15 @@ struct Table {
   decltype(&ref::fir_stream) fir_stream = &ref::fir_stream;
   decltype(&ref::fir_stream_decim) fir_stream_decim = &ref::fir_stream_decim;
   decltype(&ref::fir_interp) fir_interp = &ref::fir_interp;
+  decltype(&ref::fft_butterflies_batch) fft_butterflies_batch =
+      &ref::fft_butterflies_batch;
+  decltype(&ref::cfir_conv) cfir_conv = &ref::cfir_conv;
   decltype(&ref::power_sum) power_sum = &ref::power_sum;
   decltype(&ref::evm_accum) evm_accum = &ref::evm_accum;
   decltype(&ref::xcorr_accum) xcorr_accum = &ref::xcorr_accum;
   decltype(&ref::scale) scale = &ref::scale;
   decltype(&ref::add_scaled_pairs) add_scaled_pairs = &ref::add_scaled_pairs;
+  decltype(&ref::quantize_clamp) quantize_clamp = &ref::quantize_clamp;
   const char* name = "scalar";
 };
 
@@ -64,11 +75,14 @@ Table make_table() {
     t.fir_stream = &native::fir_stream;
     t.fir_stream_decim = &native::fir_stream_decim;
     t.fir_interp = &native::fir_interp;
+    t.fft_butterflies_batch = &native::fft_butterflies_batch;
+    t.cfir_conv = &native::cfir_conv;
     t.power_sum = &native::power_sum;
     t.evm_accum = &native::evm_accum;
     t.xcorr_accum = &native::xcorr_accum;
     t.scale = &native::scale;
     t.add_scaled_pairs = &native::add_scaled_pairs;
+    t.quantize_clamp = &native::quantize_clamp;
     t.name = "native";
   }
 #endif
@@ -110,6 +124,16 @@ void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
   table().fir_interp(taps, ntaps, os, src, nsrc, scale, out, nout);
 }
 
+void fft_butterflies_batch(Cplx* x, std::size_t rows, std::size_t n,
+                           const Cplx* twiddle) {
+  table().fft_butterflies_batch(x, rows, n, twiddle);
+}
+
+void cfir_conv(const Cplx* taps, std::size_t ntaps, const Cplx* in,
+               std::size_t n, Cplx* out) {
+  table().cfir_conv(taps, ntaps, in, n, out);
+}
+
 double power_sum(const Cplx* x, std::size_t n) {
   return table().power_sum(x, n);
 }
@@ -128,6 +152,11 @@ void scale(double* x, std::size_t n, double s) { table().scale(x, n, s); }
 
 void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units) {
   table().add_scaled_pairs(a, n, s, units);
+}
+
+void quantize_clamp(const Cplx* in, std::size_t n, double inv_step,
+                    double step, double fs, Cplx* out) {
+  table().quantize_clamp(in, n, inv_step, step, fs, out);
 }
 
 const char* active_path() { return table().name; }

@@ -75,6 +75,21 @@ void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
                 const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
                 std::size_t nout);
 
+/// `rows` stacked n-point radix-2 DIT transforms (row-major, contiguous,
+/// already bit-reverse permuted) pushed through one twiddle walk. Each row
+/// is bit-identical to a single dsp::Fft butterfly pass: rows are
+/// independent, so the row/stage loop interchange cannot reorder any
+/// row's arithmetic. Backs Fft::forward_batch / inverse_batch.
+void fft_butterflies_batch(Cplx* x, std::size_t rows, std::size_t n,
+                           const Cplx* twiddle);
+
+/// Complex-tap truncated convolution (the fading tapped-delay line):
+/// out[i] = sum_{k<=min(ntaps-1,i)} taps[k]*in[i-k], ascending-k split
+/// re/im chains, componentwise identical to the std::complex loop. `out`
+/// must not alias `in`.
+void cfir_conv(const Cplx* taps, std::size_t ntaps, const Cplx* in,
+               std::size_t n, Cplx* out);
+
 /// sum |x[i]|^2 over four fixed stride-4 partial chains, combined as
 /// (a0+a1)+(a2+a3). The chain structure is part of the contract.
 double power_sum(const Cplx* x, std::size_t n);
@@ -96,6 +111,15 @@ void scale(double* x, std::size_t n, double s);
 /// of adding Rng::cgaussian draws whose unit normals were cached.
 void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
 
+/// Per-rail mid-tread quantizer with rail clamp (the rf::Adc hot loop):
+/// each rail v becomes clamp(round(v*inv_step)*step, -fs, fs) where round
+/// is std::round (half away from zero), computed arithmetically so the
+/// loop stays call-free — bit-identical to the std::round/std::clamp form
+/// for every input, including ties, ±0, rails and infinities. In-place
+/// safe.
+void quantize_clamp(const Cplx* in, std::size_t n, double inv_step,
+                    double step, double fs, Cplx* out);
+
 }  // namespace ref
 
 // ---- runtime-dispatched entries (same signatures, same results) ------------
@@ -112,6 +136,10 @@ std::size_t fir_stream_decim(const double* taps, std::size_t ntaps,
 void fir_interp(const double* taps, std::size_t ntaps, std::size_t os,
                 const Cplx* src, std::size_t nsrc, double scale, Cplx* out,
                 std::size_t nout);
+void fft_butterflies_batch(Cplx* x, std::size_t rows, std::size_t n,
+                           const Cplx* twiddle);
+void cfir_conv(const Cplx* taps, std::size_t ntaps, const Cplx* in,
+               std::size_t n, Cplx* out);
 double power_sum(const Cplx* x, std::size_t n);
 void evm_accum(const Cplx* rx, const Cplx* ref, std::size_t n, double* err,
                double* ref_pow);
@@ -119,6 +147,8 @@ void xcorr_accum(const Cplx* x, const Cplx* ref, std::size_t n, double* re,
                  double* im);
 void scale(double* x, std::size_t n, double s);
 void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
+void quantize_clamp(const Cplx* in, std::size_t n, double inv_step,
+                    double step, double fs, Cplx* out);
 
 /// "scalar" or "native" — which implementation the dispatched entries call.
 /// WLANSIM_KERNELS=scalar in the environment forces the scalar path.

@@ -10,6 +10,7 @@
 #include "dsp/kernels.h"
 
 #include <cmath>
+#include <cstdint>
 
 namespace wlansim::dsp::kernels::native {
 

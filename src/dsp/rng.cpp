@@ -4,6 +4,38 @@
 
 namespace wlansim::dsp {
 
+void Mt19937_64::regen() {
+  constexpr std::uint64_t kMatrixA = 0xb5026f5aa96619e9ull;
+  constexpr std::uint64_t kUpperMask = 0xffffffff80000000ull;
+  constexpr std::uint64_t kLowerMask = 0x000000007fffffffull;
+  std::uint64_t* x = state_;
+  // Three ranges so x[i + kM] / x[i + kM - kN] never wraps inside a loop;
+  // (-(y & 1)) & kMatrixA is the branchless conditional-xor — the data-
+  // dependent branch form mispredicts half the time and dominates the
+  // twist.
+  for (std::size_t i = 0; i < kN - kM; ++i) {
+    const std::uint64_t y = (x[i] & kUpperMask) | (x[i + 1] & kLowerMask);
+    x[i] = x[i + kM] ^ (y >> 1) ^ ((-(y & 1ull)) & kMatrixA);
+  }
+  for (std::size_t i = kN - kM; i < kN - 1; ++i) {
+    const std::uint64_t y = (x[i] & kUpperMask) | (x[i + 1] & kLowerMask);
+    x[i] = x[i + kM - kN] ^ (y >> 1) ^ ((-(y & 1ull)) & kMatrixA);
+  }
+  {
+    const std::uint64_t y = (x[kN - 1] & kUpperMask) | (x[0] & kLowerMask);
+    x[kN - 1] = x[kM - 1] ^ (y >> 1) ^ ((-(y & 1ull)) & kMatrixA);
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    std::uint64_t z = x[i];
+    z ^= (z >> 29) & 0x5555555555555555ull;
+    z ^= (z << 17) & 0x71d67fffeda60000ull;
+    z ^= (z << 37) & 0xfff7eee000000000ull;
+    z ^= z >> 43;
+    out_[i] = z;
+  }
+  idx_ = 0;
+}
+
 double Rng::uniform() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
 }
@@ -21,6 +53,30 @@ bool Rng::bit() { return (gen_() & 1u) != 0; }
 void Rng::bytes(std::uint8_t* dst, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     dst[i] = static_cast<std::uint8_t>(gen_() & 0xff);
+  }
+}
+
+void Rng::fill_gaussian(double* dst, std::size_t n) {
+  std::size_t i = 0;
+  if (saved_available_ && i < n) {
+    saved_available_ = false;
+    dst[i++] = saved_;
+  }
+  // A full pair per iteration: a lone gaussian() call hands out y*mult and
+  // banks x*mult, so two successive draws are exactly (y*mult, x*mult).
+  while (n - i >= 2) {
+    double x, y, r2;
+    do {
+      x = 2.0 * canonical_() - 1.0;
+      y = 2.0 * canonical_() - 1.0;
+      r2 = x * x + y * y;
+    } while (r2 > 1.0 || r2 == 0.0);
+    const double mult = std::sqrt(-2.0 * std::log(r2) / r2);
+    dst[i++] = y * mult;
+    dst[i++] = x * mult;
+  }
+  if (i < n) {
+    dst[i] = gaussian();  // banks the leftover half-pair in saved_
   }
 }
 

@@ -13,6 +13,50 @@
 
 namespace wlansim::dsp {
 
+/// MT19937-64 with block regeneration: the twist recomputes all 312 state
+/// words at once (branchless matrix-A select) and tempers them into an
+/// output buffer in a second, auto-vectorizable pass, so a draw in steady
+/// state is a load + increment instead of libstdc++'s per-call twist
+/// bookkeeping (~4x on the raw stream). The output sequence is mandated by
+/// the C++ standard [rand.predef], so it is bit-identical to
+/// std::mt19937_64 — and tests/dsp/test_window_rng.cpp pins that equality
+/// against the host libstdc++ directly, because the memoized-TX replay and
+/// graph-vs-direct equivalence tests depend on the noise stream never
+/// moving.
+class Mt19937_64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Mt19937_64(std::uint64_t s = 5489u) { seed(s); }
+
+  void seed(std::uint64_t s) {
+    state_[0] = s;
+    for (std::size_t i = 1; i < kN; ++i) {
+      state_[i] =
+          6364136223846793005ull * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
+    }
+    idx_ = kN;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    if (idx_ >= kN) regen();
+    return out_[idx_++];
+  }
+
+ private:
+  static constexpr std::size_t kN = 312;
+  static constexpr std::size_t kM = 156;
+
+  void regen();  // twist + temper the whole block (rng.cpp)
+
+  std::uint64_t state_[kN];
+  std::uint64_t out_[kN];  // tempered, ready-to-serve values
+  std::size_t idx_ = kN;
+};
+
 /// Seedable random source wrapping a 64-bit Mersenne Twister.
 class Rng {
  public:
@@ -21,7 +65,7 @@ class Rng {
   /// Re-seed; the stream restarts deterministically.
   void seed(std::uint64_t s) {
     gen_.seed(s);
-    normal_.reset();
+    saved_available_ = false;
   }
 
   /// Uniform in [0, 1).
@@ -33,15 +77,39 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
-  /// Standard normal (mean 0, variance 1). Defined inline: the front-end
-  /// noise sources draw per oversampled sample, and an out-of-line call
-  /// here (plus the nested gaussian()/cgaussian() calls) is measurable on
-  /// the packet hot path. Same engine, same persistent distribution object
-  /// — the stream is unchanged.
-  double gaussian() { return normal_(gen_); }
+  /// Standard normal (mean 0, variance 1). The polar (Marsaglia) rejection
+  /// method, replicating libstdc++'s std::normal_distribution<double>
+  /// draw-for-draw: identical canonical-uniform conversion, identical
+  /// rejection test, identical save-the-second-value pairing — so the
+  /// noise stream is bit-identical to what the std distribution produced,
+  /// while running on the faster block engine above. Inline because the
+  /// front-end noise sources draw per oversampled sample.
+  double gaussian() {
+    if (saved_available_) {
+      saved_available_ = false;
+      return saved_;
+    }
+    double x, y, r2;
+    do {
+      x = 2.0 * canonical_() - 1.0;
+      y = 2.0 * canonical_() - 1.0;
+      r2 = x * x + y * y;
+    } while (r2 > 1.0 || r2 == 0.0);
+    const double mult = std::sqrt(-2.0 * std::log(r2) / r2);
+    saved_ = x * mult;
+    saved_available_ = true;
+    return y * mult;
+  }
 
   /// Normal with the given standard deviation.
   double gaussian(double sigma) { return sigma * gaussian(); }
+
+  /// Fill dst with n standard-normal draws: the exact same stream as n
+  /// successive gaussian() calls (including the carried half-pair at the
+  /// boundaries), but with the rejection loop kept hot in registers. The
+  /// bulk noise loops (AWGN fill, LNA/mixer additive noise tiles) use this
+  /// so the per-draw cost is the math, not the call pattern.
+  void fill_gaussian(double* dst, std::size_t n);
 
   /// Circularly-symmetric complex Gaussian with total variance
   /// E|x|^2 == variance (variance/2 per rail).
@@ -61,15 +129,23 @@ class Rng {
   Rng fork();
 
   /// Direct access for std:: distributions.
-  std::mt19937_64& engine() { return gen_; }
+  Mt19937_64& engine() { return gen_; }
 
  private:
-  std::mt19937_64 gen_;
-  // Persistent so the pair the polar method produces per round trip is not
-  // thrown away: constructing a fresh distribution per draw (the obvious
-  // one-liner) doubles the cost of every noise sample, and the front-end
-  // noise draws dominate the packet hot path.
-  std::normal_distribution<double> normal_{0.0, 1.0};
+  // libstdc++'s generate_canonical<double, 53> over a 64-bit engine: one
+  // raw draw scaled by 2^-64 (an exact operation), clamped below 1.0 the
+  // same way the library does.
+  double canonical_() {
+    double r = static_cast<double>(gen_()) * 0x1p-64;
+    if (r >= 1.0) r = 0x1.fffffffffffffp-1;
+    return r;
+  }
+
+  Mt19937_64 gen_;
+  // The second value of each polar pair, carried across calls exactly like
+  // std::normal_distribution's _M_saved so the stream pairing is preserved.
+  double saved_ = 0.0;
+  bool saved_available_ = false;
 };
 
 }  // namespace wlansim::dsp

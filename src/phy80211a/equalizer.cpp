@@ -175,4 +175,75 @@ EqualizedSymbol equalize_symbol(const DemodulatedSymbol& sym,
   return out;
 }
 
+void equalize_symbols(const dsp::Cplx* data, const dsp::Cplx* pilots,
+                      std::size_t nsym, std::size_t first_symbol_index,
+                      const ChannelEstimate& est, bool track_phase,
+                      bool track_timing, dsp::Cplx* points, double* weights) {
+  // Hoisted once: these are recomputed per call inside equalize_symbol but
+  // their values do not depend on the symbol, so lifting them out of the
+  // loop changes no arithmetic.
+  const auto& pv = pilot_base_values();
+  const auto& pc = pilot_carrier_indices();
+  const auto& dc = data_carrier_indices();
+  const auto hp = est.pilot_carriers();
+  const auto hd = est.data_carriers();
+
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const dsp::Cplx* __restrict sp = pilots + s * kNumPilots;
+    const dsp::Cplx* __restrict sd = data + s * kNumDataCarriers;
+    dsp::Cplx* __restrict op = points + s * kNumDataCarriers;
+    double* __restrict ow = weights + s * kNumDataCarriers;
+
+    dsp::Cplx derot{1.0, 0.0};
+    double slope = 0.0;
+    if (track_phase) {
+      const double pol = pilot_polarity(first_symbol_index + s);
+      dsp::Cplx num{0.0, 0.0};
+      double den = 0.0;
+      std::array<dsp::Cplx, kNumPilots> ratio{};
+      for (std::size_t i = 0; i < kNumPilots; ++i) {
+        const dsp::Cplx ref = hp[i] * (pol * pv[i]);
+        ratio[i] = sp[i] * std::conj(ref);
+        num += ratio[i];
+        den += std::norm(ref);
+      }
+      if (den > 0.0 && std::abs(num) > 0.0) {
+        dsp::Cplx c = num / den;
+        const double cpe = std::arg(c);
+        const double mag = std::clamp(std::abs(c), 0.5, 2.0);
+        c = mag * dsp::Cplx{std::cos(cpe), std::sin(cpe)};
+        derot = 1.0 / c;
+
+        if (track_timing) {
+          double num_s = 0.0, den_s = 0.0;
+          for (std::size_t i = 0; i < kNumPilots; ++i) {
+            if (std::abs(ratio[i]) <= 0.0) continue;
+            const double theta = std::arg(ratio[i] * std::conj(c));
+            const double k = static_cast<double>(pc[i]);
+            num_s += theta * k;
+            den_s += k * k;
+          }
+          if (den_s > 0.0) slope = num_s / den_s;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+      const double mag2 = std::norm(hd[i]);
+      if (mag2 < 1e-18) {
+        op[i] = dsp::Cplx{0.0, 0.0};
+        ow[i] = 0.0;
+        continue;
+      }
+      dsp::Cplx p = sd[i] * derot / hd[i];
+      if (slope != 0.0) {
+        const double ang = -slope * static_cast<double>(dc[i]);
+        p *= dsp::Cplx{std::cos(ang), std::sin(ang)};
+      }
+      op[i] = p;
+      ow[i] = mag2;
+    }
+  }
+}
+
 }  // namespace wlansim::phy

@@ -61,4 +61,15 @@ EqualizedSymbol equalize_symbol(const DemodulatedSymbol& sym,
                                 bool track_phase = true,
                                 bool track_timing = true);
 
+/// Batch equalization over `nsym` demodulated symbols laid out flat
+/// (data[s*48 + i], pilots[s*4 + i]); symbol s uses pilot polarity index
+/// first_symbol_index + s. Writes points[s*48 + i] and weights[s*48 + i].
+/// The per-symbol arithmetic is bit-identical to equalize_symbol — the
+/// batch form only hoists the per-carrier channel tables out of the symbol
+/// loop (their values are the same every iteration).
+void equalize_symbols(const dsp::Cplx* data, const dsp::Cplx* pilots,
+                      std::size_t nsym, std::size_t first_symbol_index,
+                      const ChannelEstimate& est, bool track_phase,
+                      bool track_timing, dsp::Cplx* points, double* weights);
+
 }  // namespace wlansim::phy

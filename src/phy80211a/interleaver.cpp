@@ -44,8 +44,54 @@ SoftBits Interleaver::deinterleave_soft(const SoftBits& in) const {
   if (in.size() != inv_.size())
     throw std::invalid_argument("Interleaver: block size mismatch");
   SoftBits out(in.size());
-  for (std::size_t j = 0; j < in.size(); ++j) out[inv_[j]] = in[j];
+  deinterleave_soft_into(in.data(), out.data());
   return out;
+}
+
+void Interleaver::deinterleave_soft_into(const double* in, double* out) const {
+  const std::size_t* __restrict inv = inv_.data();
+  const std::size_t n = inv_.size();
+  for (std::size_t j = 0; j < n; ++j) out[inv[j]] = in[j];
+}
+
+const Interleaver& interleaver_for(Rate r) {
+  // Function-local statics: thread-safe lazy construction, one table per
+  // rate for the life of the process.
+  switch (r) {
+    case Rate::kMbps6: {
+      static const Interleaver il(Rate::kMbps6);
+      return il;
+    }
+    case Rate::kMbps9: {
+      static const Interleaver il(Rate::kMbps9);
+      return il;
+    }
+    case Rate::kMbps12: {
+      static const Interleaver il(Rate::kMbps12);
+      return il;
+    }
+    case Rate::kMbps18: {
+      static const Interleaver il(Rate::kMbps18);
+      return il;
+    }
+    case Rate::kMbps24: {
+      static const Interleaver il(Rate::kMbps24);
+      return il;
+    }
+    case Rate::kMbps36: {
+      static const Interleaver il(Rate::kMbps36);
+      return il;
+    }
+    case Rate::kMbps48: {
+      static const Interleaver il(Rate::kMbps48);
+      return il;
+    }
+    case Rate::kMbps54: {
+      static const Interleaver il(Rate::kMbps54);
+      return il;
+    }
+  }
+  throw std::invalid_argument("interleaver_for: bad rate");
 }
 
 }  // namespace wlansim::phy

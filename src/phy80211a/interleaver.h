@@ -32,12 +32,27 @@ class Interleaver {
   /// De-interleave one symbol block of soft metrics.
   SoftBits deinterleave_soft(const SoftBits& in) const;
 
+  /// deinterleave_soft into a caller-provided buffer of block_size()
+  /// doubles (no aliasing) — the allocation-free form of the RX data path.
+  void deinterleave_soft_into(const double* in, double* out) const;
+
   /// fwd()[k] is the post-interleaving position of input bit k.
   const std::vector<std::size_t>& fwd() const { return fwd_; }
+
+  /// inv()[j] is the pre-interleaving position of post-interleaving bit j:
+  /// a soft metric produced at demap position j belongs at deinterleaved
+  /// position inv()[j]. The batched receiver uses this as a scatter table
+  /// so LLRs land in decoder order without an intermediate copy.
+  const std::vector<std::size_t>& inv() const { return inv_; }
 
  private:
   std::vector<std::size_t> fwd_;
   std::vector<std::size_t> inv_;
 };
+
+/// Process-wide per-rate interleaver tables, lazily built on first use —
+/// the hot paths share these instead of rebuilding the permutation every
+/// packet. The returned reference lives for the process.
+const Interleaver& interleaver_for(Rate r);
 
 }  // namespace wlansim::phy

@@ -38,7 +38,11 @@ Mapper::Mapper(Modulation mod)
       nbpsc_(bits_per_symbol(mod)),
       bits_per_axis_(mod == Modulation::kBpsk ? 1 : nbpsc_ / 2),
       norm_(norm_factor(mod)),
-      levels_(gray_levels(bits_per_axis_)) {}
+      levels_(gray_levels(bits_per_axis_)) {
+  slevels_.resize(levels_.size());
+  for (std::size_t g = 0; g < levels_.size(); ++g)
+    slevels_[g] = levels_[g] * norm_;
+}
 
 double Mapper::axis_level(std::span<const std::uint8_t> axis_bits) const {
   std::size_t g = 0;
@@ -102,17 +106,30 @@ Bits Mapper::demap_hard(std::span<const dsp::Cplx> pts) const {
 void Mapper::demap_axis_raw(double y, double* out) const {
   // Max-log: LLR_i = min_{s:bit=1} (y-s)^2 - min_{s:bit=0} (y-s)^2;
   // positive favors bit 0. The caller applies the CSI weight.
+  //
+  // Table-driven form: the squared distances to the slevels_ table are
+  // computed once and shared across the axis bits (the per-bit loop used
+  // to recompute all of them). d[g] is the same expression as before, and
+  // each bit's min scans g in the same ascending order with the same
+  // strict < test, so the selected d0/d1 — and the LLRs — are unchanged
+  // bit-for-bit.
+  double d[8];
+  const std::size_t nlev = levels_.size();
+  const double* __restrict sl = slevels_.data();
+  for (std::size_t g = 0; g < nlev; ++g) {
+    const double diff = y - sl[g];
+    d[g] = diff * diff;
+  }
   for (std::size_t i = 0; i < bits_per_axis_; ++i) {
     double d0 = std::numeric_limits<double>::max();
     double d1 = std::numeric_limits<double>::max();
-    for (std::size_t g = 0; g < levels_.size(); ++g) {
-      const double diff = y - levels_[g] * norm_;
-      const double d = diff * diff;
-      const bool bit = ((g >> (bits_per_axis_ - 1 - i)) & 1) != 0;
+    const std::size_t shift = bits_per_axis_ - 1 - i;
+    for (std::size_t g = 0; g < nlev; ++g) {
+      const bool bit = ((g >> shift) & 1) != 0;
       if (bit) {
-        if (d < d1) d1 = d;
+        if (d[g] < d1) d1 = d[g];
       } else {
-        if (d < d0) d0 = d;
+        if (d[g] < d0) d0 = d[g];
       }
     }
     out[i] = d1 - d0;
@@ -120,23 +137,11 @@ void Mapper::demap_axis_raw(double y, double* out) const {
 }
 
 void Mapper::demap_axis_soft(double y, double weight, SoftBits* out) const {
-  // Max-log: LLR_i = w * (min_{s:bit=1} (y-s)^2 - min_{s:bit=0} (y-s)^2);
-  // positive favors bit 0.
-  for (std::size_t i = 0; i < bits_per_axis_; ++i) {
-    double d0 = std::numeric_limits<double>::max();
-    double d1 = std::numeric_limits<double>::max();
-    for (std::size_t g = 0; g < levels_.size(); ++g) {
-      const double diff = y - levels_[g] * norm_;
-      const double d = diff * diff;
-      const bool bit = ((g >> (bits_per_axis_ - 1 - i)) & 1) != 0;
-      if (bit) {
-        if (d < d1) d1 = d;
-      } else {
-        if (d < d0) d0 = d;
-      }
-    }
-    out->push_back(weight * (d1 - d0));
-  }
+  // w * (d1 - d0) per bit, through the shared-distance raw demap.
+  double raw[3];
+  demap_axis_raw(y, raw);
+  for (std::size_t i = 0; i < bits_per_axis_; ++i)
+    out->push_back(weight * raw[i]);
 }
 
 SoftBits Mapper::demap_soft_point(dsp::Cplx y, double weight) const {
@@ -149,20 +154,63 @@ SoftBits Mapper::demap_soft_point(dsp::Cplx y, double weight) const {
 
 SoftBits Mapper::demap_soft(std::span<const dsp::Cplx> pts,
                             std::span<const double> weights) const {
+  SoftBits out(pts.size() * nbpsc_);
+  demap_soft_into(pts, weights, out.data());
+  return out;
+}
+
+void Mapper::demap_soft_into(std::span<const dsp::Cplx> pts,
+                             std::span<const double> weights,
+                             double* out) const {
   if (pts.size() != weights.size())
     throw std::invalid_argument("Mapper: weights size mismatch");
-  // Sized output, indexed writes (no per-point vector), with the CSI
-  // weight applied as a block scale over each point's LLRs: w*(d1-d0)
-  // bit-identically equals (d1-d0)*w.
-  SoftBits out(pts.size() * nbpsc_);
+  // Indexed writes (no per-point vector), with the CSI weight applied as
+  // a block scale over each point's LLRs: w*(d1-d0) bit-identically
+  // equals (d1-d0)*w.
   for (std::size_t i = 0; i < pts.size(); ++i) {
-    double* dst = out.data() + i * nbpsc_;
+    double* dst = out + i * nbpsc_;
     demap_axis_raw(pts[i].real(), dst);
     if (mod_ != Modulation::kBpsk)
       demap_axis_raw(pts[i].imag(), dst + bits_per_axis_);
     dsp::kernels::scale(dst, nbpsc_, weights[i]);
   }
-  return out;
+}
+
+void Mapper::demap_soft_deinterleaved(std::span<const dsp::Cplx> pts,
+                                      std::span<const double> weights,
+                                      const std::size_t* deint,
+                                      double* out) const {
+  if (pts.size() != weights.size())
+    throw std::invalid_argument("Mapper: weights size mismatch");
+  double raw[6];
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    demap_axis_raw(pts[i].real(), raw);
+    if (mod_ != Modulation::kBpsk)
+      demap_axis_raw(pts[i].imag(), raw + bits_per_axis_);
+    const double w = weights[i];
+    const std::size_t* __restrict dj = deint + i * nbpsc_;
+    for (std::size_t b = 0; b < nbpsc_; ++b) out[dj[b]] = raw[b] * w;
+  }
+}
+
+void Mapper::map_permuted(const std::uint8_t* bits, const std::size_t* perm,
+                          std::size_t npoints, dsp::Cplx* out) const {
+  const std::size_t bpa = bits_per_axis_;
+  for (std::size_t p = 0; p < npoints; ++p) {
+    const std::size_t* __restrict pp = perm + p * nbpsc_;
+    std::size_t gi = 0;
+    for (std::size_t t = 0; t < bpa; ++t)
+      gi = (gi << 1) | (bits[pp[t]] & 1);
+    const double iv = levels_[gi];
+    double qv = 0.0;
+    if (mod_ != Modulation::kBpsk) {
+      std::size_t gq = 0;
+      for (std::size_t t = 0; t < bpa; ++t)
+        gq = (gq << 1) | (bits[pp[bpa + t]] & 1);
+      qv = levels_[gq];
+    }
+    out[p] = norm_ * dsp::Cplx{iv, qv};
+  }
 }
 
 dsp::Cplx Mapper::nearest_point(dsp::Cplx y) const {

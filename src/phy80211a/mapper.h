@@ -47,6 +47,28 @@ class Mapper {
   SoftBits demap_soft(std::span<const dsp::Cplx> pts,
                       std::span<const double> weights) const;
 
+  /// demap_soft into a caller-provided buffer of pts.size()*bits_per_point()
+  /// doubles — the allocation-free form. Bit-identical to demap_soft.
+  void demap_soft_into(std::span<const dsp::Cplx> pts,
+                       std::span<const double> weights, double* out) const;
+
+  /// Fused demap + deinterleave scatter: the LLR that demap_soft would
+  /// write at position j lands at out[deint[j]] instead (deint is the
+  /// per-rate Interleaver::inv() table; j in [0, pts.size()*nbpsc)). Each
+  /// LLR value is bit-identical to demap_soft's — only the destination
+  /// index changes — so batch RX can emit decoder-ordered LLRs with zero
+  /// intermediate copies.
+  void demap_soft_deinterleaved(std::span<const dsp::Cplx> pts,
+                                std::span<const double> weights,
+                                const std::size_t* deint, double* out) const;
+
+  /// Fused interleave + map gather: point i is mapped from the bits
+  /// bits[perm[i*nbpsc + t]], t ascending. With perm = Interleaver::inv()
+  /// this equals map(interleave(bits)) bit-for-bit, skipping the
+  /// intermediate interleaved block entirely.
+  void map_permuted(const std::uint8_t* bits, const std::size_t* perm,
+                    std::size_t npoints, dsp::Cplx* out) const;
+
   /// Nearest ideal constellation point (used by EVM measurement).
   dsp::Cplx nearest_point(dsp::Cplx y) const;
 
@@ -64,6 +86,10 @@ class Mapper {
   double norm_;
   /// levels_[g] = unnormalized axis level for gray code g.
   std::vector<double> levels_;
+  /// slevels_[g] = levels_[g] * norm_, the normalized constellation axis —
+  /// precomputed so the demap inner loop carries no multiply. The product
+  /// is the same double the reference expression produced inline.
+  std::vector<double> slevels_;
 };
 
 }  // namespace wlansim::phy

@@ -34,6 +34,30 @@ const dsp::Fft& fft64() {
   return engine;
 }
 
+/// FFT bin numbers of the 48 data carriers, in transmission order.
+const std::array<std::size_t, kNumDataCarriers>& data_bins() {
+  static const auto table = [] {
+    std::array<std::size_t, kNumDataCarriers> t{};
+    const auto& dc = data_carrier_indices();
+    for (std::size_t i = 0; i < kNumDataCarriers; ++i)
+      t[i] = carrier_to_bin(dc[i]);
+    return t;
+  }();
+  return table;
+}
+
+/// FFT bin numbers of the 4 pilot carriers.
+const std::array<std::size_t, kNumPilots>& pilot_bins() {
+  static const auto table = [] {
+    std::array<std::size_t, kNumPilots> t{};
+    const auto& pc = pilot_carrier_indices();
+    for (std::size_t i = 0; i < kNumPilots; ++i)
+      t[i] = carrier_to_bin(pc[i]);
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
 
 const std::array<int, kNumDataCarriers>& data_carrier_indices() {
@@ -107,6 +131,55 @@ DemodulatedSymbol ofdm_demodulate_symbol(std::span<const dsp::Cplx> time64) {
   for (std::size_t i = 0; i < kNumPilots; ++i)
     out.pilots[i] = fd[carrier_to_bin(pc[i])];
   return out;
+}
+
+void ofdm_demodulate_symbols_into(const dsp::Cplx* time, std::size_t stride,
+                                  std::size_t nsym, dsp::Cplx* data48,
+                                  dsp::Cplx* pilots4) {
+  if (nsym == 0) return;
+  // One batch FFT over all symbols (row r reads time[r*stride..+64)), then
+  // a table-driven bin gather. Rows are transformed independently with the
+  // same butterfly schedule as the single-symbol path, so every extracted
+  // bin matches ofdm_demodulate_symbol bit-for-bit.
+  thread_local dsp::CVec fd;
+  fd.resize(nsym * kNfft);
+  fft64().forward_batch(time, stride, fd.data(), nsym);
+  const auto& db = data_bins();
+  const auto& pb = pilot_bins();
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const dsp::Cplx* __restrict row = fd.data() + s * kNfft;
+    dsp::Cplx* __restrict d = data48 + s * kNumDataCarriers;
+    for (std::size_t i = 0; i < kNumDataCarriers; ++i) d[i] = row[db[i]];
+    dsp::Cplx* __restrict p = pilots4 + s * kNumPilots;
+    for (std::size_t i = 0; i < kNumPilots; ++i) p[i] = row[pb[i]];
+  }
+}
+
+void ofdm_modulate_symbols_into(const dsp::Cplx* points48, std::size_t nsym,
+                                std::size_t first_symbol_index,
+                                dsp::Cplx* out) {
+  if (nsym == 0) return;
+  thread_local dsp::CVec fd, td;
+  fd.assign(nsym * kNfft, dsp::Cplx{0.0, 0.0});
+  td.resize(nsym * kNfft);
+  const auto& db = data_bins();
+  const auto& pb = pilot_bins();
+  const auto& pv = pilot_base_values();
+  for (std::size_t s = 0; s < nsym; ++s) {
+    dsp::Cplx* __restrict row = fd.data() + s * kNfft;
+    const dsp::Cplx* __restrict pts = points48 + s * kNumDataCarriers;
+    for (std::size_t i = 0; i < kNumDataCarriers; ++i) row[db[i]] = pts[i];
+    const double pol = pilot_polarity(first_symbol_index + s);
+    for (std::size_t i = 0; i < kNumPilots; ++i) row[pb[i]] = pol * pv[i];
+  }
+  fft64().inverse_batch(fd.data(), kNfft, td.data(), nsym);
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const dsp::Cplx* __restrict body = td.data() + s * kNfft;
+    dsp::Cplx* __restrict sym = out + s * kSymbolLen;
+    for (std::size_t i = 0; i < kCpLen; ++i)
+      sym[i] = body[kNfft - kCpLen + i];  // cyclic prefix
+    for (std::size_t i = 0; i < kNfft; ++i) sym[kCpLen + i] = body[i];
+  }
 }
 
 std::array<dsp::Cplx, 53> extract_occupied_bins(std::span<const dsp::Cplx> fd64) {

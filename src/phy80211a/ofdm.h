@@ -45,6 +45,24 @@ struct DemodulatedSymbol {
 };
 DemodulatedSymbol ofdm_demodulate_symbol(std::span<const dsp::Cplx> time64);
 
+/// Batch demodulate `nsym` symbols through one batch FFT: symbol s's 64
+/// FFT-input samples start at time[s*stride] (stride >= 64; the receiver
+/// passes kSymbolLen to lift the FFT windows straight out of the frame
+/// without a copy). Writes data48[s*48 + i] and pilots4[s*4 + i]. Each
+/// symbol's transform and bin extraction is bit-identical to
+/// ofdm_demodulate_symbol.
+void ofdm_demodulate_symbols_into(const dsp::Cplx* time, std::size_t stride,
+                                  std::size_t nsym, dsp::Cplx* data48,
+                                  dsp::Cplx* pilots4);
+
+/// Batch modulate `nsym` symbols through one batch IFFT: symbol s is built
+/// from points48[s*48..] with pilot polarity index first_symbol_index + s,
+/// and written to out[s*kSymbolLen..] as cyclic prefix + body.
+/// Bit-identical per symbol to ofdm_modulate_symbol_into.
+void ofdm_modulate_symbols_into(const dsp::Cplx* points48, std::size_t nsym,
+                                std::size_t first_symbol_index,
+                                dsp::Cplx* out);
+
 /// Map a logical subcarrier index (-32..31) to its FFT bin (0..63).
 std::size_t carrier_to_bin(int carrier);
 

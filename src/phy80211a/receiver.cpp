@@ -63,30 +63,17 @@ RxResult Receiver::decode_from(std::span<const dsp::Cplx> rx,
   const std::size_t nsym = num_data_symbols(header->rate, header->length);
   const std::size_t data_base = lts_start + 2 * kNfft + kSymbolLen;
 
-  const Interleaver il(header->rate);
-  const Mapper mapper(p.modulation);
   SoftBits soft_all;
-  soft_all.reserve(nsym * p.ncbps);
   res.data_points.reserve(nsym);
-
-  for (std::size_t s = 0; s < nsym; ++s) {
-    const std::size_t fft_pos = data_base + s * kSymbolLen + kCpLen - kTimingBackoff;
-    if (fft_pos + kNfft > rx.size()) {
-      res.header_ok = false;  // truncated frame
-      return res;
-    }
-    const DemodulatedSymbol sym =
-        ofdm_demodulate_symbol(rx.subspan(fft_pos, kNfft));
-    const EqualizedSymbol eq =
-        equalize_symbol(sym, est, /*symbol_index=*/s + 1, cfg_.track_phase,
-                        cfg_.track_timing);
-    res.data_points.emplace_back(eq.points.begin(), eq.points.end());
-
-    const SoftBits soft = mapper.demap_soft(
-        std::span<const dsp::Cplx>(eq.points),
-        std::span<const double>(eq.weights));
-    const SoftBits deint = il.deinterleave_soft(soft);
-    soft_all.insert(soft_all.end(), deint.begin(), deint.end());
+  const bool complete =
+      cfg_.batched_data_path
+          ? demod_data_batched(rx, data_base, nsym, header->rate, est, res,
+                               soft_all)
+          : demod_data_reference(rx, data_base, nsym, header->rate, est, res,
+                                 soft_all);
+  if (!complete) {
+    res.header_ok = false;  // truncated frame
+    return res;
   }
 
   const SoftBits mother = depuncture(soft_all, p.code_rate);
@@ -108,6 +95,91 @@ RxResult Receiver::decode_from(std::span<const dsp::Cplx> rx,
                      decoded.begin() + kServiceBits + psdu_bits);
   res.psdu = bits_to_bytes(payload);
   return res;
+}
+
+bool Receiver::demod_data_reference(std::span<const dsp::Cplx> rx,
+                                    std::size_t data_base, std::size_t nsym,
+                                    Rate rate, const ChannelEstimate& est,
+                                    RxResult& res, SoftBits& soft_all) const {
+  const RateParams& p = rate_params(rate);
+  const Interleaver& il = interleaver_for(rate);
+  const Mapper mapper(p.modulation);
+  soft_all.reserve(nsym * p.ncbps);
+
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const std::size_t fft_pos =
+        data_base + s * kSymbolLen + kCpLen - kTimingBackoff;
+    if (fft_pos + kNfft > rx.size()) return false;  // truncated frame
+    const DemodulatedSymbol sym =
+        ofdm_demodulate_symbol(rx.subspan(fft_pos, kNfft));
+    const EqualizedSymbol eq =
+        equalize_symbol(sym, est, /*symbol_index=*/s + 1, cfg_.track_phase,
+                        cfg_.track_timing);
+    res.data_points.emplace_back(eq.points.begin(), eq.points.end());
+
+    const SoftBits soft = mapper.demap_soft(
+        std::span<const dsp::Cplx>(eq.points),
+        std::span<const double>(eq.weights));
+    const SoftBits deint = il.deinterleave_soft(soft);
+    soft_all.insert(soft_all.end(), deint.begin(), deint.end());
+  }
+  return true;
+}
+
+bool Receiver::demod_data_batched(std::span<const dsp::Cplx> rx,
+                                  std::size_t data_base, std::size_t nsym,
+                                  Rate rate, const ChannelEstimate& est,
+                                  RxResult& res, SoftBits& soft_all) const {
+  const RateParams& p = rate_params(rate);
+
+  // The FFT windows advance by kSymbolLen, so the symbols that fit in the
+  // buffer form a prefix; a truncated frame demodulates exactly the
+  // symbols the reference loop would have before bailing out.
+  const std::size_t off = data_base + kCpLen - kTimingBackoff;
+  std::size_t navail = 0;
+  if (rx.size() >= off + kNfft)
+    navail = std::min(nsym, (rx.size() - off - kNfft) / kSymbolLen + 1);
+
+  if (navail > 0) {
+    // Per-thread scratch: warm after the first packet, so the steady-state
+    // data path performs no heap allocation outside the result containers.
+    struct Workspace {
+      dsp::CVec data;       // demodulated data bins, nsym x 48
+      dsp::CVec pilots;     // demodulated pilot bins, nsym x 4
+      dsp::CVec points;     // equalized points, nsym x 48
+      std::vector<double> weights;  // CSI weights, nsym x 48
+    };
+    thread_local Workspace ws;
+    ws.data.resize(navail * kNumDataCarriers);
+    ws.pilots.resize(navail * kNumPilots);
+    ws.points.resize(navail * kNumDataCarriers);
+    ws.weights.resize(navail * kNumDataCarriers);
+
+    // One batch FFT over every DATA symbol, lifting the 64-sample windows
+    // straight out of the kSymbolLen-spaced frame.
+    ofdm_demodulate_symbols_into(rx.data() + off, kSymbolLen, navail,
+                                 ws.data.data(), ws.pilots.data());
+    equalize_symbols(ws.data.data(), ws.pilots.data(), navail,
+                     /*first_symbol_index=*/1, est, cfg_.track_phase,
+                     cfg_.track_timing, ws.points.data(), ws.weights.data());
+
+    // Demap with the deinterleave permutation fused in: symbol s's LLRs
+    // land directly in decoder order at soft_all[s*ncbps + inv[j]].
+    const Interleaver& il = interleaver_for(rate);
+    const std::size_t* deint = il.inv().data();
+    const Mapper mapper(p.modulation);
+    soft_all.resize(navail * p.ncbps);
+    for (std::size_t s = 0; s < navail; ++s) {
+      const dsp::Cplx* pts = ws.points.data() + s * kNumDataCarriers;
+      res.data_points.emplace_back(pts, pts + kNumDataCarriers);
+      mapper.demap_soft_deinterleaved(
+          std::span<const dsp::Cplx>(pts, kNumDataCarriers),
+          std::span<const double>(ws.weights.data() + s * kNumDataCarriers,
+                                  kNumDataCarriers),
+          deint, soft_all.data() + s * p.ncbps);
+    }
+  }
+  return navail == nsym;
 }
 
 RxResult Receiver::receive(std::span<const dsp::Cplx> rx) const {

@@ -45,7 +45,8 @@ std::optional<SignalField> parse_signal_field(const Bits& bits) {
 dsp::CVec modulate_signal_field(const SignalField& sf) {
   const Bits info = signal_field_bits(sf);
   const Bits coded = convolutional_encode(info);  // 48 bits, R=1/2
-  const Interleaver il(48, 1);
+  // SIGNAL is always BPSK over 48 carriers — the 6 Mbps permutation.
+  const Interleaver& il = interleaver_for(Rate::kMbps6);
   const Bits inter = il.interleave(coded);
   const Mapper mapper(Modulation::kBpsk);
   const dsp::CVec pts = mapper.map(inter);
@@ -58,7 +59,7 @@ std::optional<SignalField> decode_signal_field(
     throw std::invalid_argument("decode_signal_field: need 48 points");
   const Mapper mapper(Modulation::kBpsk);
   const SoftBits soft = mapper.demap_soft(data48, weights);
-  const Interleaver il(48, 1);
+  const Interleaver& il = interleaver_for(Rate::kMbps6);
   const SoftBits deinter = il.deinterleave_soft(soft);
   const Bits info = viterbi_decode(deinter);
   return parse_signal_field(info);

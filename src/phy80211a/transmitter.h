@@ -37,7 +37,14 @@ class Transmitter {
   explicit Transmitter(Config cfg);
 
   /// Full PPDU: 320-sample preamble, SIGNAL symbol, N DATA symbols.
+  /// Runs the batched pipeline (fused interleave+map gather into a flat
+  /// points buffer, one batch IFFT over every DATA symbol, one-pass
+  /// CP/window assembly); bit-identical to modulate_reference().
   dsp::CVec modulate(const Frame& frame) const;
+
+  /// The original symbol-at-a-time modulator, kept as the semantic
+  /// definition for the batch-equivalence tests.
+  dsp::CVec modulate_reference(const Frame& frame) const;
 
   /// The scrambled/encoded DATA-field bits after padding (pre-modulation),
   /// exposed for tests against the standard's reference flow.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
+
 namespace wlansim::rf {
 
 Adc::Adc(const AdcConfig& cfg) : cfg_(cfg) {
@@ -44,11 +46,11 @@ void Adc::process_tile(std::span<const dsp::Cplx> in,
       std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  const dsp::Cplx* src = in.data();
-  dsp::Cplx* dst = out.data();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    dst[i] = dsp::Cplx{quantize(src[i].real()), quantize(src[i].imag())};
-  }
+  // Same per-rail arithmetic as quantize() — the kernel computes the
+  // std::round call arithmetically and is pinned bit-identical to it by
+  // tests/dsp/test_kernels.cpp.
+  dsp::kernels::quantize_clamp(in.data(), in.size(), inv_step_, step_,
+                               cfg_.full_scale, out.data());
 }
 
 }  // namespace wlansim::rf

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::rf {
@@ -92,8 +93,14 @@ void Amplifier::process_tile(std::span<const dsp::Cplx> in,
   const dsp::Cplx* src = in.data();
   dsp::Cplx* dst = out.data();
   if (noise_power_ > 0.0) {
-    for (std::size_t i = 0; i < n; ++i)
-      dst[i] = src[i] + rng_.cgaussian(noise_power_);
+    // Bulk form of dst[i] = src[i] + cgaussian(p): fill the unit normals
+    // first, then add the scaled pairs — identical stream, identical
+    // arithmetic (cgaussian evaluates s*u per rail with s = sqrt(p/2)).
+    if (dst != src) std::copy(src, src + n, dst);
+    noise_scratch_.resize(2 * n);
+    rng_.fill_gaussian(noise_scratch_.data(), noise_scratch_.size());
+    const double s = std::sqrt(noise_power_ / 2.0);
+    dsp::kernels::add_scaled_pairs(dst, n, s, noise_scratch_.data());
     src = dst;
   }
   const bool pm_active = cfg_.am_pm_max_deg != 0.0;

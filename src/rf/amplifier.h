@@ -79,6 +79,7 @@ class Amplifier : public RfBlock {
   double clip_in_;        ///< cubic model: input clip level
   double noise_power_;    ///< input-referred added noise power [W]
   dsp::Rng rng_;
+  dsp::RVec noise_scratch_;  ///< per-tile unit normals for the bulk fill
 };
 
 }  // namespace wlansim::rf

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/kernels.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::rf {
@@ -32,7 +33,13 @@ void WhiteNoiseSource::process_tile(std::span<const dsp::Cplx> in,
   if (out.data() != in.data())
     std::copy(in.begin(), in.end(), out.begin());
   if (power_ > 0.0) {
-    for (auto& v : out) v += rng_.cgaussian(power_);
+    // Bulk form of v += cgaussian(p): same stream, same arithmetic
+    // (cgaussian evaluates s*u per rail with s = sqrt(p/2)).
+    scratch_.resize(2 * out.size());
+    rng_.fill_gaussian(scratch_.data(), scratch_.size());
+    const double s = std::sqrt(power_ / 2.0);
+    dsp::kernels::add_scaled_pairs(out.data(), out.size(), s,
+                                   scratch_.data());
   }
 }
 
@@ -136,8 +143,15 @@ void FlickerNoiseSource::process_tile(std::span<const dsp::Cplx> in,
   const std::size_t n = in.size();
   scratch_.resize(n);
   dsp::Cplx* w = scratch_.data();
+  // cgaussian(1.0) * drive_sigma_ decomposes to (s0*u) * drive per rail
+  // with s0 = sqrt(1/2); drawing the normals in bulk and applying the
+  // same two multiplies in the same order reproduces it exactly.
+  rscratch_.resize(2 * n);
+  rng_.fill_gaussian(rscratch_.data(), rscratch_.size());
+  const double s0 = std::sqrt(1.0 / 2.0);
   for (std::size_t i = 0; i < n; ++i)
-    w[i] = rng_.cgaussian(1.0) * drive_sigma_;
+    w[i] = dsp::Cplx{s0 * rscratch_[2 * i], s0 * rscratch_[2 * i + 1]} *
+           drive_sigma_;
   for (auto& s : stages_) {
     const double b0 = s.b0, b1 = s.b1, b2 = s.b2, a1 = s.a1, a2 = s.a2;
     dsp::Cplx s1 = s.s1, s2 = s.s2;
@@ -191,12 +205,20 @@ void WanderingDcSource::process_tile(std::span<const dsp::Cplx> in,
   if (out.data() != in.data())
     std::copy(in.begin(), in.end(), out.begin());
   if (rms_ <= 0.0) return;
-  for (auto& v : out) {
-    state_ += alpha_ * (dsp::Cplx{rng_.gaussian(drive_std_),
-                                  rng_.gaussian(drive_std_)} -
-                        state_);
-    v += state_;
+  // The AR(1) recurrence is inherently sequential, but the two gaussian
+  // draws per sample are not: fill them in bulk (gaussian(sigma) is
+  // sigma*u, reproduced below) and keep only the recurrence in the loop.
+  const std::size_t n = out.size();
+  scratch_.resize(2 * n);
+  rng_.fill_gaussian(scratch_.data(), scratch_.size());
+  dsp::Cplx state = state_;
+  for (std::size_t i = 0; i < n; ++i) {
+    state += alpha_ * (dsp::Cplx{drive_std_ * scratch_[2 * i],
+                                 drive_std_ * scratch_[2 * i + 1]} -
+                       state);
+    out[i] += state;
   }
+  state_ = state;
 }
 
 void WanderingDcSource::reset() { state_ = dsp::Cplx{0.0, 0.0}; }

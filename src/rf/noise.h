@@ -31,6 +31,7 @@ class WhiteNoiseSource : public RfBlock {
  private:
   double power_;
   dsp::Rng rng_;
+  dsp::RVec scratch_;  ///< per-tile unit normals for the bulk fill
 };
 
 /// Additive 1/f (flicker) noise: white noise shaped by a cascade of
@@ -59,7 +60,8 @@ class FlickerNoiseSource : public RfBlock {
   double drive_sigma_;
   std::vector<dsp::Biquad> stages_;
   dsp::Rng rng_;
-  dsp::CVec scratch_;  ///< per-tile noise stream for stage-outer shaping
+  dsp::CVec scratch_;   ///< per-tile noise stream for stage-outer shaping
+  dsp::RVec rscratch_;  ///< per-tile unit normals for the bulk fill
 };
 
 /// Slowly wandering complex offset: LO leakage reflecting off the moving
@@ -91,6 +93,7 @@ class WanderingDcSource : public RfBlock {
   double drive_std_;   ///< per-sample drive giving the target RMS
   dsp::Cplx state_{0.0, 0.0};
   dsp::Rng rng_;
+  dsp::RVec scratch_;  ///< per-tile unit normals for the bulk fill
 };
 
 /// Static complex DC offset (e.g. LO self-mixing in the second mixer of

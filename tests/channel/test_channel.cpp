@@ -85,6 +85,31 @@ TEST(Fading, ApplyConvolvesExplicitTaps) {
   EXPECT_NEAR(out[2].real(), 0.0, 1e-15);
 }
 
+TEST(Fading, ApplyMatchesReferenceBitExactly) {
+  dsp::Rng rng(31);
+  // Drawn realization and a hand-picked complex tap set, over signals long
+  // enough to exercise both the warm-up region (i < ntaps) and steady state.
+  FadingConfig cfg;
+  cfg.rms_delay_spread_s = 100e-9;
+  const MultipathChannel drawn(cfg, rng);
+  const MultipathChannel fixed(dsp::CVec{{0.7, -0.1}, {0.0, 0.0}, {-0.3, 0.4}});
+  for (const MultipathChannel* ch : {&drawn, &fixed}) {
+    dsp::CVec in(257);
+    for (auto& v : in) v = rng.cgaussian(1.0);
+    const dsp::CVec fast = ch->apply(in);
+    const dsp::CVec ref = ch->apply_reference(in);
+    dsp::CVec into(in.size());
+    ch->apply_into(in, into);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      EXPECT_EQ(fast[i].real(), ref[i].real()) << i;
+      EXPECT_EQ(fast[i].imag(), ref[i].imag()) << i;
+      EXPECT_EQ(into[i].real(), ref[i].real()) << i;
+      EXPECT_EQ(into[i].imag(), ref[i].imag()) << i;
+    }
+  }
+}
+
 TEST(Fading, ResponseMatchesTaps) {
   const MultipathChannel ch(dsp::CVec{{1.0, 0.0}, {-1.0, 0.0}});
   // H(f) = 1 - e^{-j2pif}: zero at f=0, max at f=0.5.

@@ -14,6 +14,8 @@
 #include "core/experiments.h"
 #include "core/link.h"
 #include "dsp/rng.h"
+#include "phy80211a/receiver.h"
+#include "phy80211a/transmitter.h"
 #include "rf/receiver_chain.h"
 #include "testsupport/alloc_hook.h"
 
@@ -61,6 +63,64 @@ TEST(AllocationDiscipline, RunPacketStopsAllocatingAfterWarmup) {
     EXPECT_LE(allocation_count(), warm)
         << "allocation count grew at packet " << i;
   }
+}
+
+TEST(AllocationDiscipline, RxDataLoopStopsAllocatingAfterWarmup) {
+  // Full RX data loop (batch FFT, equalize, demap-deinterleave, Viterbi):
+  // once the thread_local batch workspaces and the decoder's buffers have
+  // grown to the frame size, repeated receives of same-sized frames must
+  // not allocate more than the first warm receive.
+  dsp::Rng rng(17);
+  phy::Transmitter tx;
+  const dsp::CVec frame =
+      tx.modulate({phy::Rate::kMbps54, phy::random_bytes(500, rng)});
+  dsp::CVec rx(200, dsp::Cplx{0.0, 0.0});
+  rx.insert(rx.end(), frame.begin(), frame.end());
+  rx.insert(rx.end(), 80, dsp::Cplx{0.0, 0.0});
+
+  const phy::Receiver receiver;
+  ASSERT_TRUE(receiver.receive(rx).header_ok);  // cold: grows everything
+
+  reset_allocation_count();
+  receiver.receive(rx);
+  const std::uint64_t warm = allocation_count();
+
+  for (int i = 0; i < 3; ++i) {
+    reset_allocation_count();
+    ASSERT_TRUE(receiver.receive(rx).header_ok);
+    EXPECT_LE(allocation_count(), warm)
+        << "RX data loop allocation count grew at receive " << i;
+  }
+}
+
+TEST(AllocationDiscipline, BatchedRxAllocatesNoMoreThanReference) {
+  dsp::Rng rng(18);
+  phy::Transmitter tx;
+  const dsp::CVec frame =
+      tx.modulate({phy::Rate::kMbps24, phy::random_bytes(400, rng)});
+  dsp::CVec rx(200, dsp::Cplx{0.0, 0.0});
+  rx.insert(rx.end(), frame.begin(), frame.end());
+  rx.insert(rx.end(), 80, dsp::Cplx{0.0, 0.0});
+
+  phy::Receiver::Config cfg;
+  cfg.batched_data_path = true;
+  const phy::Receiver batched(cfg);
+  cfg.batched_data_path = false;
+  const phy::Receiver reference(cfg);
+
+  batched.receive(rx);  // warm both paths' persistent scratch
+  reference.receive(rx);
+
+  reset_allocation_count();
+  batched.receive(rx);
+  const std::uint64_t nb = allocation_count();
+  reset_allocation_count();
+  reference.receive(rx);
+  const std::uint64_t nr = allocation_count();
+
+  // The batch path exists to shed the per-symbol vectors the reference
+  // loop still makes (demap output, deinterleave output, symbol window).
+  EXPECT_LT(nb, nr) << "batched=" << nb << " reference=" << nr;
 }
 
 TEST(AllocationDiscipline, DirectPathShedsGraphHeapTraffic) {

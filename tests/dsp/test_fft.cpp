@@ -107,5 +107,54 @@ TEST(Fft, InPlaceMatchesOutOfPlace) {
     EXPECT_NEAR(std::abs(inplace[i] - ref[i]), 0.0, 1e-12);
 }
 
+TEST(Fft, ForwardBatchMatchesPerRowExactly) {
+  Rng rng(21);
+  const std::size_t n = 64;
+  const Fft engine(n);
+  for (const std::size_t m : {1u, 8u, 32u}) {
+    for (const std::size_t stride : {n, std::size_t{80}}) {
+      // Lay rows out `stride` apart, as the OFDM symbol matrix does.
+      CVec in((m - 1) * stride + n);
+      for (Cplx& v : in) v = rng.cgaussian(1.0);
+      CVec batch(m * n);
+      engine.forward_batch(in.data(), stride, batch.data(), m);
+      for (std::size_t r = 0; r < m; ++r) {
+        CVec row(n);
+        engine.forward(std::span<const Cplx>(in.data() + r * stride, n),
+                       std::span<Cplx>(row));
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(batch[r * n + i].real(), row[i].real())
+              << "m=" << m << " r=" << r << " i=" << i;
+          EXPECT_EQ(batch[r * n + i].imag(), row[i].imag())
+              << "m=" << m << " r=" << r << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Fft, InverseBatchMatchesPerRowExactly) {
+  Rng rng(22);
+  const std::size_t n = 64;
+  const Fft engine(n);
+  for (const std::size_t m : {1u, 8u, 32u}) {
+    CVec in(m * n);
+    for (Cplx& v : in) v = rng.cgaussian(1.0);
+    CVec batch(m * n);
+    engine.inverse_batch(in.data(), n, batch.data(), m);
+    for (std::size_t r = 0; r < m; ++r) {
+      CVec row(n);
+      engine.inverse(std::span<const Cplx>(in.data() + r * n, n),
+                     std::span<Cplx>(row));
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batch[r * n + i].real(), row[i].real())
+            << "m=" << m << " r=" << r << " i=" << i;
+        EXPECT_EQ(batch[r * n + i].imag(), row[i].imag())
+            << "m=" << m << " r=" << r << " i=" << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wlansim::dsp

@@ -5,8 +5,13 @@
 // arithmetic bit for bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <random>
+#include <utility>
 
 #include "dsp/fir.h"
 #include "dsp/kernels.h"
@@ -141,6 +146,79 @@ TEST(Kernels, FirStreamDecimMatchesKeptOutputs) {
   }
 }
 
+TEST(Kernels, FirStreamDecimFlatPathMatchesStepwiseAcrossCalls) {
+  // Long blocks take the flat fast path (dots straight off the input, eight
+  // in flight, delay line rebuilt at the end). Outputs AND the carried
+  // filter state must stay bit-identical to per-sample stepping — the
+  // second and third calls only see the right answers if the first call's
+  // delay/pos writeback reproduced the streaming state exactly. Covers
+  // block lengths that are not multiples of decim and a real 119-tap
+  // resampling filter alongside a short one.
+  std::mt19937_64 gen(35);
+  for (const std::size_t ntaps : {std::size_t{27}, std::size_t{119}}) {
+    const RVec taps = random_rvec(ntaps, gen);
+    for (const std::size_t decim : {std::size_t{2}, std::size_t{4}}) {
+      FirFilter stepwise(taps);
+      FirFilter decimating(taps);
+      // Mix of long blocks (flat path), a short block (rolling path), and
+      // lengths that are not multiples of decim. The phase counter restarts
+      // at 0 each call; only the delay line carries over, so the stepwise
+      // model keeps local indices i % decim == 0.
+      for (const std::size_t m :
+           {8 * ntaps, 8 * ntaps + 3, ntaps / 2, 8 * ntaps + 1}) {
+        const CVec in = random_cvec(m, gen);
+        CVec want;
+        for (std::size_t i = 0; i < m; ++i) {
+          const Cplx y = stepwise.step(in[i]);
+          if (i % decim == 0) want.push_back(y);
+        }
+        CVec got(want.size());
+        decimating.process_decim_into(in, decim, got);
+        expect_exact(got, want);
+      }
+    }
+  }
+}
+
+TEST(Kernels, FirStreamDecimFlatPathStateMatchesRolling) {
+  // The fast path's final delay-line contents and returned position must
+  // equal the rolling formulation's, slot for slot (both mirrored halves).
+  std::mt19937_64 gen(36);
+  const RVec taps = random_rvec(31, gen);
+  const std::size_t nt = taps.size();
+  for (const std::size_t m : {2 * nt, 8 * nt + 5, 3 * nt + 1}) {
+    const CVec in = random_cvec(m, gen);
+    const std::size_t decim = 4;
+    const std::size_t nout = (m + decim - 1) / decim;
+
+    CVec delay_k(2 * nt, Cplx{0.0, 0.0});
+    CVec out_k(nout);
+    const std::size_t pos_k =
+        kernels::fir_stream_decim(taps.data(), nt, delay_k.data(), 0,
+                                  in.data(), m, decim, out_k.data());
+
+    // Trusted rolling model, written out longhand.
+    CVec delay_r(2 * nt, Cplx{0.0, 0.0});
+    CVec out_r(nout);
+    std::size_t pos_r = 0, o = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      pos_r = (pos_r == 0) ? nt - 1 : pos_r - 1;
+      delay_r[pos_r] = delay_r[pos_r + nt] = in[i];
+      if (i % decim == 0) {
+        double re = 0.0, im = 0.0;
+        for (std::size_t k = 0; k < nt; ++k) {
+          re += taps[k] * delay_r[pos_r + k].real();
+          im += taps[k] * delay_r[pos_r + k].imag();
+        }
+        out_r[o++] = Cplx{re, im};
+      }
+    }
+    EXPECT_EQ(pos_k, pos_r) << "m=" << m;
+    expect_exact(out_k, out_r);
+    expect_exact(delay_k, delay_r);
+  }
+}
+
 TEST(Kernels, FirInterpMatchesZeroStuffedStream) {
   std::mt19937_64 gen(16);
   for (const std::size_t os : {std::size_t{2}, std::size_t{4}}) {
@@ -200,6 +278,106 @@ TEST(Kernels, ScaleAndAddScaledPairsMatchReference) {
   for (std::size_t i = 0; i < cc.size(); ++i)
     cc[i] += Cplx{0.37 * units[2 * i], 0.37 * units[2 * i + 1]};
   expect_exact(ca, cc);
+}
+
+TEST(Kernels, QuantizeClampMatchesStdRoundBitExactly) {
+  // quantize_clamp computes std::round arithmetically; it must be
+  // bit-identical (including the sign of zero) to the literal
+  // clamp(round(v*inv_step)*step, -fs, fs) form for every input —
+  // especially the x.5 ties, where round-half-away and the 2^52
+  // round-to-nearest-even shift disagree before the tie correction.
+  const auto bits = [](double x) {
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof(u));
+    return u;
+  };
+  // step = 0.25 makes v*inv_step exact for v = k/8, so ties are hit
+  // exactly; fs slightly off-grid exercises the rail clamp path too.
+  for (const auto& [step, fs] : {std::pair{0.25, 1.1}, std::pair{0.1, 1.0}}) {
+    const double inv_step = 1.0 / step;
+    RVec rails = {0.0,   -0.0,  0.125, -0.125, 0.375,  -0.375, 0.625,
+                  1.0,   -1.0,  1.125, -1.125, 5.0,    -5.0,   0.5,
+                  -0.5,  1e-12, -1e-12, 0x1p52, -0x1p52, 0x1p52 + 1.0,
+                  0x1p52 - 0.5, std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::denorm_min(),
+                  -std::numeric_limits<double>::denorm_min()};
+    std::mt19937_64 gen(44);
+    std::uniform_real_distribution<double> d(-2.0, 2.0);
+    for (int i = 0; i < 4096; ++i) rails.push_back(d(gen));
+    // Every k/8 grid point across the rails, to sweep all tie parities.
+    for (int k = -40; k <= 40; ++k) rails.push_back(k * 0.125);
+
+    ASSERT_EQ(rails.size() % 2, 0u);
+    CVec in(rails.size() / 2);
+    std::memcpy(in.data(), rails.data(), rails.size() * sizeof(double));
+    CVec got(in.size()), got_ref(in.size());
+    kernels::quantize_clamp(in.data(), in.size(), inv_step, step, fs,
+                            got.data());
+    kernels::ref::quantize_clamp(in.data(), in.size(), inv_step, step, fs,
+                                 got_ref.data());
+    const double* have = reinterpret_cast<const double*>(got.data());
+    const double* have_ref = reinterpret_cast<const double*>(got_ref.data());
+    for (std::size_t j = 0; j < rails.size(); ++j) {
+      const double v = rails[j];
+      const double want =
+          std::clamp(std::round(v * inv_step) * step, -fs, fs);
+      EXPECT_EQ(bits(have[j]), bits(want)) << "v=" << v << " step=" << step;
+      EXPECT_EQ(bits(have[j]), bits(have_ref[j])) << "v=" << v;
+    }
+    // In-place call gives the same answer.
+    CVec inplace = in;
+    kernels::quantize_clamp(inplace.data(), inplace.size(), inv_step, step,
+                            fs, inplace.data());
+    expect_exact(inplace, got);
+  }
+}
+
+TEST(Kernels, CfirConvMatchesComplexLoopAndReference) {
+  std::mt19937_64 gen(19);
+  for (const std::size_t ntaps : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{9}, std::size_t{300}}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{5},
+                                std::size_t{256}}) {
+      const CVec taps = random_cvec(ntaps, gen);
+      const CVec in = random_cvec(n, gen);
+
+      // Semantic definition: the std::complex tapped-delay loop.
+      CVec want(n, Cplx{0.0, 0.0});
+      for (std::size_t i = 0; i < n; ++i) {
+        Cplx acc{0.0, 0.0};
+        const std::size_t kmax = std::min(ntaps, i + 1);
+        for (std::size_t k = 0; k < kmax; ++k) acc += taps[k] * in[i - k];
+        want[i] = acc;
+      }
+
+      CVec a(n), b(n);
+      kernels::cfir_conv(taps.data(), ntaps, in.data(), n, a.data());
+      kernels::ref::cfir_conv(taps.data(), ntaps, in.data(), n, b.data());
+      expect_exact(a, want);
+      expect_exact(a, b);
+    }
+  }
+}
+
+TEST(Kernels, FftButterfliesBatchDispatchMatchesReference) {
+  std::mt19937_64 gen(20);
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64}}) {
+    CVec twiddle(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double ang = -2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+      twiddle[k] = Cplx{std::cos(ang), std::sin(ang)};
+    }
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{32}}) {
+      const CVec in = random_cvec(rows * n, gen);
+      CVec a = in, b = in;
+      kernels::fft_butterflies_batch(a.data(), rows, n, twiddle.data());
+      kernels::ref::fft_butterflies_batch(b.data(), rows, n, twiddle.data());
+      expect_exact(a, b);
+    }
+  }
 }
 
 }  // namespace

@@ -25,6 +25,10 @@ DEFAULT_WATCHED = [
     "BM_RfChainThroughput",
     "BM_RfChainFused",
     "BM_SyncDetect",
+    "BM_FftBatch64/8",
+    "BM_FftBatch64/32",
+    "BM_TxModulateBatch",
+    "BM_RxDataSymbolsBatch",
 ]
 
 
