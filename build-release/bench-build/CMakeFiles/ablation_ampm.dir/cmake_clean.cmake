@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ampm"
+  "../bench/ablation_ampm.pdb"
+  "CMakeFiles/ablation_ampm.dir/ablation_ampm.cpp.o"
+  "CMakeFiles/ablation_ampm.dir/ablation_ampm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ampm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chanest"
+  "../bench/ablation_chanest.pdb"
+  "CMakeFiles/ablation_chanest.dir/ablation_chanest.cpp.o"
+  "CMakeFiles/ablation_chanest.dir/ablation_chanest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chanest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_oversampling"
+  "../bench/ablation_oversampling.pdb"
+  "CMakeFiles/ablation_oversampling.dir/ablation_oversampling.cpp.o"
+  "CMakeFiles/ablation_oversampling.dir/ablation_oversampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oversampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

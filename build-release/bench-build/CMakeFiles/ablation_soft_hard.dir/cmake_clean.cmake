@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_soft_hard"
+  "../bench/ablation_soft_hard.pdb"
+  "CMakeFiles/ablation_soft_hard.dir/ablation_soft_hard.cpp.o"
+  "CMakeFiles/ablation_soft_hard.dir/ablation_soft_hard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_soft_hard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

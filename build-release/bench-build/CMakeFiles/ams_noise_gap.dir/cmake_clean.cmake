@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ams_noise_gap"
+  "../bench/ams_noise_gap.pdb"
+  "CMakeFiles/ams_noise_gap.dir/ams_noise_gap.cpp.o"
+  "CMakeFiles/ams_noise_gap.dir/ams_noise_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_noise_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/architecture_comparison"
+  "../bench/architecture_comparison.pdb"
+  "CMakeFiles/architecture_comparison.dir/architecture_comparison.cpp.o"
+  "CMakeFiles/architecture_comparison.dir/architecture_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

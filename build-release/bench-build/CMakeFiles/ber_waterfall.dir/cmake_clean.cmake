@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ber_waterfall"
+  "../bench/ber_waterfall.pdb"
+  "CMakeFiles/ber_waterfall.dir/ber_waterfall.cpp.o"
+  "CMakeFiles/ber_waterfall.dir/ber_waterfall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

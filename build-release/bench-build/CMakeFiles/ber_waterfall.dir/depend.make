@@ -1,0 +1,2 @@
+# Empty dependencies file for ber_waterfall.
+# This may be replaced when dependencies are built.

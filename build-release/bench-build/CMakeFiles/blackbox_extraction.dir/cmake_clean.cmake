@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/blackbox_extraction"
+  "../bench/blackbox_extraction.pdb"
+  "CMakeFiles/blackbox_extraction.dir/blackbox_extraction.cpp.o"
+  "CMakeFiles/blackbox_extraction.dir/blackbox_extraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

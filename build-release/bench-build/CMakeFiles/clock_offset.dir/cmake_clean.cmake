@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/clock_offset"
+  "../bench/clock_offset.pdb"
+  "CMakeFiles/clock_offset.dir/clock_offset.cpp.o"
+  "CMakeFiles/clock_offset.dir/clock_offset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dsss_through_frontend"
+  "../bench/dsss_through_frontend.pdb"
+  "CMakeFiles/dsss_through_frontend.dir/dsss_through_frontend.cpp.o"
+  "CMakeFiles/dsss_through_frontend.dir/dsss_through_frontend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsss_through_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dynamic_range"
+  "../bench/dynamic_range.pdb"
+  "CMakeFiles/dynamic_range.dir/dynamic_range.cpp.o"
+  "CMakeFiles/dynamic_range.dir/dynamic_range.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/engine_perf"
+  "../bench/engine_perf.pdb"
+  "CMakeFiles/engine_perf.dir/engine_perf.cpp.o"
+  "CMakeFiles/engine_perf.dir/engine_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

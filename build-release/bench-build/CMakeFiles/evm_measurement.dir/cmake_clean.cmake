@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/evm_measurement"
+  "../bench/evm_measurement.pdb"
+  "CMakeFiles/evm_measurement.dir/evm_measurement.cpp.o"
+  "CMakeFiles/evm_measurement.dir/evm_measurement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_spectrum"
+  "../bench/fig4_spectrum.pdb"
+  "CMakeFiles/fig4_spectrum.dir/fig4_spectrum.cpp.o"
+  "CMakeFiles/fig4_spectrum.dir/fig4_spectrum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_filter_bandwidth"
+  "../bench/fig5_filter_bandwidth.pdb"
+  "CMakeFiles/fig5_filter_bandwidth.dir/fig5_filter_bandwidth.cpp.o"
+  "CMakeFiles/fig5_filter_bandwidth.dir/fig5_filter_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_filter_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_compression_point"
+  "../bench/fig6_compression_point.pdb"
+  "CMakeFiles/fig6_compression_point.dir/fig6_compression_point.cpp.o"
+  "CMakeFiles/fig6_compression_point.dir/fig6_compression_point.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_compression_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

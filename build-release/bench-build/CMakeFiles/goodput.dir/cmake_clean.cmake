@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/goodput"
+  "../bench/goodput.pdb"
+  "CMakeFiles/goodput.dir/goodput.cpp.o"
+  "CMakeFiles/goodput.dir/goodput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ip3_sweep"
+  "../bench/ip3_sweep.pdb"
+  "CMakeFiles/ip3_sweep.dir/ip3_sweep.cpp.o"
+  "CMakeFiles/ip3_sweep.dir/ip3_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip3_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/legacy_coexistence"
+  "../bench/legacy_coexistence.pdb"
+  "CMakeFiles/legacy_coexistence.dir/legacy_coexistence.cpp.o"
+  "CMakeFiles/legacy_coexistence.dir/legacy_coexistence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

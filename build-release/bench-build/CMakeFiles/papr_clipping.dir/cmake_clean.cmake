@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/papr_clipping"
+  "../bench/papr_clipping.pdb"
+  "CMakeFiles/papr_clipping.dir/papr_clipping.cpp.o"
+  "CMakeFiles/papr_clipping.dir/papr_clipping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papr_clipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

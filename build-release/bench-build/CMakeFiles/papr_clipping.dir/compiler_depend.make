@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for papr_clipping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/phase_noise_study"
+  "../bench/phase_noise_study.pdb"
+  "CMakeFiles/phase_noise_study.dir/phase_noise_study.cpp.o"
+  "CMakeFiles/phase_noise_study.dir/phase_noise_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_noise_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

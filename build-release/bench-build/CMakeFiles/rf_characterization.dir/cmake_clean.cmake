@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rf_characterization"
+  "../bench/rf_characterization.pdb"
+  "CMakeFiles/rf_characterization.dir/rf_characterization.cpp.o"
+  "CMakeFiles/rf_characterization.dir/rf_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/spectral_mask.cpp" "bench-build/CMakeFiles/spectral_mask.dir/spectral_mask.cpp.o" "gcc" "bench-build/CMakeFiles/spectral_mask.dir/spectral_mask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/core/CMakeFiles/wlansim_core.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/channel/CMakeFiles/wlansim_channel.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/sim/CMakeFiles/wlansim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/rf/CMakeFiles/wlansim_rf.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/spectral_mask"
+  "../bench/spectral_mask.pdb"
+  "CMakeFiles/spectral_mask.dir/spectral_mask.cpp.o"
+  "CMakeFiles/spectral_mask.dir/spectral_mask.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_cosim_time"
+  "../bench/table2_cosim_time.pdb"
+  "CMakeFiles/table2_cosim_time.dir/table2_cosim_time.cpp.o"
+  "CMakeFiles/table2_cosim_time.dir/table2_cosim_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cosim_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tx_evm_conformance"
+  "../bench/tx_evm_conformance.pdb"
+  "CMakeFiles/tx_evm_conformance.dir/tx_evm_conformance.cpp.o"
+  "CMakeFiles/tx_evm_conformance.dir/tx_evm_conformance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tx_evm_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacent_channel_study.dir/adjacent_channel_study.cpp.o"
+  "CMakeFiles/adjacent_channel_study.dir/adjacent_channel_study.cpp.o.d"
+  "adjacent_channel_study"
+  "adjacent_channel_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacent_channel_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

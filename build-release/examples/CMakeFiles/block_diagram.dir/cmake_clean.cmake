@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_diagram.dir/block_diagram.cpp.o"
+  "CMakeFiles/block_diagram.dir/block_diagram.cpp.o.d"
+  "block_diagram"
+  "block_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

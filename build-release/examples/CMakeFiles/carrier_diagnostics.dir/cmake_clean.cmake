@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrier_diagnostics.dir/carrier_diagnostics.cpp.o"
+  "CMakeFiles/carrier_diagnostics.dir/carrier_diagnostics.cpp.o.d"
+  "carrier_diagnostics"
+  "carrier_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrier_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_flow.dir/design_flow.cpp.o"
+  "CMakeFiles/design_flow.dir/design_flow.cpp.o.d"
+  "design_flow"
+  "design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_11b_quickstart.dir/legacy_11b_quickstart.cpp.o"
+  "CMakeFiles/legacy_11b_quickstart.dir/legacy_11b_quickstart.cpp.o.d"
+  "legacy_11b_quickstart"
+  "legacy_11b_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_11b_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_traffic.dir/mac_traffic.cpp.o"
+  "CMakeFiles/mac_traffic.dir/mac_traffic.cpp.o.d"
+  "mac_traffic"
+  "mac_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_adaptation_fading.dir/rate_adaptation_fading.cpp.o"
+  "CMakeFiles/rate_adaptation_fading.dir/rate_adaptation_fading.cpp.o.d"
+  "rate_adaptation_fading"
+  "rate_adaptation_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_adaptation_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rate_adaptation_fading.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-release/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dsp")
+subdirs("phy80211a")
+subdirs("phy80211b")
+subdirs("rf")
+subdirs("channel")
+subdirs("sim")
+subdirs("core")
+subdirs("testsupport")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/channel/CMakeFiles/wlansim_channel.dir/awgn.cpp.o" "gcc" "src/channel/CMakeFiles/wlansim_channel.dir/awgn.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/channel/CMakeFiles/wlansim_channel.dir/fading.cpp.o" "gcc" "src/channel/CMakeFiles/wlansim_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/channel/interferer.cpp" "src/channel/CMakeFiles/wlansim_channel.dir/interferer.cpp.o" "gcc" "src/channel/CMakeFiles/wlansim_channel.dir/interferer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

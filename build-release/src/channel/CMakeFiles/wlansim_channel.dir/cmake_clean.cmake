@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_channel.dir/awgn.cpp.o"
+  "CMakeFiles/wlansim_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/wlansim_channel.dir/fading.cpp.o"
+  "CMakeFiles/wlansim_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/wlansim_channel.dir/interferer.cpp.o"
+  "CMakeFiles/wlansim_channel.dir/interferer.cpp.o.d"
+  "libwlansim_channel.a"
+  "libwlansim_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_core.dir/arq.cpp.o"
+  "CMakeFiles/wlansim_core.dir/arq.cpp.o.d"
+  "CMakeFiles/wlansim_core.dir/cliargs.cpp.o"
+  "CMakeFiles/wlansim_core.dir/cliargs.cpp.o.d"
+  "CMakeFiles/wlansim_core.dir/experiments.cpp.o"
+  "CMakeFiles/wlansim_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/wlansim_core.dir/link.cpp.o"
+  "CMakeFiles/wlansim_core.dir/link.cpp.o.d"
+  "CMakeFiles/wlansim_core.dir/parallel.cpp.o"
+  "CMakeFiles/wlansim_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/wlansim_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/wlansim_core.dir/thread_pool.cpp.o.d"
+  "libwlansim_core.a"
+  "libwlansim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

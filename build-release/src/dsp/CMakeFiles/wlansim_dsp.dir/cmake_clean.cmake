@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_dsp.dir/fft.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/fir.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/iir.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/iir.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/kernels.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/kernels.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/mathutil.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/mathutil.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/resample.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/rng.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/rng.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/wlansim_dsp.dir/window.cpp.o"
+  "CMakeFiles/wlansim_dsp.dir/window.cpp.o.d"
+  "libwlansim_dsp.a"
+  "libwlansim_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy80211a/bits.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/bits.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/bits.cpp.o.d"
+  "/root/repo/src/phy80211a/conformance.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/conformance.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/conformance.cpp.o.d"
+  "/root/repo/src/phy80211a/convcode.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/convcode.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/convcode.cpp.o.d"
+  "/root/repo/src/phy80211a/equalizer.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/equalizer.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/equalizer.cpp.o.d"
+  "/root/repo/src/phy80211a/interleaver.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/interleaver.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy80211a/mapper.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/mapper.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/mapper.cpp.o.d"
+  "/root/repo/src/phy80211a/measure.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/measure.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/measure.cpp.o.d"
+  "/root/repo/src/phy80211a/mpdu.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/mpdu.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/mpdu.cpp.o.d"
+  "/root/repo/src/phy80211a/ofdm.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/ofdm.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy80211a/params.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/params.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/params.cpp.o.d"
+  "/root/repo/src/phy80211a/preamble.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/preamble.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy80211a/receiver.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/receiver.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/receiver.cpp.o.d"
+  "/root/repo/src/phy80211a/scrambler.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/scrambler.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy80211a/signal_field.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/signal_field.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/signal_field.cpp.o.d"
+  "/root/repo/src/phy80211a/sync.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/sync.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/sync.cpp.o.d"
+  "/root/repo/src/phy80211a/transmitter.cpp" "src/phy80211a/CMakeFiles/wlansim_phy.dir/transmitter.cpp.o" "gcc" "src/phy80211a/CMakeFiles/wlansim_phy.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

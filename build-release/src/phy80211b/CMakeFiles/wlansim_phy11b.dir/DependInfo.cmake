@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy80211b/chips.cpp" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/chips.cpp.o" "gcc" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/chips.cpp.o.d"
+  "/root/repo/src/phy80211b/plcp.cpp" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/plcp.cpp.o" "gcc" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/plcp.cpp.o.d"
+  "/root/repo/src/phy80211b/receiver.cpp" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/receiver.cpp.o" "gcc" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/receiver.cpp.o.d"
+  "/root/repo/src/phy80211b/transmitter.cpp" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/transmitter.cpp.o" "gcc" "src/phy80211b/CMakeFiles/wlansim_phy11b.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_phy11b.dir/chips.cpp.o"
+  "CMakeFiles/wlansim_phy11b.dir/chips.cpp.o.d"
+  "CMakeFiles/wlansim_phy11b.dir/plcp.cpp.o"
+  "CMakeFiles/wlansim_phy11b.dir/plcp.cpp.o.d"
+  "CMakeFiles/wlansim_phy11b.dir/receiver.cpp.o"
+  "CMakeFiles/wlansim_phy11b.dir/receiver.cpp.o.d"
+  "CMakeFiles/wlansim_phy11b.dir/transmitter.cpp.o"
+  "CMakeFiles/wlansim_phy11b.dir/transmitter.cpp.o.d"
+  "libwlansim_phy11b.a"
+  "libwlansim_phy11b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_phy11b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

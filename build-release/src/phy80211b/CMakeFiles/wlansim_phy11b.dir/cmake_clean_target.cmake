@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwlansim_phy11b.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/adc.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/adc.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/adc.cpp.o.d"
+  "/root/repo/src/rf/agc.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/agc.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/agc.cpp.o.d"
+  "/root/repo/src/rf/amplifier.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/amplifier.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/amplifier.cpp.o.d"
+  "/root/repo/src/rf/analyses.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/analyses.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/analyses.cpp.o.d"
+  "/root/repo/src/rf/blackbox.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/blackbox.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/blackbox.cpp.o.d"
+  "/root/repo/src/rf/calibration.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/calibration.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/calibration.cpp.o.d"
+  "/root/repo/src/rf/chain_executor.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/chain_executor.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/chain_executor.cpp.o.d"
+  "/root/repo/src/rf/direct_conversion.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/direct_conversion.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/direct_conversion.cpp.o.d"
+  "/root/repo/src/rf/filters.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/filters.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/filters.cpp.o.d"
+  "/root/repo/src/rf/mixer.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/mixer.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/mixer.cpp.o.d"
+  "/root/repo/src/rf/noise.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/noise.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/noise.cpp.o.d"
+  "/root/repo/src/rf/receiver_chain.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/receiver_chain.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/receiver_chain.cpp.o.d"
+  "/root/repo/src/rf/rfblock.cpp" "src/rf/CMakeFiles/wlansim_rf.dir/rfblock.cpp.o" "gcc" "src/rf/CMakeFiles/wlansim_rf.dir/rfblock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

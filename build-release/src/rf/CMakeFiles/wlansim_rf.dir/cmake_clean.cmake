@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_rf.dir/adc.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/adc.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/agc.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/agc.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/amplifier.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/amplifier.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/analyses.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/analyses.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/blackbox.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/blackbox.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/calibration.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/calibration.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/chain_executor.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/chain_executor.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/direct_conversion.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/direct_conversion.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/filters.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/filters.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/mixer.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/mixer.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/noise.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/noise.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/receiver_chain.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/receiver_chain.cpp.o.d"
+  "CMakeFiles/wlansim_rf.dir/rfblock.cpp.o"
+  "CMakeFiles/wlansim_rf.dir/rfblock.cpp.o.d"
+  "libwlansim_rf.a"
+  "libwlansim_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

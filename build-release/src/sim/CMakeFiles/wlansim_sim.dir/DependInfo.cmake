@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cosim.cpp" "src/sim/CMakeFiles/wlansim_sim.dir/cosim.cpp.o" "gcc" "src/sim/CMakeFiles/wlansim_sim.dir/cosim.cpp.o.d"
+  "/root/repo/src/sim/graph.cpp" "src/sim/CMakeFiles/wlansim_sim.dir/graph.cpp.o" "gcc" "src/sim/CMakeFiles/wlansim_sim.dir/graph.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/wlansim_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/wlansim_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/sim/CMakeFiles/wlansim_sim.dir/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/wlansim_sim.dir/sweep.cpp.o.d"
+  "/root/repo/src/sim/waveio.cpp" "src/sim/CMakeFiles/wlansim_sim.dir/waveio.cpp.o" "gcc" "src/sim/CMakeFiles/wlansim_sim.dir/waveio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/rf/CMakeFiles/wlansim_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_sim.dir/cosim.cpp.o"
+  "CMakeFiles/wlansim_sim.dir/cosim.cpp.o.d"
+  "CMakeFiles/wlansim_sim.dir/graph.cpp.o"
+  "CMakeFiles/wlansim_sim.dir/graph.cpp.o.d"
+  "CMakeFiles/wlansim_sim.dir/node.cpp.o"
+  "CMakeFiles/wlansim_sim.dir/node.cpp.o.d"
+  "CMakeFiles/wlansim_sim.dir/sweep.cpp.o"
+  "CMakeFiles/wlansim_sim.dir/sweep.cpp.o.d"
+  "CMakeFiles/wlansim_sim.dir/waveio.cpp.o"
+  "CMakeFiles/wlansim_sim.dir/waveio.cpp.o.d"
+  "libwlansim_sim.a"
+  "libwlansim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

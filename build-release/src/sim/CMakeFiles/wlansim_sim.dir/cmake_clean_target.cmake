@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwlansim_sim.a"
+)

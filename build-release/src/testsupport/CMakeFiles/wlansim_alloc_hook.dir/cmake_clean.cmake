@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_alloc_hook.dir/alloc_hook.cpp.o"
+  "CMakeFiles/wlansim_alloc_hook.dir/alloc_hook.cpp.o.d"
+  "libwlansim_alloc_hook.a"
+  "libwlansim_alloc_hook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_alloc_hook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

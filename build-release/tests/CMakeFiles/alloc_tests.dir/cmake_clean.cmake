@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_tests.dir/core/test_alloc.cpp.o"
+  "CMakeFiles/alloc_tests.dir/core/test_alloc.cpp.o.d"
+  "alloc_tests"
+  "alloc_tests.pdb"
+  "alloc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

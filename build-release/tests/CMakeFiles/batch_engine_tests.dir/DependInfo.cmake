@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/test_batch_engine.cpp" "tests/CMakeFiles/batch_engine_tests.dir/phy/test_batch_engine.cpp.o" "gcc" "tests/CMakeFiles/batch_engine_tests.dir/phy/test_batch_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/channel/CMakeFiles/wlansim_channel.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_engine_tests.dir/phy/test_batch_engine.cpp.o"
+  "CMakeFiles/batch_engine_tests.dir/phy/test_batch_engine.cpp.o.d"
+  "batch_engine_tests"
+  "batch_engine_tests.pdb"
+  "batch_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_tests.dir/channel/test_channel.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/test_channel.cpp.o.d"
+  "channel_tests"
+  "channel_tests.pdb"
+  "channel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

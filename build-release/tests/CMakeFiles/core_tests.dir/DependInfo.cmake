@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_arq.cpp" "tests/CMakeFiles/core_tests.dir/core/test_arq.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_arq.cpp.o.d"
+  "/root/repo/tests/core/test_cliargs.cpp" "tests/CMakeFiles/core_tests.dir/core/test_cliargs.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_cliargs.cpp.o.d"
+  "/root/repo/tests/core/test_link.cpp" "tests/CMakeFiles/core_tests.dir/core/test_link.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_link.cpp.o.d"
+  "/root/repo/tests/core/test_packet_path.cpp" "tests/CMakeFiles/core_tests.dir/core/test_packet_path.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_packet_path.cpp.o.d"
+  "/root/repo/tests/core/test_parallel.cpp" "tests/CMakeFiles/core_tests.dir/core/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_parallel.cpp.o.d"
+  "/root/repo/tests/core/test_parallel_determinism.cpp" "tests/CMakeFiles/core_tests.dir/core/test_parallel_determinism.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_parallel_determinism.cpp.o.d"
+  "/root/repo/tests/core/test_sweep_memo.cpp" "tests/CMakeFiles/core_tests.dir/core/test_sweep_memo.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_sweep_memo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/core/CMakeFiles/wlansim_core.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/channel/CMakeFiles/wlansim_channel.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/sim/CMakeFiles/wlansim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/rf/CMakeFiles/wlansim_rf.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

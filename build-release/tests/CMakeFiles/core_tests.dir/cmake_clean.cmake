@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_arq.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_arq.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_cliargs.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_cliargs.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_link.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_link.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_packet_path.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_packet_path.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_parallel.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_parallel.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_parallel_determinism.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_parallel_determinism.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_sweep_memo.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_sweep_memo.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

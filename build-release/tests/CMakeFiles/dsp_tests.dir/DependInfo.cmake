@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/test_fft.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_fft.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_fft.cpp.o.d"
+  "/root/repo/tests/dsp/test_fft_plans.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_fft_plans.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_fft_plans.cpp.o.d"
+  "/root/repo/tests/dsp/test_fir.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_fir.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_fir.cpp.o.d"
+  "/root/repo/tests/dsp/test_iir.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_iir.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_iir.cpp.o.d"
+  "/root/repo/tests/dsp/test_kernels.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_kernels.cpp.o.d"
+  "/root/repo/tests/dsp/test_mathutil.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_mathutil.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_mathutil.cpp.o.d"
+  "/root/repo/tests/dsp/test_resample_spectrum.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_resample_spectrum.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_resample_spectrum.cpp.o.d"
+  "/root/repo/tests/dsp/test_window_rng.cpp" "tests/CMakeFiles/dsp_tests.dir/dsp/test_window_rng.cpp.o" "gcc" "tests/CMakeFiles/dsp_tests.dir/dsp/test_window_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

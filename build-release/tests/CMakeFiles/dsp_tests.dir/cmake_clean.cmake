@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_tests.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_fft_plans.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_fft_plans.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_fir.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_fir.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_iir.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_iir.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_kernels.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_kernels.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_mathutil.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_mathutil.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_resample_spectrum.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_resample_spectrum.cpp.o.d"
+  "CMakeFiles/dsp_tests.dir/dsp/test_window_rng.cpp.o"
+  "CMakeFiles/dsp_tests.dir/dsp/test_window_rng.cpp.o.d"
+  "dsp_tests"
+  "dsp_tests.pdb"
+  "dsp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

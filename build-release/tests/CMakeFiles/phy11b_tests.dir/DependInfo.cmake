@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy11b/test_dsss.cpp" "tests/CMakeFiles/phy11b_tests.dir/phy11b/test_dsss.cpp.o" "gcc" "tests/CMakeFiles/phy11b_tests.dir/phy11b/test_dsss.cpp.o.d"
+  "/root/repo/tests/phy11b/test_link11b.cpp" "tests/CMakeFiles/phy11b_tests.dir/phy11b/test_link11b.cpp.o" "gcc" "tests/CMakeFiles/phy11b_tests.dir/phy11b/test_link11b.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/phy80211b/CMakeFiles/wlansim_phy11b.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/channel/CMakeFiles/wlansim_channel.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

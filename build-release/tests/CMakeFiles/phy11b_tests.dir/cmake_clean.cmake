@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy11b_tests.dir/phy11b/test_dsss.cpp.o"
+  "CMakeFiles/phy11b_tests.dir/phy11b/test_dsss.cpp.o.d"
+  "CMakeFiles/phy11b_tests.dir/phy11b/test_link11b.cpp.o"
+  "CMakeFiles/phy11b_tests.dir/phy11b/test_link11b.cpp.o.d"
+  "phy11b_tests"
+  "phy11b_tests.pdb"
+  "phy11b_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy11b_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

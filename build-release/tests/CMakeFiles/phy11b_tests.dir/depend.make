@@ -1,0 +1,2 @@
+# Empty dependencies file for phy11b_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/test_edge_cases.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/phy/test_equalizer.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_equalizer.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_equalizer.cpp.o.d"
+  "/root/repo/tests/phy/test_interleaver_mapper.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_interleaver_mapper.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_interleaver_mapper.cpp.o.d"
+  "/root/repo/tests/phy/test_link.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_link.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_link.cpp.o.d"
+  "/root/repo/tests/phy/test_mpdu_conformance.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_mpdu_conformance.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_mpdu_conformance.cpp.o.d"
+  "/root/repo/tests/phy/test_ofdm_preamble.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_ofdm_preamble.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_ofdm_preamble.cpp.o.d"
+  "/root/repo/tests/phy/test_scrambler_convcode.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_scrambler_convcode.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_scrambler_convcode.cpp.o.d"
+  "/root/repo/tests/phy/test_sync_fast.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_sync_fast.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_sync_fast.cpp.o.d"
+  "/root/repo/tests/phy/test_viterbi_equivalence.cpp" "tests/CMakeFiles/phy_tests.dir/phy/test_viterbi_equivalence.cpp.o" "gcc" "tests/CMakeFiles/phy_tests.dir/phy/test_viterbi_equivalence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/phy80211a/CMakeFiles/wlansim_phy.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

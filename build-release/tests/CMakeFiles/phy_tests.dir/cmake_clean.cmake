@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_tests.dir/phy/test_edge_cases.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_edge_cases.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_equalizer.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_equalizer.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_interleaver_mapper.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_interleaver_mapper.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_link.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_link.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_mpdu_conformance.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_mpdu_conformance.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_ofdm_preamble.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_ofdm_preamble.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_scrambler_convcode.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_scrambler_convcode.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_sync_fast.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_sync_fast.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/test_viterbi_equivalence.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/test_viterbi_equivalence.cpp.o.d"
+  "phy_tests"
+  "phy_tests.pdb"
+  "phy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

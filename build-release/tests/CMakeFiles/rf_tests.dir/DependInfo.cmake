@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rf/test_amplifier.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_amplifier.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_amplifier.cpp.o.d"
+  "/root/repo/tests/rf/test_blackbox.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_blackbox.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_blackbox.cpp.o.d"
+  "/root/repo/tests/rf/test_calibration.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_calibration.cpp.o.d"
+  "/root/repo/tests/rf/test_chain.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_chain.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_chain.cpp.o.d"
+  "/root/repo/tests/rf/test_chain_executor.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_chain_executor.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_chain_executor.cpp.o.d"
+  "/root/repo/tests/rf/test_direct_conversion.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_direct_conversion.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_direct_conversion.cpp.o.d"
+  "/root/repo/tests/rf/test_mixer_noise.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_mixer_noise.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_mixer_noise.cpp.o.d"
+  "/root/repo/tests/rf/test_property_sweeps.cpp" "tests/CMakeFiles/rf_tests.dir/rf/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/rf_tests.dir/rf/test_property_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/rf/CMakeFiles/wlansim_rf.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_tests.dir/rf/test_amplifier.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_amplifier.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_blackbox.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_blackbox.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_calibration.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_calibration.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_chain.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_chain.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_chain_executor.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_chain_executor.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_direct_conversion.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_direct_conversion.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_mixer_noise.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_mixer_noise.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_property_sweeps.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_property_sweeps.cpp.o.d"
+  "rf_tests"
+  "rf_tests.pdb"
+  "rf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cosim.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_cosim.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_cosim.cpp.o.d"
+  "/root/repo/tests/sim/test_graph.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_graph.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_graph.cpp.o.d"
+  "/root/repo/tests/sim/test_waveio.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_waveio.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_waveio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/sim/CMakeFiles/wlansim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/rf/CMakeFiles/wlansim_rf.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/dsp/CMakeFiles/wlansim_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

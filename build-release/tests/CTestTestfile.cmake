@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-release/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-release/tests/dsp_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/phy_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/batch_engine_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/rf_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/channel_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/alloc_tests[1]_include.cmake")
+include("/root/repo/build-release/tests/phy11b_tests[1]_include.cmake")

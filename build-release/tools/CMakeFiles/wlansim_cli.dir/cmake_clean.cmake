@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlansim_cli.dir/wlansim_cli.cpp.o"
+  "CMakeFiles/wlansim_cli.dir/wlansim_cli.cpp.o.d"
+  "wlansim"
+  "wlansim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlansim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
