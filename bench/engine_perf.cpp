@@ -444,6 +444,72 @@ BENCHMARK(BM_BerWaterfallUnmemoized)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+std::vector<core::LinkConfig> deep_waterfall_points() {
+  // An 8-point waterfall reaching into the deep-SNR tail: the noisy points
+  // collect their error quota within a wave or two while the clean tail is
+  // the only place the packet cap binds. This asymmetry is exactly what the
+  // adaptive engine exploits.
+  core::LinkConfig base = core::default_link_config();
+  base.psdu_bytes = 100;
+  std::vector<core::LinkConfig> points;
+  for (int k = 0; k < 8; ++k) {
+    core::LinkConfig c = base;
+    c.snr_db = 6.0 + static_cast<double>(k);
+    points.push_back(c);
+  }
+  return points;
+}
+
+sim::StoppingRule deep_waterfall_rule() {
+  sim::StoppingRule rule;
+  rule.target_rel_ci = 0.25;
+  rule.min_errors = 50;
+  rule.min_packets = 8;
+  rule.max_packets = 768;
+  return rule;
+}
+
+void BM_BerSweepAdaptive(benchmark::State& state) {
+  // Early-stopping sweep over the deep waterfall: each point runs until its
+  // Wilson 95 % CI is within 25 % of the BER estimate (with >= 50 errors)
+  // or the 256-packet cap. Compare against BM_BerSweepFixedBudget, which
+  // spends the cap on every point — the budget the binding tail point
+  // needs — for the same-or-looser interval everywhere.
+  const auto points = deep_waterfall_points();
+  const sim::StoppingRule rule = deep_waterfall_rule();
+  std::size_t packets = 0, converged = 0;
+  for (auto _ : state) {
+    const auto sweep = core::sweep_ber_adaptive(points, rule);
+    benchmark::DoNotOptimize(sweep.data());
+    packets = 0;
+    converged = 0;
+    for (const auto& r : sweep) {
+      packets += r.packets;
+      if (r.converged) ++converged;
+    }
+  }
+  state.counters["packets"] = static_cast<double>(packets);
+  state.counters["converged_points"] = static_cast<double>(converged);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(packets));
+}
+BENCHMARK(BM_BerSweepAdaptive)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_BerSweepFixedBudget(benchmark::State& state) {
+  // The fixed-budget reference on the identical points: every point pays
+  // the full packet cap whether it needs it or not.
+  const auto points = deep_waterfall_points();
+  const std::size_t budget = deep_waterfall_rule().max_packets;
+  for (auto _ : state) {
+    const auto sweep = core::sweep_ber_parallel(points, budget);
+    benchmark::DoNotOptimize(sweep.data());
+  }
+  state.counters["packets"] = static_cast<double>(8 * budget);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(8 * budget));
+}
+BENCHMARK(BM_BerSweepFixedBudget)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "core/experiments.h"
+#include "core/parallel.h"
 #include "phy80211a/conformance.h"
 
 namespace {
@@ -59,6 +60,30 @@ int main() {
   const double ladder = sens54 - sens6;
   std::printf("\nsensitivity ladder 6 -> 54 Mbps: %.0f dB (standard "
               "requires 17 dB spread)\n", ladder);
+
+  // Adaptive BER characterization 1 dB below the 6 Mbps sensitivity edge:
+  // the early-stopping engine runs just enough packets for a trustworthy
+  // estimate instead of a guessed fixed budget.
+  {
+    core::LinkConfig cfg = core::default_link_config();
+    cfg.rate = phy::Rate::kMbps6;
+    cfg.psdu_bytes = 1000;
+    cfg.rx_power_dbm = sens6 - 1.0;
+    cfg.snr_db.reset();
+    sim::StoppingRule rule;
+    rule.target_rel_ci = 0.30;
+    rule.min_errors = 40;
+    rule.min_packets = 8;
+    rule.max_packets = 48;
+    const core::BerResult r = core::run_ber_adaptive(cfg, rule);
+    std::printf("\nadaptive BER at %.0f dBm (6 Mbps, edge - 1 dB): "
+                "BER %.1e over %zu packets, %zu errors, CI +/- %.0f %%, "
+                "%s, %.2f s\n",
+                cfg.rx_power_dbm, r.ber(), r.packets, r.bit_errors,
+                100.0 * r.ber_ci_rel,
+                r.converged ? "converged" : "hit cap", r.wall_seconds);
+  }
+
   const bool ok = all_pass && ladder > 10.0 && ladder < 25.0;
   std::printf("\nresult: %s\n", ok ? "SHAPE REPRODUCED" : "MISMATCH");
   return ok ? 0 : 1;

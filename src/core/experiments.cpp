@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "dsp/mathutil.h"
 
 namespace wlansim::core {
@@ -133,6 +134,37 @@ sim::SweepResult experiment_ip3_sweep(LinkConfig base,
         WlanLink link(cfg);
         return ber_row(link.run_ber(packets_per_point));
       });
+}
+
+sim::SweepResult experiment_ber_waterfall_adaptive(
+    LinkConfig base, const std::vector<double>& snrs_db,
+    const sim::StoppingRule& rule, std::size_t threads) {
+  std::vector<LinkConfig> points;
+  points.reserve(snrs_db.size());
+  for (const double snr : snrs_db) {
+    LinkConfig cfg = base;
+    cfg.snr_db = snr;
+    points.push_back(cfg);
+  }
+  SweepOptions opts;
+  opts.threads = threads;
+  const std::vector<BerResult> results =
+      sweep_ber_adaptive(points, rule, opts);
+
+  sim::SweepResult out;
+  out.param_name = "snr_db";
+  out.rows.reserve(snrs_db.size());
+  for (std::size_t k = 0; k < snrs_db.size(); ++k) {
+    const BerResult& r = results[k];
+    std::map<std::string, double> row = ber_row(r);
+    row["packets"] = static_cast<double>(r.packets);
+    row["bit_errors"] = static_cast<double>(r.bit_errors);
+    row["ci_rel"] = r.ber_ci_rel;
+    row["converged"] = r.converged ? 1.0 : 0.0;
+    row["wall_s"] = r.wall_seconds;
+    out.rows.push_back(sim::SweepRow{snrs_db[k], std::move(row)});
+  }
+  return out;
 }
 
 std::vector<TimingRow> experiment_table2_timing(

@@ -60,6 +60,18 @@ sim::SweepResult experiment_ip3_sweep(LinkConfig base,
                                       std::size_t packets_per_point);
 
 // ---------------------------------------------------------------------------
+// ADAPTIVE — sequential early-stopping BER waterfall (Figs. 5-7 cost shape)
+// ---------------------------------------------------------------------------
+/// BER vs SNR on the adaptive Monte-Carlo engine: every point runs until
+/// `rule` is satisfied (or its packet cap), with converged points donating
+/// their workers to the deep-SNR stragglers. Columns: "ber", "per", "evm",
+/// "packets", "bit_errors", "ci_rel", "converged", "wall_s". Results are
+/// deterministic for any `threads` (see core/parallel.h).
+sim::SweepResult experiment_ber_waterfall_adaptive(
+    LinkConfig base, const std::vector<double>& snrs_db,
+    const sim::StoppingRule& rule, std::size_t threads = 0);
+
+// ---------------------------------------------------------------------------
 // TAB2 — "Comparison of simulation time"
 // ---------------------------------------------------------------------------
 struct TimingRow {

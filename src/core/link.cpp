@@ -12,17 +12,18 @@
 #include "rf/amplifier.h"
 #include "rf/mixer.h"
 #include "rf/receiver_chain.h"
+#include "sim/sweep.h"
 
 namespace wlansim::core {
 
-namespace {
-
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t idx) {
+std::uint64_t packet_seed(std::uint64_t seed, std::uint64_t idx) {
   std::uint64_t z = seed + (idx + 1) * 0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
+
+namespace {
 
 /// Zero-padding the dataflow engine appends after the longest source so
 /// every streaming filter flushes (Graph::run's `tail`, in base-rate units).
@@ -97,7 +98,7 @@ PacketResult WlanLink::run_packet_impl(std::span<const std::uint8_t> psdu,
       scene != nullptr && psdu.empty() && use_direct_path();
   if (scene != nullptr) scene->reset();
 
-  dsp::Rng rng(mix_seed(cfg_.seed, packet_index));
+  dsp::Rng rng(packet_seed(cfg_.seed, packet_index));
 
   // --- Transmit side (20 Msps) --------------------------------------------
   phy::Transmitter::Config txc;
@@ -579,6 +580,8 @@ BerResult WlanLink::run_ber(std::size_t num_packets) {
     }
   }
   agg.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  agg.ber_ci_rel = sim::wilson_rel_halfwidth(agg.bit_errors, agg.bits,
+                                             kDefaultConfidenceZ);
   return agg;
 }
 

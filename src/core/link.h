@@ -11,6 +11,7 @@
 // and reports bit errors and constellation quality.
 #pragma once
 
+#include <limits>
 #include <memory>
 
 #include "core/linkconfig.h"
@@ -66,6 +67,19 @@ struct PacketResult {
   double cfo_norm = 0.0;      ///< receiver CFO estimate
 };
 
+/// Confidence multiplier the fixed-budget engines report BER intervals at
+/// (95 %); the adaptive engine substitutes its StoppingRule::confidence_z.
+inline constexpr double kDefaultConfidenceZ = 1.96;
+
+/// The per-packet RNG seed: a splitmix64-style mix of the configuration
+/// seed and the packet counter. Every random draw of packet i — scrambler
+/// seed, payload, fading, impairment and noise streams — descends from this
+/// one value, so a packet's result is a pure function of (config, index)
+/// and is identical no matter which thread runs it, in which order, or how
+/// many packets surround it. This is the contract every parallel and
+/// adaptive measurement engine in core/parallel relies on.
+std::uint64_t packet_seed(std::uint64_t seed, std::uint64_t packet_index);
+
 /// Aggregate of a multi-packet measurement.
 struct BerResult {
   std::size_t packets = 0;
@@ -74,6 +88,18 @@ struct BerResult {
   std::size_t bits = 0;
   std::size_t bit_errors = 0;
   double evm_rms_avg = 0.0;
+
+  // Streaming statistics (adaptive Monte-Carlo engine; see core/parallel.h).
+  /// Wilson relative CI half-width of the BER estimate at the reporting
+  /// confidence (a pure function of bit_errors/bits, so it is as
+  /// deterministic as the counters); +inf until the first bit error.
+  double ber_ci_rel = std::numeric_limits<double>::infinity();
+  /// Wall time from the measurement's start until this point's stopping
+  /// decision. Only the adaptive engines fill it; 0 elsewhere.
+  double wall_seconds = 0.0;
+  /// True when the stopping rule was met before the packet cap (the cap and
+  /// fixed-budget runs report false).
+  bool converged = false;
 
   double ber() const {
     return bits ? static_cast<double>(bit_errors) / static_cast<double>(bits)

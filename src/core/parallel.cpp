@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
@@ -203,7 +206,7 @@ struct SceneCache {
   std::vector<TxScene> scenes;
 };
 
-BerResult reduce_in_packet_order(const std::vector<PacketResult>& results) {
+BerResult reduce_in_packet_order(std::span<const PacketResult> results) {
   // Sequential fold in packet order — the exact arithmetic of
   // WlanLink::run_ber, so the parallel result matches bit for bit.
   BerResult agg;
@@ -222,6 +225,8 @@ BerResult reduce_in_packet_order(const std::vector<PacketResult>& results) {
     }
   }
   agg.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  agg.ber_ci_rel = sim::wilson_rel_halfwidth(agg.bit_errors, agg.bits,
+                                             kDefaultConfidenceZ);
   return agg;
 }
 
@@ -353,6 +358,224 @@ std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
   SweepOptions opts;
   opts.threads = threads;
   return sweep_ber_parallel(configs, num_packets, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive Monte-Carlo engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Stopping-rule boundaries are multiples of kStopQuantum (plus the cap),
+/// so the stop index never depends on how waves happened to be sized.
+constexpr std::size_t kStopQuantum = kPacketChunk;
+
+/// Wave sizing: geometric growth between kWaveMin and kWaveMax packets per
+/// point, quantum-aligned. Purely a throughput knob — the stop index is
+/// invariant to it (parallel.h determinism contract); larger waves only run
+/// more speculative packets past the stop.
+constexpr std::size_t kWaveMin = 2 * kPacketChunk;
+constexpr std::size_t kWaveMax = 32 * kPacketChunk;
+
+std::size_t round_up_quantum(std::size_t n) {
+  return (n + kStopQuantum - 1) / kStopQuantum * kStopQuantum;
+}
+
+std::size_t next_wave_size(const sim::StoppingRule& rule,
+                           std::size_t scheduled) {
+  std::size_t w = std::clamp(scheduled, kWaveMin, kWaveMax);
+  if (scheduled == 0) w = std::max(w, round_up_quantum(rule.min_packets));
+  w = round_up_quantum(w);
+  return std::min(w, rule.max_packets - scheduled);
+}
+
+/// Scheduler state of one sweep point.
+struct AdaptivePoint {
+  std::vector<PacketResult> results;  ///< per-packet slots, sized to `scheduled`
+  std::size_t scheduled = 0;   ///< packets dispatched to workers so far
+  std::size_t evaluated = 0;   ///< in-order prefix consumed by the rule scan
+  std::size_t bits = 0;        ///< prefix bit count
+  std::size_t bit_errors = 0;  ///< prefix bit-error count
+  bool stopped = false;
+  bool converged = false;      ///< rule met (vs. ran into the cap)
+  std::size_t stop_index = 0;  ///< valid once stopped
+  double wall_seconds = 0.0;   ///< sweep start -> stopping decision
+};
+
+/// One ≤8-packet chunk of one point, the unit workers claim from the shared
+/// wave queue.
+struct WaveItem {
+  std::size_t point = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
+                                          const sim::StoppingRule& rule,
+                                          const SweepOptions& opts) {
+  const std::size_t npts = configs.size();
+  if (npts == 0) return {};
+  if (rule.max_packets == 0)
+    throw std::invalid_argument(
+        "sweep_ber_adaptive: StoppingRule::max_packets must be > 0");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  static std::atomic<std::uint64_t> adaptive_serial{0};
+  const std::uint64_t sweep_id = ++adaptive_serial;
+
+  // Worker link-cache keys; a non-fingerprintable config gets a call-unique
+  // key (fresh links for this call, shared by all its packets) and disables
+  // TX memoization, exactly like the fixed engines.
+  std::vector<std::string> keys(npts);
+  bool memo = opts.memoize_tx && npts > 1;
+  for (std::size_t k = 0; k < npts; ++k) {
+    keys[k] = fingerprint(configs[k]);
+    if (keys[k].empty()) {
+      keys[k] = "#adaptive-" + std::to_string(sweep_id) + "-" +
+                std::to_string(k);
+      memo = false;
+    }
+  }
+  if (memo) {
+    const std::string tx0 = tx_scene_fingerprint(configs[0]);
+    if (tx0.empty()) memo = false;
+    for (std::size_t k = 1; memo && k < npts; ++k)
+      if (tx_scene_fingerprint(configs[k]) != tx0) memo = false;
+  }
+
+  std::vector<AdaptivePoint> pts(npts);
+  std::vector<WaveItem> items;
+  std::optional<ThreadPool> dedicated;
+
+  const auto body = [&](std::size_t /*worker*/, std::size_t i) {
+    const WaveItem& it = items[i];
+    WlanLink& link = sweep_worker_link(configs[it.point], keys[it.point]);
+    if (memo) {
+      // Same per-chunk scene cache as the fixed memoized sweep: with the
+      // queue ordered chunk-major, a worker draining consecutive items runs
+      // one chunk across every point still active, building each packet's
+      // TX scene once and replaying it at the rest.
+      thread_local SceneCache cache;
+      const std::size_t chunk = it.begin / kPacketChunk;
+      if (cache.sweep_id != sweep_id || cache.chunk != chunk) {
+        cache.sweep_id = sweep_id;
+        cache.chunk = chunk;
+        cache.scenes.assign(kPacketChunk, TxScene());
+      }
+      for (std::size_t p = it.begin; p < it.end; ++p)
+        pts[it.point].results[p] =
+            link.run_packet_memo(p, cache.scenes[p - it.begin]);
+    } else {
+      for (std::size_t p = it.begin; p < it.end; ++p)
+        pts[it.point].results[p] = link.run_packet(p);
+    }
+  };
+
+  while (true) {
+    // --- Schedule the next wave over every still-active point -------------
+    items.clear();
+    std::size_t active = 0;
+    for (std::size_t k = 0; k < npts; ++k) {
+      AdaptivePoint& P = pts[k];
+      if (P.stopped) continue;
+      const std::size_t wave = next_wave_size(rule, P.scheduled);
+      if (wave == 0) continue;  // at the cap; the scan below retires it
+      ++active;
+      const std::size_t begin = P.scheduled;
+      P.scheduled += wave;
+      P.results.resize(P.scheduled);
+      for (std::size_t b = begin; b < P.scheduled; b += kPacketChunk)
+        items.push_back(
+            {k, b, std::min(b + kPacketChunk, P.scheduled)});
+    }
+    if (items.empty()) break;
+
+    // Chunk-major queue order: all points' copies of a chunk are adjacent,
+    // which is what lets one worker reuse a TX scene across points. Points
+    // at different depths simply have no queue neighbors to share with.
+    std::sort(items.begin(), items.end(),
+              [](const WaveItem& a, const WaveItem& b) {
+                const std::size_t ca = a.begin / kPacketChunk;
+                const std::size_t cb = b.begin / kPacketChunk;
+                return ca != cb ? ca < cb : a.point < b.point;
+              });
+
+    // One shared queue per wave = cross-point work stealing: a worker done
+    // with a converged-point chunk immediately claims whatever straggler
+    // chunks remain.
+    const std::size_t granularity = memo ? std::max<std::size_t>(active, 1) : 1;
+    if (opts.threads == 0) {
+      ThreadPool::shared().parallel_for(items.size(), granularity, body);
+    } else if (opts.threads <= 1) {
+      for (std::size_t i = 0; i < items.size(); ++i) body(0, i);
+    } else {
+      if (!dedicated) dedicated.emplace(opts.threads);
+      dedicated->parallel_for(items.size(), granularity, body);
+    }
+
+    // --- Deterministic stopping scan on the in-order prefix ---------------
+    // The stop index is the earliest quantum boundary whose prefix meets the
+    // rule (or the cap), regardless of how far the wave overshot; the
+    // speculative packets past it are discarded.
+    for (std::size_t k = 0; k < npts; ++k) {
+      AdaptivePoint& P = pts[k];
+      if (P.stopped) continue;
+      while (P.evaluated < P.scheduled) {
+        const std::size_t b =
+            std::min(P.evaluated + kStopQuantum, P.scheduled);
+        for (std::size_t p = P.evaluated; p < b; ++p) {
+          P.bits += P.results[p].bits;
+          P.bit_errors += P.results[p].bit_errors;
+        }
+        P.evaluated = b;
+        if (sim::stopping_rule_met(rule, b, P.bit_errors, P.bits)) {
+          P.stopped = true;
+          P.converged = true;
+          P.stop_index = b;
+          P.wall_seconds = elapsed();
+          break;
+        }
+        if (b >= rule.max_packets) {
+          P.stopped = true;
+          P.converged = false;
+          P.stop_index = rule.max_packets;
+          P.wall_seconds = elapsed();
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<BerResult> out;
+  out.reserve(npts);
+  for (std::size_t k = 0; k < npts; ++k) {
+    const AdaptivePoint& P = pts[k];
+    BerResult r = reduce_in_packet_order(
+        std::span<const PacketResult>(P.results.data(), P.stop_index));
+    r.ber_ci_rel =
+        sim::wilson_rel_halfwidth(r.bit_errors, r.bits, rule.confidence_z);
+    r.wall_seconds = P.wall_seconds;
+    r.converged = P.converged;
+    out.push_back(r);
+  }
+  return out;
+}
+
+BerResult run_ber_adaptive(const LinkConfig& cfg, const sim::StoppingRule& rule,
+                           std::size_t threads) {
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.memoize_tx = false;  // one point: no scene to share across points
+  const auto out =
+      sweep_ber_adaptive(std::span<const LinkConfig>(&cfg, 1), rule, opts);
+  return out.empty() ? BerResult{} : out.front();
 }
 
 }  // namespace wlansim::core

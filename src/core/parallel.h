@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/link.h"
+#include "sim/sweep.h"
 
 namespace wlansim::core {
 
@@ -51,5 +52,49 @@ std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
 std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
                                           std::size_t num_packets,
                                           std::size_t threads);
+
+// ---------------------------------------------------------------------------
+// Adaptive Monte-Carlo engine (sequential early stopping)
+// ---------------------------------------------------------------------------
+//
+// A fixed packets-per-point budget spends almost all of its work where it
+// buys nothing: the low-SNR points of a waterfall reach a tight BER
+// confidence interval within a few dozen packets, while the budget has to
+// be sized for the rare-error tail. The adaptive engine instead runs every
+// point until sim::StoppingRule is satisfied (target relative CI + error
+// floor) or the packet cap is hit, and lets points that converge early
+// release their workers to the deep-SNR stragglers (cross-point work
+// stealing over the shared chunk queue).
+//
+// Determinism contract — the results are a pure function of (configs,
+// rule), independent of thread count, scheduling order, and wave sizing:
+//   1. every packet's randomness derives from the counter-based seed
+//      packet_seed(cfg.seed, packet_index) (see core/link.h), so per-packet
+//      results are schedule-independent;
+//   2. the stopping rule is evaluated on the in-order prefix of packet
+//      results at fixed boundaries (every 8 packets, plus the cap), and the
+//      stop index is the EARLIEST boundary whose prefix satisfies the rule
+//      — packets the scheduler speculatively ran beyond it are discarded
+//      deterministically;
+//   3. each point's result is the packet-order reduction of its prefix
+//      [0, stop index), the exact arithmetic of WlanLink::run_ber.
+// With the CI test disabled (rule.target_rel_ci == 0) every point runs
+// exactly rule.max_packets and the statistics are bit-identical to
+// sweep_ber_parallel(configs, rule.max_packets, ...).
+
+/// Adaptive single-point measurement: run packets until `rule` stops.
+/// `threads` has run_ber_parallel semantics (0 = shared persistent pool).
+BerResult run_ber_adaptive(const LinkConfig& cfg, const sim::StoppingRule& rule,
+                           std::size_t threads = 0);
+
+/// Adaptive sweep: every point runs until `rule` stops it; active points
+/// share one work queue, so early-converging points donate their workers to
+/// the stragglers. TX-scene memoization (opts.memoize_tx) composes with the
+/// adaptive schedule whenever the configs share a TX fingerprint. Each
+/// BerResult carries the streaming statistics (packets run, errors, CI
+/// half-width, wall time to the stopping decision, converged flag).
+std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
+                                          const sim::StoppingRule& rule,
+                                          const SweepOptions& opts = {});
 
 }  // namespace wlansim::core

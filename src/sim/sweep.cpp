@@ -1,6 +1,7 @@
 #include "sim/sweep.h"
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -77,6 +78,30 @@ SweepResult run_sweep(
     out.rows.push_back(SweepRow{v, fn(v)});
   }
   return out;
+}
+
+double wilson_halfwidth(std::size_t errors, std::size_t trials, double z) {
+  if (trials == 0) return std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(errors) / n;
+  const double z2 = z * z;
+  return z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) /
+         (1.0 + z2 / n);
+}
+
+double wilson_rel_halfwidth(std::size_t errors, std::size_t trials, double z) {
+  if (errors == 0 || trials == 0)
+    return std::numeric_limits<double>::infinity();
+  const double p = static_cast<double>(errors) / static_cast<double>(trials);
+  return wilson_halfwidth(errors, trials, z) / p;
+}
+
+bool stopping_rule_met(const StoppingRule& rule, std::size_t packets,
+                       std::size_t bit_errors, std::size_t bits) {
+  if (rule.target_rel_ci <= 0.0) return false;
+  if (packets < rule.min_packets || bit_errors < rule.min_errors) return false;
+  return wilson_rel_halfwidth(bit_errors, bits, rule.confidence_z) <=
+         rule.target_rel_ci;
 }
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {

@@ -1,0 +1,74 @@
+// Wilson-interval math and the sequential stopping rule (sim/sweep.h) —
+// the statistics the adaptive Monte-Carlo BER engine's determinism rests
+// on, unit-tested without the link layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/sweep.h"
+
+namespace wlansim::sim {
+namespace {
+
+TEST(WilsonInterval, MatchesClosedForm) {
+  // e=100 errors in n=1e5 trials at z=1.96: hand-evaluated Wilson terms.
+  const double z = 1.96;
+  const double n = 1e5, e = 100.0;
+  const double p = e / n, z2 = z * z;
+  const double expected =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / (1.0 + z2 / n);
+  EXPECT_DOUBLE_EQ(wilson_halfwidth(100, 100000, z), expected);
+  EXPECT_DOUBLE_EQ(wilson_rel_halfwidth(100, 100000, z), expected / p);
+  // ~100 errors puts the relative half-width near z/sqrt(e) = 19.6 %.
+  EXPECT_NEAR(wilson_rel_halfwidth(100, 100000, z), z / std::sqrt(e), 0.01);
+}
+
+TEST(WilsonInterval, EdgeCases) {
+  EXPECT_TRUE(std::isinf(wilson_halfwidth(0, 0, 1.96)));
+  EXPECT_TRUE(std::isinf(wilson_rel_halfwidth(0, 1000, 1.96)));
+  // Zero errors still has a finite absolute half-width (unlike Wald).
+  EXPECT_GT(wilson_halfwidth(0, 1000, 1.96), 0.0);
+  EXPECT_TRUE(std::isfinite(wilson_halfwidth(0, 1000, 1.96)));
+  // All-errors is symmetric with none.
+  EXPECT_DOUBLE_EQ(wilson_halfwidth(1000, 1000, 1.96),
+                   wilson_halfwidth(0, 1000, 1.96));
+}
+
+TEST(WilsonInterval, TightensWithMoreErrors) {
+  // At a fixed error rate, more data means a tighter relative interval.
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t e : {10u, 40u, 160u, 640u}) {
+    const double rel = wilson_rel_halfwidth(e, e * 1000, 1.96);
+    EXPECT_LT(rel, prev);
+    prev = rel;
+  }
+}
+
+TEST(StoppingRule, FloorsAndTarget) {
+  StoppingRule rule;
+  rule.target_rel_ci = 0.25;
+  rule.min_errors = 100;
+  rule.min_packets = 8;
+  rule.max_packets = 1000;
+
+  // 100 errors at BER 1e-3: rel CI ~ 19.6 % <= 25 % -> met.
+  EXPECT_TRUE(stopping_rule_met(rule, 100, 100, 100000));
+  // Error floor binds even when the CI would pass.
+  EXPECT_FALSE(stopping_rule_met(rule, 100, 99, 100000));
+  // Packet floor binds.
+  EXPECT_FALSE(stopping_rule_met(rule, 7, 100, 100000));
+  // Not enough errors for the target: 10 errors -> rel CI ~ 62 %.
+  EXPECT_FALSE(stopping_rule_met(rule, 100, 10, 100000));
+}
+
+TEST(StoppingRule, DisabledTargetNeverStops) {
+  StoppingRule rule;
+  rule.target_rel_ci = 0.0;  // fixed-budget mode
+  rule.min_errors = 0;
+  rule.min_packets = 0;
+  EXPECT_FALSE(stopping_rule_met(rule, 1000000, 1000000, 10000000));
+}
+
+}  // namespace
+}  // namespace wlansim::sim

@@ -22,6 +22,8 @@ DEFAULT_WATCHED = [
     "BM_ViterbiDecode/4096",
     "BM_FullPacketSystemLevel",
     "BM_BerWaterfallMemoized/iterations:1",
+    "BM_BerSweepAdaptive/iterations:1",
+    "BM_BerSweepFixedBudget/iterations:1",
     "BM_RfChainThroughput",
     "BM_RfChainFused",
     "BM_SyncDetect",

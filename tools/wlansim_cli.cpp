@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/arq.h"
@@ -81,13 +82,25 @@ void fail_on_unused(const core::CliArgs& args) {
   throw std::invalid_argument(msg);
 }
 
-int cmd_ber(const core::CliArgs& args) {
-  const core::LinkConfig cfg = link_from_args(args);
-  const auto packets = static_cast<std::size_t>(args.get_long("packets", 20));
-  const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
-  fail_on_unused(args);
+/// Adaptive early-stopping rule when any of --target-ci / --min-errors /
+/// --max-packets / --min-packets is present; nullopt = fixed budget.
+std::optional<sim::StoppingRule> rule_from_args(const core::CliArgs& args) {
+  if (!args.has("target-ci") && !args.has("min-errors") &&
+      !args.has("max-packets") && !args.has("min-packets")) {
+    return std::nullopt;
+  }
+  sim::StoppingRule rule;
+  rule.target_rel_ci = args.get_double("target-ci", rule.target_rel_ci);
+  rule.min_errors =
+      static_cast<std::size_t>(args.get_long("min-errors", 100));
+  rule.min_packets =
+      static_cast<std::size_t>(args.get_long("min-packets", 8));
+  rule.max_packets =
+      static_cast<std::size_t>(args.get_long("max-packets", 10000));
+  return rule;
+}
 
-  const core::BerResult r = core::run_ber_parallel(cfg, packets, threads);
+void print_ber_result(const core::LinkConfig& cfg, const core::BerResult& r) {
   std::printf("rate        : %s\n",
               std::string(phy::rate_name(cfg.rate)).c_str());
   std::printf("packets     : %zu x %zu bytes\n", r.packets, cfg.psdu_bytes);
@@ -96,6 +109,28 @@ int cmd_ber(const core::CliArgs& args) {
   std::printf("PER         : %.3f  (%zu errored, %zu lost)\n", r.per(),
               r.packet_errors, r.packets_lost);
   std::printf("EVM         : %.2f %%\n", 100.0 * r.evm_rms_avg);
+  std::printf("BER 95%% CI  : +/- %.1f %% relative\n", 100.0 * r.ber_ci_rel);
+}
+
+int cmd_ber(const core::CliArgs& args) {
+  const core::LinkConfig cfg = link_from_args(args);
+  const auto packets = static_cast<std::size_t>(args.get_long("packets", 20));
+  const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  const auto rule = rule_from_args(args);
+  fail_on_unused(args);
+
+  if (rule.has_value()) {
+    const core::BerResult r = core::run_ber_adaptive(cfg, *rule, threads);
+    print_ber_result(cfg, r);
+    std::printf("stopping    : %s after %zu packets (target CI %.0f %%, "
+                ">= %zu errors, cap %zu)\n",
+                r.converged ? "converged" : "hit packet cap", r.packets,
+                100.0 * rule->target_rel_ci, rule->min_errors,
+                rule->max_packets);
+    std::printf("wall        : %.2f s\n", r.wall_seconds);
+  } else {
+    print_ber_result(cfg, core::run_ber_parallel(cfg, packets, threads));
+  }
   return 0;
 }
 
@@ -105,7 +140,9 @@ int cmd_sweep(const core::CliArgs& args) {
   const double to = args.get_double("to", 25.0);
   const double step = args.get_double("step", 2.0);
   const auto packets = static_cast<std::size_t>(args.get_long("packets", 10));
+  const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
   const std::string csv = args.get_string("csv", "");
+  const auto rule = rule_from_args(args);
   if (step <= 0.0 || to < from)
     throw std::invalid_argument("sweep needs --from <= --to and --step > 0");
 
@@ -115,27 +152,49 @@ int cmd_sweep(const core::CliArgs& args) {
   const core::LinkConfig base = link_from_args(args);
   fail_on_unused(args);
 
-  const sim::SweepResult res = sim::run_sweep(
-      param, values, [&](double v) {
-        core::LinkConfig cfg = base;
-        if (param == "snr") {
-          cfg.snr_db = v;
-        } else if (param == "p1db") {
-          cfg.rf.lna_p1db_in_dbm = v;
-        } else if (param == "bandwidth") {
-          cfg.rf.bb_bandwidth_factor = v;
-        } else if (param == "power") {
-          cfg.rx_power_dbm = v;
-        } else if (param == "sco") {
-          cfg.sco_ppm = v;
-        } else {
-          throw std::invalid_argument(
-              "--param must be snr|p1db|bandwidth|power|sco");
-        }
-        const core::BerResult r = core::run_ber_parallel(cfg, packets, 0);
-        return std::map<std::string, double>{
-            {"ber", r.ber()}, {"per", r.per()}, {"evm", r.evm_rms_avg}};
-      });
+  std::vector<core::LinkConfig> points;
+  points.reserve(values.size());
+  for (const double v : values) {
+    core::LinkConfig cfg = base;
+    if (param == "snr") {
+      cfg.snr_db = v;
+    } else if (param == "p1db") {
+      cfg.rf.lna_p1db_in_dbm = v;
+    } else if (param == "bandwidth") {
+      cfg.rf.bb_bandwidth_factor = v;
+    } else if (param == "power") {
+      cfg.rx_power_dbm = v;
+    } else if (param == "sco") {
+      cfg.sco_ppm = v;
+    } else {
+      throw std::invalid_argument(
+          "--param must be snr|p1db|bandwidth|power|sco");
+    }
+    points.push_back(cfg);
+  }
+
+  core::SweepOptions opts;
+  opts.threads = threads;
+  const std::vector<core::BerResult> results =
+      rule.has_value() ? core::sweep_ber_adaptive(points, *rule, opts)
+                       : core::sweep_ber_parallel(points, packets, threads);
+
+  sim::SweepResult res;
+  res.param_name = param;
+  res.rows.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    const core::BerResult& r = results[k];
+    std::map<std::string, double> row{
+        {"ber", r.ber()}, {"per", r.per()}, {"evm", r.evm_rms_avg}};
+    if (rule.has_value()) {
+      row["packets"] = static_cast<double>(r.packets);
+      row["bit_errors"] = static_cast<double>(r.bit_errors);
+      row["ci_rel"] = r.ber_ci_rel;
+      row["converged"] = r.converged ? 1.0 : 0.0;
+      row["wall_s"] = r.wall_seconds;
+    }
+    res.rows.push_back(sim::SweepRow{values[k], std::move(row)});
+  }
 
   std::fputs(res.to_table().c_str(), stdout);
   if (!csv.empty()) {
@@ -220,12 +279,24 @@ void usage() {
       "wlansim — 802.11a link-level verification with RF in the loop\n"
       "\n"
       "  wlansim ber      [link options] [--packets N] [--threads T]\n"
+      "                   [adaptive options]\n"
       "  wlansim goodput  [link options] [--payload B] [--frames N]\n"
       "                   [--retries R]\n"
       "  wlansim sweep    --param snr|p1db|bandwidth|power|sco\n"
       "                   --from A --to B --step S [--packets N] [--csv F]\n"
+      "                   [--threads T] [adaptive options]\n"
       "  wlansim spectrum [link options] [--csv F]\n"
       "  wlansim rfchar   [link options]\n"
+      "\n"
+      "adaptive options (any one enables early-stopping Monte-Carlo; each\n"
+      "point then runs until its BER confidence interval is tight enough\n"
+      "instead of a fixed --packets budget; results are deterministic for\n"
+      "any thread count):\n"
+      "  --target-ci R                  stop at relative 95%-CI half-width\n"
+      "                                 <= R on the BER estimate [0.10]\n"
+      "  --min-errors E                 require E bit errors first [100]\n"
+      "  --min-packets N                minimum packets per point [8]\n"
+      "  --max-packets N                hard cap per point [10000]\n"
       "\n"
       "link options:\n"
       "  --rate 6|9|12|18|24|36|48|54   data rate [24]\n"
