@@ -38,9 +38,14 @@ class TxScene {
   std::uint64_t packet_index() const { return packet_index_; }
 
   /// Drop the cached scene (e.g. when the owning sweep changes packets).
+  /// Clears the front-end noise tapes too: their contents belong to the
+  /// packet index the scene was built for, and every rebuild funnels
+  /// through here, so a tape can never replay under the wrong packet.
   void reset() {
     valid_ = false;
     ref_points_valid_ = false;
+    lna_tape_.clear();
+    flicker_tape_.clear();
   }
 
  private:
@@ -56,6 +61,11 @@ class TxScene {
   dsp::RVec noise_units_;      ///< cached unit normals (2 per scene sample)
   bool ref_points_valid_ = false;
   std::vector<dsp::CVec> ref_points_;  ///< TX constellation (EVM reference)
+  /// Front-end unit-normal tapes recorded by the lane path (see
+  /// rf/lane_tape.h): like noise_units_, pure functions of the packet
+  /// index, so later sweep points replay instead of re-deriving gaussians.
+  dsp::RVec lna_tape_;
+  dsp::RVec flicker_tape_;
 };
 
 /// Outcome of one packet through the link.
@@ -112,6 +122,8 @@ struct BerResult {
   }
 };
 
+struct PacketBatch;  // core/packet_batch.h
+
 class WlanLink {
  public:
   explicit WlanLink(LinkConfig cfg);
@@ -136,6 +148,32 @@ class WlanLink {
   /// is (re)built. Configurations the direct packet path cannot serve run
   /// unmemoized and leave `scene` invalid.
   PacketResult run_packet_memo(std::uint64_t packet_index, TxScene& scene);
+
+  /// Run `count` consecutive packets [begin_index, begin_index + count) as
+  /// one lockstep lane wave: each packet's TX scene is built (or replayed
+  /// from `scenes`) exactly as run_packet_memo would, then all lanes march
+  /// through AWGN, the RF front-end, and decimation together on a width-
+  /// `count` SoA buffer (see dsp/kernels.h "Packet-lane (SoA) kernels").
+  /// Lanes never mix arithmetically, so out[l] is bit-identical to
+  /// run_packet / run_packet_memo of the same index — the contract pinned
+  /// by tests/core/test_batch_wave.cpp.
+  ///
+  /// `scenes` is either null (no memoization; batch-local scratch scenes
+  /// are used) or `count` TxScene slots, one per lane, with the same
+  /// build-or-replay semantics as run_packet_memo. On the memoized path
+  /// the wave additionally records the front-end's unit-normal noise tapes
+  /// into the scenes so later sweep points replay the gaussians instead of
+  /// re-deriving them.
+  ///
+  /// Returns false — computing nothing and leaving `out` untouched — when
+  /// the configuration cannot run in lockstep (graph path, co-simulation,
+  /// custom RF, phase noise, non-Rapp-p2 LNA, count outside [2, W]); the
+  /// caller then falls back to the scalar per-packet path. Scenes already
+  /// (re)built before a mid-wave bailout stay valid for that fallback.
+  /// The wave does not maintain last_rx_baseband()/last_rf_input() (debug
+  /// probes of the scalar path).
+  bool run_packet_wave(std::uint64_t begin_index, std::size_t count,
+                       PacketBatch& batch, TxScene* scenes, PacketResult* out);
 
   /// Run `num_packets` packets and aggregate.
   BerResult run_ber(std::size_t num_packets);

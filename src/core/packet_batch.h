@@ -1,0 +1,29 @@
+// Reusable workspace for WlanLink::run_packet_wave: W same-configuration
+// packets carried as SoA lanes (sample-major, packet-minor) through the
+// noise + RF + decimation half of the link. Allocate one per measurement
+// thread and reuse it across waves — every buffer keeps its capacity.
+#pragma once
+
+#include <vector>
+
+#include "core/link.h"
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace wlansim::core {
+
+struct PacketBatch {
+  /// The lane buffer: 2 * nl * n doubles, sample row i holding the lane
+  /// re rails then the lane im rails (see dsp/kernels.h lane layout).
+  dsp::RVec soa;
+  /// Per-lane scratch scenes for unmemoized waves (reset every wave, so a
+  /// stale scene can never replay under a different sweep point).
+  std::vector<TxScene> local_scenes;
+  /// Per-lane packet RNG state at the noise fork (the scalar path's `rng`
+  /// right after build_scene_prenoise).
+  std::vector<dsp::Rng> lane_rng;
+  /// Ideal RX decimation taps (the RfEngine::kNone path), built lazily.
+  dsp::RVec down_taps;
+};
+
+}  // namespace wlansim::core

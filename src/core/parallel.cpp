@@ -10,6 +10,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/packet_batch.h"
 #include "core/thread_pool.h"
 
 namespace wlansim::core {
@@ -230,10 +231,26 @@ BerResult reduce_in_packet_order(std::span<const PacketResult> results) {
   return agg;
 }
 
-}  // namespace
+/// Run packets [begin, end) of one point as a lockstep lane wave when the
+/// width and configuration allow it, else packet by packet on the scalar
+/// path. `scenes` (null = unmemoized) and `out` are lane-indexed: slot p
+/// belongs to packet begin + p. Both paths are bit-identical, so callers
+/// never need to know which one ran.
+void run_chunk(WlanLink& link, std::size_t begin, std::size_t end,
+               TxScene* scenes, PacketResult* out, std::size_t batch_width) {
+  const std::size_t count = end - begin;
+  if (batch_width >= 2 && count >= 2 && count <= batch_width) {
+    thread_local PacketBatch batch;  // per-worker, reused across waves
+    if (link.run_packet_wave(begin, count, batch, scenes, out)) return;
+  }
+  for (std::size_t p = 0; p < count; ++p)
+    out[p] = scenes != nullptr ? link.run_packet_memo(begin + p, scenes[p])
+                               : link.run_packet(begin + p);
+}
 
-BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
-                           std::size_t threads) {
+BerResult run_ber_parallel_impl(const LinkConfig& cfg, std::size_t num_packets,
+                                std::size_t threads,
+                                std::size_t batch_width) {
   if (num_packets == 0) return {};
 
   std::string key = fingerprint(cfg);
@@ -244,22 +261,36 @@ BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
     key = "#call-" + std::to_string(++serial);
   }
 
+  // Work items are 8-packet chunks (not packets): each chunk runs as one
+  // lockstep lane wave where the config supports it, scalar otherwise —
+  // either way bit-identical to the per-packet loop.
   std::vector<PacketResult> results(num_packets);
-  const auto body = [&](std::size_t /*worker*/, std::size_t i) {
-    results[i] = worker_link(cfg, key).run_packet(i);
+  const std::size_t nchunks = (num_packets + kPacketChunk - 1) / kPacketChunk;
+  const auto body = [&](std::size_t /*worker*/, std::size_t c) {
+    const std::size_t begin = c * kPacketChunk;
+    const std::size_t end = std::min(begin + kPacketChunk, num_packets);
+    run_chunk(worker_link(cfg, key), begin, end, nullptr, &results[begin],
+              batch_width);
   };
 
   // More threads than 8-packet chunks would only contend on the queue.
-  const std::size_t max_useful = (num_packets + kPacketChunk - 1) / kPacketChunk;
+  const std::size_t max_useful = nchunks;
   if (threads == 0) {
-    ThreadPool::shared().parallel_for(num_packets, kPacketChunk, body);
+    ThreadPool::shared().parallel_for(nchunks, 1, body);
   } else if (std::min(threads, max_useful) <= 1) {
-    for (std::size_t i = 0; i < num_packets; ++i) body(0, i);
+    for (std::size_t c = 0; c < nchunks; ++c) body(0, c);
   } else {
     ThreadPool dedicated(std::min(threads, max_useful));
-    dedicated.parallel_for(num_packets, kPacketChunk, body);
+    dedicated.parallel_for(nchunks, 1, body);
   }
   return reduce_in_packet_order(results);
+}
+
+}  // namespace
+
+BerResult run_ber_parallel(const LinkConfig& cfg, std::size_t num_packets,
+                           std::size_t threads) {
+  return run_ber_parallel_impl(cfg, num_packets, threads, kPacketChunk);
 }
 
 namespace {
@@ -274,6 +305,7 @@ namespace {
 std::vector<BerResult> sweep_ber_memoized(std::span<const LinkConfig> configs,
                                           std::size_t num_packets,
                                           std::size_t threads,
+                                          std::size_t batch_width,
                                           std::span<const std::string> keys) {
   static std::atomic<std::uint64_t> sweep_serial{0};
   const std::uint64_t sweep_id = ++sweep_serial;
@@ -297,8 +329,8 @@ std::vector<BerResult> sweep_ber_memoized(std::span<const LinkConfig> configs,
     WlanLink& link = sweep_worker_link(configs[k], keys[k]);
     const std::size_t begin = chunk * kPacketChunk;
     const std::size_t end = std::min(begin + kPacketChunk, num_packets);
-    for (std::size_t p = begin; p < end; ++p)
-      results[k][p] = link.run_packet_memo(p, cache.scenes[p - begin]);
+    run_chunk(link, begin, end, cache.scenes.data(), &results[k][begin],
+              batch_width);
   };
 
   // Granularity npts: a worker claims one chunk's items across all points
@@ -346,10 +378,12 @@ std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
     std::vector<BerResult> out;
     out.reserve(npts);
     for (const LinkConfig& cfg : configs)
-      out.push_back(run_ber_parallel(cfg, num_packets, opts.threads));
+      out.push_back(run_ber_parallel_impl(cfg, num_packets, opts.threads,
+                                          opts.batch_width));
     return out;
   }
-  return sweep_ber_memoized(configs, num_packets, opts.threads, keys);
+  return sweep_ber_memoized(configs, num_packets, opts.threads,
+                            opts.batch_width, keys);
 }
 
 std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
@@ -469,12 +503,11 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
         cache.chunk = chunk;
         cache.scenes.assign(kPacketChunk, TxScene());
       }
-      for (std::size_t p = it.begin; p < it.end; ++p)
-        pts[it.point].results[p] =
-            link.run_packet_memo(p, cache.scenes[p - it.begin]);
+      run_chunk(link, it.begin, it.end, cache.scenes.data(),
+                &pts[it.point].results[it.begin], opts.batch_width);
     } else {
-      for (std::size_t p = it.begin; p < it.end; ++p)
-        pts[it.point].results[p] = link.run_packet(p);
+      run_chunk(link, it.begin, it.end, nullptr,
+                &pts[it.point].results[it.begin], opts.batch_width);
     }
   };
 

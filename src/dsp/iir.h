@@ -38,6 +38,9 @@ class BiquadCascade {
 
   std::size_t num_sections() const { return sections_.size(); }
   double gain() const { return gain_; }
+  /// Coefficient access for the width-W packet-lane path, which runs the
+  /// same sections over SoA rails with external per-lane state.
+  const std::vector<Biquad>& sections() const { return sections_; }
 
   Cplx step(Cplx x);
   CVec process(std::span<const Cplx> in);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "dsp/types.h"
 
@@ -120,6 +121,89 @@ void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
 void quantize_clamp(const Cplx* in, std::size_t n, double inv_step,
                     double step, double fs, Cplx* out);
 
+// ---- width-W packet-lane kernels (SoA, sample-major / packet-minor) --------
+//
+// The batched packet engine (core::PacketBatch) runs W same-config packets
+// in lockstep through one flat buffer: sample i occupies one 2*nl-double
+// row [re lane 0..nl-1][im lane 0..nl-1]. Lanes never mix arithmetically —
+// every lane kernel performs, per lane, the exact operation sequence of the
+// scalar block it replaces (same products, same association order, libm
+// calls kept scalar per lane), so lane l of a batch is bit-identical to the
+// single-packet path by construction. nl == kLaneWidth hits the fixed-width
+// fast instantiation; any other nl takes the runtime-width body (same
+// arithmetic).
+
+/// Scatter an AoS packet into lane `lane` of the SoA buffer.
+void lanes_pack(const Cplx* src, std::size_t n, std::size_t nl,
+                std::size_t lane, double* soa);
+
+/// Gather lane `lane` back to AoS.
+void lanes_unpack(const double* soa, std::size_t n, std::size_t nl,
+                  std::size_t lane, Cplx* dst);
+
+/// Gather every `decim`-th sample (phase 0) of lane `lane` — the raw ADC
+/// decimation of the direct packet path. Writes ceil(n/decim) samples.
+void lanes_unpack_decim(const double* soa, std::size_t n, std::size_t nl,
+                        std::size_t lane, std::size_t decim, Cplx* dst);
+
+/// add_scaled_pairs into one lane: row i of lane `lane` gains
+/// {s*units[2i], s*units[2i+1]} — the AWGN / front-end noise add.
+void lanes_add_scaled_pairs(double* soa, std::size_t n, std::size_t nl,
+                            std::size_t lane, double s, const double* units);
+
+/// Write (s0*units[2i])*s1 / (s0*units[2i+1])*s1 into lane `lane` (the
+/// flicker drive: cgaussian(1)*drive decomposes into exactly these two
+/// multiplies per rail).
+void lanes_write_scaled_pairs(double* soa, std::size_t n, std::size_t nl,
+                              std::size_t lane, double s0, double s1,
+                              const double* units);
+
+/// All-lane fusion of lanes_add_scaled_pairs: one row-major pass adds
+/// {s*units[l][2i], s*units[l][2i+1]} to every lane l < nl. Each element
+/// op is the same single multiply-add as the per-lane kernel (elements are
+/// independent, so iteration order cannot change bits) — the fusion only
+/// replaces nl strided passes over the SoA buffer with one.
+void lanes_add_scaled_pairs_multi(double* soa, std::size_t n, std::size_t nl,
+                                  double s, const double* const* units);
+
+/// All-lane fusion of lanes_write_scaled_pairs (same contract as the
+/// _multi add: identical per-element arithmetic, one pass).
+void lanes_write_scaled_pairs_multi(double* soa, std::size_t n,
+                                    std::size_t nl, double s0, double s1,
+                                    const double* const* units);
+
+/// dst[j] += src[j] over `count` doubles (flicker noise merge).
+void lanes_add(double* dst, const double* src, std::size_t count);
+
+/// One biquad section (direct form II transposed, real coefficients) over
+/// all 2*nl rails at once. `state` holds 4*nl doubles: s1 row (2*nl) then
+/// s2 row (2*nl). Per rail the recurrence is y = b0*x + s1;
+/// s1 = (b1*x - a1*y) + s2; s2 = b2*x - a2*y — the exact association of
+/// dsp::Biquad::step on std::complex rails.
+void lanes_biquad(double* soa, std::size_t n, std::size_t nl, double b0,
+                  double b1, double b2, double a1, double a2, double* state);
+
+/// Unity-LO mixer over all lanes in place (the default receiver chain's
+/// mixers: no LO offset, no phase noise, phase 0). Per lane the arithmetic
+/// of detail::mix_unity_lo_t, including the image and IQ stages.
+void lanes_mix_unity_lo(double* soa, std::size_t n, std::size_t nl,
+                        const MixParams& p);
+
+/// Rapp p == 2 envelope compression over all lanes in place: per lane
+/// n2 = re*re + im*im, r2 = (lin_gain2*n2)*inv_vsat2,
+/// g = lin_gain/sqrt(sqrt(1 + r2*r2)), rails *= g — the exact arithmetic
+/// of rf::Amplifier's norm-domain fast path.
+void lanes_amp_rapp_p2(double* soa, std::size_t n, std::size_t nl,
+                       double lin_gain, double lin_gain2, double inv_vsat2);
+
+/// FIR decimation of lane `lane` from zero-initial state: out[t] =
+/// sum_k taps[k] * x[t*decim - k] (x == 0 before the buffer), ascending-k
+/// split re/im chains — bit-identical to dsp::FirFilter::reset() +
+/// process_decim_into on the unpacked lane. Writes ceil(n/decim) samples.
+void lanes_fir_decim(const double* soa, std::size_t n, std::size_t nl,
+                     std::size_t lane, const double* taps, std::size_t ntaps,
+                     std::size_t decim, Cplx* out);
+
 }  // namespace ref
 
 // ---- runtime-dispatched entries (same signatures, same results) ------------
@@ -150,8 +234,45 @@ void add_scaled_pairs(Cplx* a, std::size_t n, double s, const double* units);
 void quantize_clamp(const Cplx* in, std::size_t n, double inv_step,
                     double step, double fs, Cplx* out);
 
+/// Default batch width of the packet-lane kernels: one 8-packet scheduling
+/// quantum per wave, and a row of 2*8 doubles == 128 B == two cache lines.
+inline constexpr std::size_t kLaneWidth = 8;
+
+void lanes_pack(const Cplx* src, std::size_t n, std::size_t nl,
+                std::size_t lane, double* soa);
+void lanes_unpack(const double* soa, std::size_t n, std::size_t nl,
+                  std::size_t lane, Cplx* dst);
+void lanes_unpack_decim(const double* soa, std::size_t n, std::size_t nl,
+                        std::size_t lane, std::size_t decim, Cplx* dst);
+void lanes_add_scaled_pairs(double* soa, std::size_t n, std::size_t nl,
+                            std::size_t lane, double s, const double* units);
+void lanes_write_scaled_pairs(double* soa, std::size_t n, std::size_t nl,
+                              std::size_t lane, double s0, double s1,
+                              const double* units);
+void lanes_add_scaled_pairs_multi(double* soa, std::size_t n, std::size_t nl,
+                                  double s, const double* const* units);
+void lanes_write_scaled_pairs_multi(double* soa, std::size_t n,
+                                    std::size_t nl, double s0, double s1,
+                                    const double* const* units);
+void lanes_add(double* dst, const double* src, std::size_t count);
+void lanes_biquad(double* soa, std::size_t n, std::size_t nl, double b0,
+                  double b1, double b2, double a1, double a2, double* state);
+void lanes_mix_unity_lo(double* soa, std::size_t n, std::size_t nl,
+                        const MixParams& p);
+void lanes_amp_rapp_p2(double* soa, std::size_t n, std::size_t nl,
+                       double lin_gain, double lin_gain2, double inv_vsat2);
+void lanes_fir_decim(const double* soa, std::size_t n, std::size_t nl,
+                     std::size_t lane, const double* taps, std::size_t ntaps,
+                     std::size_t decim, Cplx* out);
+
 /// "scalar" or "native" — which implementation the dispatched entries call.
 /// WLANSIM_KERNELS=scalar in the environment forces the scalar path.
 const char* active_path();
+
+/// One-line description of the dispatched implementation, e.g.
+/// "native (lane width 8)". Set WLANSIM_LOG_DISPATCH=1 to print the full
+/// per-kernel dispatch table (target + batch width) to stderr the first
+/// time any dispatched kernel runs.
+std::string impl_name();
 
 }  // namespace wlansim::dsp::kernels

@@ -1,6 +1,7 @@
 #include "dsp/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace wlansim::dsp {
 
@@ -12,11 +13,16 @@ void Mt19937_64::regen() {
   // Three ranges so x[i + kM] / x[i + kM - kN] never wraps inside a loop;
   // (-(y & 1)) & kMatrixA is the branchless conditional-xor — the data-
   // dependent branch form mispredicts half the time and dominates the
-  // twist.
+  // twist. ivdep: the only in-loop dependences are the x[i+1] anti-dep
+  // (distance 1, reads precede the store in every vector shape) and the
+  // x[i +/- kM] flow deps at distance >= 156, so packed-integer
+  // vectorization of these integer ops is always bit-exact.
+#pragma GCC ivdep
   for (std::size_t i = 0; i < kN - kM; ++i) {
     const std::uint64_t y = (x[i] & kUpperMask) | (x[i + 1] & kLowerMask);
     x[i] = x[i + kM] ^ (y >> 1) ^ ((-(y & 1ull)) & kMatrixA);
   }
+#pragma GCC ivdep
   for (std::size_t i = kN - kM; i < kN - 1; ++i) {
     const std::uint64_t y = (x[i] & kUpperMask) | (x[i + 1] & kLowerMask);
     x[i] = x[i + kM - kN] ^ (y >> 1) ^ ((-(y & 1ull)) & kMatrixA);
@@ -34,6 +40,18 @@ void Mt19937_64::regen() {
     out_[i] = z;
   }
   idx_ = 0;
+}
+
+void Mt19937_64::block(std::uint64_t* dst, std::size_t n) {
+  while (n > 0) {
+    if (idx_ >= kN) regen();
+    std::size_t take = kN - idx_;
+    if (take > n) take = n;
+    std::memcpy(dst, out_ + idx_, take * sizeof(std::uint64_t));
+    idx_ += take;
+    dst += take;
+    n -= take;
+  }
 }
 
 double Rng::uniform() {
@@ -62,18 +80,41 @@ void Rng::fill_gaussian(double* dst, std::size_t n) {
     saved_available_ = false;
     dst[i++] = saved_;
   }
-  // A full pair per iteration: a lone gaussian() call hands out y*mult and
-  // banks x*mult, so two successive draws are exactly (y*mult, x*mult).
+  // Block phase: pull raw draws a batch at a time and split the polar
+  // method into three straight-line passes — branch-free canonical
+  // conversion, branch-free accept compaction (a rejected pair is simply
+  // overwritten in place, so the ~21% rejection rate never touches the
+  // branch predictor), then one independent log/sqrt per surviving pair.
+  // Capping each batch at the number of pairs still owed means even the
+  // worst case (every candidate accepted) never draws past what the
+  // classic rejection loop would consume; together with matching every FP
+  // operation of that loop, the output stream and the engine position stay
+  // bit-identical to it for any call size.
+  constexpr std::size_t kPairs = 156;  // 2*kPairs raws == one engine block
+  std::uint64_t raw[2 * kPairs];
+  double cand[2 * kPairs], xs[kPairs], ys[kPairs], r2s[kPairs];
   while (n - i >= 2) {
-    double x, y, r2;
-    do {
-      x = 2.0 * canonical_() - 1.0;
-      y = 2.0 * canonical_() - 1.0;
-      r2 = x * x + y * y;
-    } while (r2 > 1.0 || r2 == 0.0);
-    const double mult = std::sqrt(-2.0 * std::log(r2) / r2);
-    dst[i++] = y * mult;
-    dst[i++] = x * mult;
+    const std::size_t need = (n - i) / 2;
+    const std::size_t p = need < kPairs ? need : kPairs;
+    gen_.block(raw, 2 * p);
+    for (std::size_t k = 0; k < 2 * p; ++k) {
+      cand[k] = 2.0 * to_canonical_(raw[k]) - 1.0;
+    }
+    std::size_t a = 0;
+    for (std::size_t j = 0; j < p; ++j) {
+      const double x = cand[2 * j];
+      const double y = cand[2 * j + 1];
+      const double r2 = x * x + y * y;
+      xs[a] = x;
+      ys[a] = y;
+      r2s[a] = r2;
+      a += static_cast<std::size_t>((r2 <= 1.0) & (r2 != 0.0));
+    }
+    for (std::size_t j = 0; j < a; ++j) {
+      const double mult = std::sqrt(-2.0 * std::log(r2s[j]) / r2s[j]);
+      dst[i++] = ys[j] * mult;
+      dst[i++] = xs[j] * mult;
+    }
   }
   if (i < n) {
     dst[i] = gaussian();  // banks the leftover half-pair in saved_

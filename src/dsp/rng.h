@@ -46,6 +46,12 @@ class Mt19937_64 {
     return out_[idx_++];
   }
 
+  /// Copy the next n raw draws into dst — the exact sequence n successive
+  /// operator() calls would return, served as memcpy spans of the tempered
+  /// block. Lets bulk consumers (Rng::fill_gaussian) amortize the per-draw
+  /// index bookkeeping away.
+  void block(std::uint64_t* dst, std::size_t n);
+
  private:
   static constexpr std::size_t kN = 312;
   static constexpr std::size_t kM = 156;
@@ -106,9 +112,10 @@ class Rng {
 
   /// Fill dst with n standard-normal draws: the exact same stream as n
   /// successive gaussian() calls (including the carried half-pair at the
-  /// boundaries), but with the rejection loop kept hot in registers. The
-  /// bulk noise loops (AWGN fill, LNA/mixer additive noise tiles) use this
-  /// so the per-draw cost is the math, not the call pattern.
+  /// boundaries), but restructured into engine-block-sized straight-line
+  /// passes with a branch-free accept compaction, so the per-draw cost is
+  /// the log/sqrt math rather than rejection-loop mispredicts. The bulk
+  /// noise loops (AWGN fill, LNA/mixer additive noise tiles) use this.
   void fill_gaussian(double* dst, std::size_t n);
 
   /// Circularly-symmetric complex Gaussian with total variance
@@ -135,11 +142,24 @@ class Rng {
   // libstdc++'s generate_canonical<double, 53> over a 64-bit engine: one
   // raw draw scaled by 2^-64 (an exact operation), clamped below 1.0 the
   // same way the library does.
-  double canonical_() {
-    double r = static_cast<double>(gen_()) * 0x1p-64;
+  //
+  // The halves form hi*2^-32 + lo*2^-64 is bit-identical to
+  // double(raw)*2^-64: both scalings are exact (32-bit integers convert
+  // exactly, powers of two scale exactly), so the one rounded operation is
+  // the sum — which rounds the exact value raw*2^-64 once, just as the
+  // int64->double conversion rounds raw once before its exact scaling.
+  // Unlike double(uint64), it compiles branch-free: the sign-test branch
+  // gcc emits for the unsigned conversion mispredicts half the time on
+  // random draws and dominates the canonical cost.
+  static double to_canonical_(std::uint64_t raw) {
+    const double hi = static_cast<double>(static_cast<std::uint32_t>(raw >> 32));
+    const double lo = static_cast<double>(static_cast<std::uint32_t>(raw));
+    double r = hi * 0x1p-32 + lo * 0x1p-64;
     if (r >= 1.0) r = 0x1.fffffffffffffp-1;
     return r;
   }
+
+  double canonical_() { return to_canonical_(gen_()); }
 
   Mt19937_64 gen_;
   // The second value of each polar pair, carried across calls exactly like

@@ -53,4 +53,13 @@ void Adc::process_tile(std::span<const dsp::Cplx> in,
                                cfg_.full_scale, out.data());
 }
 
+void Adc::process_tile_lanes(double* soa, std::size_t n, std::size_t nl) {
+  if (!cfg_.enabled) return;
+  // Element-wise per rail: the 2*n*nl SoA doubles quantize exactly as the
+  // same rails would in AoS order.
+  dsp::Cplx* samples = reinterpret_cast<dsp::Cplx*>(soa);
+  dsp::kernels::quantize_clamp(samples, n * nl, inv_step_, step_,
+                               cfg_.full_scale, samples);
+}
+
 }  // namespace wlansim::rf

@@ -90,6 +90,64 @@ void Agc::process_tile(std::span<const dsp::Cplx> in,
   }
 }
 
+void Agc::begin_lanes(std::size_t nl) {
+  lanes_.assign(nl, LaneState{cfg_.initial_gain_db, 0.0,
+                              std::numeric_limits<double>::quiet_NaN(), 1.0,
+                              false, 0});
+}
+
+void Agc::process_tile_lanes(double* soa, std::size_t n, std::size_t nl) {
+  // Sample-outer, lane-inner transcription of process_tile: every lane
+  // carries its own gain/detector/lock state and performs the identical
+  // per-sample decisions, so lane l is bit-identical to a reset() scalar
+  // loop over that lane's stream. The pow/log10 calls stay scalar per lane
+  // and are rare (gain memoization, linear-domain unlock brackets).
+  const double target_dbm = cfg_.target_power_dbm;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* re = soa + i * 2 * nl;
+    double* im = re + nl;
+    for (std::size_t l = 0; l < nl; ++l) {
+      LaneState& st = lanes_[l];
+      if (st.gain_db != st.cached_gain_db) {
+        st.cached_gain_db = st.gain_db;
+        st.cached_gain_lin = std::pow(10.0, st.gain_db / 20.0);
+      }
+      const double yr = st.cached_gain_lin * re[l];
+      const double yi = st.cached_gain_lin * im[l];
+      re[l] = yr;
+      im[l] = yi;
+
+      st.det_power += alpha_ * ((yr * yr + yi * yi) - st.det_power);
+      if (st.det_power > 1e-30) {
+        if (st.locked) {
+          if (st.det_power < unlock_lo_w_ || st.det_power > unlock_hi_w_) {
+            const double err_db = target_dbm - dsp::watts_to_dbm(st.det_power);
+            if (std::abs(err_db) > cfg_.unlock_window_db) {
+              st.locked = false;
+              st.settled_run = 0;
+            }
+          }
+        }
+        if (!frozen_ && !st.locked) {
+          const double err_db = target_dbm - dsp::watts_to_dbm(st.det_power);
+          const double step =
+              std::clamp(cfg_.loop_gain * err_db, -cfg_.attack_db_per_sample,
+                         cfg_.decay_db_per_sample);
+          st.gain_db =
+              std::clamp(st.gain_db + step, cfg_.min_gain_db, cfg_.max_gain_db);
+          if (cfg_.lock_count > 0) {
+            if (std::abs(err_db) < cfg_.lock_window_db) {
+              if (++st.settled_run >= cfg_.lock_count) st.locked = true;
+            } else {
+              st.settled_run = 0;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 void Agc::reset() {
   gain_db_ = cfg_.initial_gain_db;
   det_power_ = 0.0;

@@ -55,7 +55,24 @@ class Agc : public RfBlock {
   /// True once the loop has auto-locked on a settled level.
   bool locked() const { return locked_; }
 
+  /// Lane path: the same per-sample loop, lanes-inner, with fully
+  /// independent per-lane loop state initialized as reset() leaves the
+  /// scalar block.
+  bool supports_lanes() const override { return true; }
+  void begin_lanes(std::size_t nl) override;
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+
  private:
+  struct LaneState {
+    double gain_db;
+    double det_power;
+    double cached_gain_db;
+    double cached_gain_lin;
+    bool locked;
+    std::size_t settled_run;
+  };
+  std::vector<LaneState> lanes_;
+
   AgcConfig cfg_;
   double gain_db_;
   double det_power_;  ///< smoothed power estimate [W]

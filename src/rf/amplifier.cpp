@@ -5,6 +5,7 @@
 
 #include "dsp/kernels.h"
 #include "dsp/mathutil.h"
+#include "rf/lane_tape.h"
 
 namespace wlansim::rf {
 
@@ -132,6 +133,38 @@ void Amplifier::process_tile(std::span<const dsp::Cplx> in,
     } else {
       dst[i] = x * g;
     }
+  }
+}
+
+void Amplifier::begin_lanes(std::size_t nl) {
+  lane_rng_.assign(nl, dsp::Rng{});
+  lane_tape_.assign(nl, nullptr);
+  lane_tape_pos_.assign(nl, 0);
+}
+
+void Amplifier::process_tile_lanes(double* soa, std::size_t n,
+                                   std::size_t nl) {
+  if (noise_power_ > 0.0) {
+    // Per lane the exact bulk noise add of process_tile: 2n unit normals in
+    // rng order (or their taped recording), then dst += s * u per rail —
+    // gathered first so one fused row-major pass adds all lanes at once.
+    const double s = std::sqrt(noise_power_ / 2.0);
+    noise_scratch_.resize(2 * n * nl);
+    lane_units_.resize(nl);
+    for (std::size_t l = 0; l < nl; ++l) {
+      lane_units_[l] =
+          lane_tape_units_into(lane_tape_[l], lane_tape_pos_[l], lane_rng_[l],
+                               noise_scratch_.data() + l * 2 * n, 2 * n);
+    }
+    dsp::kernels::lanes_add_scaled_pairs_multi(soa, n, nl, s,
+                                               lane_units_.data());
+  }
+  if (cfg_.model == NonlinearityModel::kRapp) {
+    dsp::kernels::lanes_amp_rapp_p2(soa, n, nl, lin_gain_, lin_gain2_,
+                                    inv_vsat2_);
+  } else {
+    // Linear: rails *= g, componentwise identical to x * lin_gain_.
+    dsp::kernels::scale(soa, 2 * n * nl, lin_gain_);
   }
 }
 

@@ -47,6 +47,29 @@ class Amplifier : public RfBlock {
   /// receive, this makes a persistent block equivalent to a new one.
   void set_rng(dsp::Rng rng) { rng_ = rng; }
 
+  /// Lane path: the element-wise envelope models (Rapp p == 2 or linear,
+  /// no AM/PM) plus the per-lane noise draws.
+  bool supports_lanes() const override {
+    return cfg_.am_pm_max_deg == 0.0 &&
+           ((cfg_.model == NonlinearityModel::kRapp && rapp_is_p2_) ||
+            cfg_.model == NonlinearityModel::kLinear);
+  }
+  void begin_lanes(std::size_t nl) override;
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+
+  /// Per-lane noise generator — the rng a fresh scalar block would receive
+  /// for that lane's packet. Call after begin_lanes().
+  void set_lane_rng(std::size_t lane, dsp::Rng rng) { lane_rng_[lane] = rng; }
+
+  /// Optional per-lane unit-normal tape: when the tape already holds this
+  /// packet's draws they are replayed instead of regenerated (bit-identical
+  /// by construction — the tape was recorded from the same lane rng); when
+  /// it is being extended in order, fresh draws are appended. Pass nullptr
+  /// (the default after begin_lanes) to always draw.
+  void set_lane_tape(std::size_t lane, dsp::RVec* tape) {
+    lane_tape_[lane] = tape;
+  }
+
   /// Instantaneous output envelope for input envelope `a` (volts); exposes
   /// the static AM/AM curve for characterization tests.
   double am_am(double a) const;
@@ -80,6 +103,10 @@ class Amplifier : public RfBlock {
   double noise_power_;    ///< input-referred added noise power [W]
   dsp::Rng rng_;
   dsp::RVec noise_scratch_;  ///< per-tile unit normals for the bulk fill
+  std::vector<dsp::Rng> lane_rng_;
+  std::vector<dsp::RVec*> lane_tape_;
+  std::vector<std::size_t> lane_tape_pos_;
+  std::vector<const double*> lane_units_;  ///< per-lane tile unit pointers
 };
 
 }  // namespace wlansim::rf

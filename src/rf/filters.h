@@ -28,11 +28,16 @@ class ChebyshevLowpass : public RfBlock {
   /// Magnitude response at frequency f [Hz].
   double magnitude_at(double f_hz) const;
 
+  bool supports_lanes() const override { return true; }
+  void begin_lanes(std::size_t nl) override;
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+
  private:
   std::string label_;
   double edge_hz_;
   double sample_rate_hz_;
   dsp::BiquadCascade filt_;
+  dsp::RVec lane_state_;  ///< per-section s1/s2 rows (4*nl doubles each)
 };
 
 /// Butterworth high-pass DC block (removes self-mixing DC offsets and
@@ -51,10 +56,15 @@ class DcBlockHighpass : public RfBlock {
 
   double cutoff_hz() const { return cutoff_hz_; }
 
+  bool supports_lanes() const override { return true; }
+  void begin_lanes(std::size_t nl) override;
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+
  private:
   std::string label_;
   double cutoff_hz_;
   dsp::BiquadCascade filt_;
+  dsp::RVec lane_state_;  ///< per-section s1/s2 rows (4*nl doubles each)
 };
 
 /// Butterworth lowpass (anti-alias / generic band limiting).
@@ -70,9 +80,14 @@ class ButterworthLowpass : public RfBlock {
   void reset() override { filt_.reset(); }
   std::string name() const override { return label_; }
 
+  bool supports_lanes() const override { return true; }
+  void begin_lanes(std::size_t nl) override;
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+
  private:
   std::string label_;
   dsp::BiquadCascade filt_;
+  dsp::RVec lane_state_;  ///< per-section s1/s2 rows (4*nl doubles each)
 };
 
 }  // namespace wlansim::rf

@@ -1,0 +1,63 @@
+// Per-lane unit-normal record/replay for the width-W packet-lane path.
+//
+// The noisy front-end blocks (Amplifier thermal noise, FlickerNoiseSource)
+// draw signal-independent unit normals whose count depends only on the
+// buffer length. For a memoized packet those draws are identical on every
+// replay — the per-packet front-end rng is forked from the scene's saved
+// post-TX rng, so its seed is a pure function of the packet index. A lane
+// tape caches the draws in the TxScene: the first traversal records them,
+// later traversals (other sweep points, same packet) copy instead of
+// re-deriving gaussians. Replay is bit-identical by construction because
+// the tape holds the exact doubles the rng produced.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace wlansim::rf {
+
+/// Return `need` unit normals for one lane tile: replayed from `tape` when
+/// it already holds them at `pos`, otherwise drawn from `rng` into
+/// `scratch` (and appended to the tape when extending it in order — any
+/// out-of-phase tape is left untouched and the draw stands on its own).
+/// Advances `pos` past the samples consumed or recorded.
+inline const double* lane_tape_units(dsp::RVec* tape, std::size_t& pos,
+                                     dsp::Rng& rng, dsp::RVec& scratch,
+                                     std::size_t need) {
+  if (tape != nullptr && pos + need <= tape->size()) {
+    const double* u = tape->data() + pos;
+    pos += need;
+    return u;
+  }
+  scratch.resize(need);
+  rng.fill_gaussian(scratch.data(), need);
+  if (tape != nullptr && pos == tape->size()) {
+    tape->insert(tape->end(), scratch.begin(), scratch.end());
+    pos += need;
+  }
+  return scratch.data();
+}
+
+/// Segment form of lane_tape_units: a fresh draw lands in caller-provided
+/// `seg` (`need` doubles) instead of a private scratch vector, so a tile
+/// can keep every lane's units alive at once for the fused multi-lane
+/// kernels. Same record/replay contract and the same rng consumption.
+inline const double* lane_tape_units_into(dsp::RVec* tape, std::size_t& pos,
+                                          dsp::Rng& rng, double* seg,
+                                          std::size_t need) {
+  if (tape != nullptr && pos + need <= tape->size()) {
+    const double* u = tape->data() + pos;
+    pos += need;
+    return u;
+  }
+  rng.fill_gaussian(seg, need);
+  if (tape != nullptr && pos == tape->size()) {
+    tape->insert(tape->end(), seg, seg + need);
+    pos += need;
+  }
+  return seg;
+}
+
+}  // namespace wlansim::rf

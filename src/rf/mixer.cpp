@@ -88,4 +88,18 @@ void Mixer::reset() {
   pn_phase_ = 0.0;
 }
 
+void Mixer::process_tile_lanes(double* soa, std::size_t n, std::size_t nl) {
+  // supports_lanes() pinned the unity-LO stateless case, so the per-lane
+  // arithmetic is exactly the mix_unity_lo path of process_tile.
+  dsp::kernels::MixParams p;
+  p.gain = gain_;
+  p.image_amp = image_amp_;
+  p.iq_active = iq_eps_ != 1.0 || iq_phi_ != 0.0;
+  p.iq_eps = iq_eps_;
+  p.iq_sin = std::sin(iq_phi_);
+  p.iq_cos = std::cos(iq_phi_);
+  p.dc = cfg_.dc_offset;
+  dsp::kernels::lanes_mix_unity_lo(soa, n, nl, p);
+}
+
 }  // namespace wlansim::rf

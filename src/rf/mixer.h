@@ -52,6 +52,14 @@ class Mixer : public RfBlock {
   /// Replace the phase-noise generator (see Amplifier::set_rng).
   void set_rng(dsp::Rng rng) { rng_ = rng; }
 
+  /// Lane path: only the stateless unity-LO configuration (no LO offset, no
+  /// phase noise, phase 0 — the default receiver chain after reset()).
+  bool supports_lanes() const override {
+    return pn_sigma_ <= 0.0 && dphi_lo_ == 0.0 && lo_phase_ == 0.0 &&
+           pn_phase_ == 0.0;
+  }
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+
   const MixerConfig& config() const { return cfg_; }
 
  private:

@@ -6,6 +6,7 @@
 
 #include "dsp/kernels.h"
 #include "dsp/mathutil.h"
+#include "rf/lane_tape.h"
 
 namespace wlansim::rf {
 
@@ -170,6 +171,40 @@ void FlickerNoiseSource::process_tile(std::span<const dsp::Cplx> in,
 
 void FlickerNoiseSource::reset() {
   for (auto& s : stages_) s.reset();
+}
+
+void FlickerNoiseSource::begin_lanes(std::size_t nl) {
+  lane_rng_.assign(nl, dsp::Rng{});
+  lane_tape_.assign(nl, nullptr);
+  lane_tape_pos_.assign(nl, 0);
+  lane_state_.assign(stages_.size() * 4 * nl, 0.0);
+}
+
+void FlickerNoiseSource::process_tile_lanes(double* soa, std::size_t n,
+                                            std::size_t nl) {
+  if (drive_sigma_ <= 0.0) return;
+  // The lane form of process_tile: per lane the same 2n drive normals (or
+  // their taped recording) and the same (s0*u)*drive rails, then the
+  // shaping cascade stage-outer over all 2*nl rails, then out += w.
+  w_soa_.resize(2 * n * nl);
+  const double s0 = std::sqrt(1.0 / 2.0);
+  rscratch_.resize(2 * n * nl);
+  lane_units_.resize(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    lane_units_[l] =
+        lane_tape_units_into(lane_tape_[l], lane_tape_pos_[l], lane_rng_[l],
+                             rscratch_.data() + l * 2 * n, 2 * n);
+  }
+  dsp::kernels::lanes_write_scaled_pairs_multi(w_soa_.data(), n, nl, s0,
+                                               drive_sigma_,
+                                               lane_units_.data());
+  double* st = lane_state_.data();
+  for (const dsp::Biquad& s : stages_) {
+    dsp::kernels::lanes_biquad(w_soa_.data(), n, nl, s.b0, s.b1, s.b2, s.a1,
+                               s.a2, st);
+    st += 4 * nl;
+  }
+  dsp::kernels::lanes_add(soa, w_soa_.data(), 2 * n * nl);
 }
 
 WanderingDcSource::WanderingDcSource(double rms_amplitude, double bandwidth_hz,

@@ -56,12 +56,29 @@ class FlickerNoiseSource : public RfBlock {
   /// source equivalent to a freshly constructed one).
   void set_rng(dsp::Rng rng) { rng_ = rng; }
 
+  /// Lane path: per-lane drive draws + stage-outer lanes_biquad shaping.
+  bool supports_lanes() const override { return true; }
+  void begin_lanes(std::size_t nl) override;
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override;
+  /// Per-lane drive generator (see Amplifier::set_lane_rng).
+  void set_lane_rng(std::size_t lane, dsp::Rng rng) { lane_rng_[lane] = rng; }
+  /// Per-lane unit-normal tape (see Amplifier::set_lane_tape).
+  void set_lane_tape(std::size_t lane, dsp::RVec* tape) {
+    lane_tape_[lane] = tape;
+  }
+
  private:
   double drive_sigma_;
   std::vector<dsp::Biquad> stages_;
   dsp::Rng rng_;
   dsp::CVec scratch_;   ///< per-tile noise stream for stage-outer shaping
   dsp::RVec rscratch_;  ///< per-tile unit normals for the bulk fill
+  dsp::RVec w_soa_;     ///< lane path: per-tile SoA noise stream
+  dsp::RVec lane_state_;  ///< per-stage s1/s2 rows (4*nl doubles each)
+  std::vector<dsp::Rng> lane_rng_;
+  std::vector<dsp::RVec*> lane_tape_;
+  std::vector<std::size_t> lane_tape_pos_;
+  std::vector<const double*> lane_units_;  ///< per-lane tile unit pointers
 };
 
 /// Slowly wandering complex offset: LO leakage reflecting off the moving

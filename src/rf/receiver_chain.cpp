@@ -85,6 +85,24 @@ void DoubleConversionReceiver::reseed(dsp::Rng rng) {
   if (flicker_) flicker_->set_rng(rng.fork());
 }
 
+void DoubleConversionReceiver::reseed_lanes(std::size_t lane, dsp::Rng rng) {
+  // Same fork order as the constructor and reseed(): lna, mixer1, mixer2,
+  // flicker. The mixers ignore their rng on the lane path (it exists only
+  // for phase noise, which the lane path does not support), but forking
+  // them keeps the lna/flicker children identical to the scalar ones.
+  lna_->set_lane_rng(lane, rng.fork());
+  (void)rng.fork();  // mixer1
+  (void)rng.fork();  // mixer2
+  if (flicker_) flicker_->set_lane_rng(lane, rng.fork());
+}
+
+void DoubleConversionReceiver::set_lane_tapes(std::size_t lane,
+                                              dsp::RVec* lna_tape,
+                                              dsp::RVec* flicker_tape) {
+  lna_->set_lane_tape(lane, lna_tape);
+  if (flicker_) flicker_->set_lane_tape(lane, flicker_tape);
+}
+
 double DoubleConversionReceiver::front_end_gain_db() const {
   return cfg_.lna_gain_db + cfg_.mixer1_gain_db + cfg_.mixer2_gain_db;
 }

@@ -112,6 +112,26 @@ class DoubleConversionReceiver : public RfBlock {
   /// changes nothing).
   void reseed(dsp::Rng rng);
 
+  /// Width-W packet-lane path (see RfBlock): supported when every block in
+  /// the cascade supports its current configuration.
+  bool supports_lanes() const override { return chain_.supports_lanes(); }
+  void begin_lanes(std::size_t nl) override { chain_.begin_lanes(nl); }
+  void process_tile_lanes(double* soa, std::size_t n, std::size_t nl) override {
+    chain_.process_tile_lanes(soa, n, nl);
+  }
+
+  /// Per-lane equivalent of reset() + reseed(rng): fork the per-stage rngs
+  /// from `rng` into lane `lane`'s slots, same construction order. Call
+  /// after begin_lanes(); lane l then reproduces a fresh scalar receiver
+  /// reseeded with that lane's rng, bit for bit.
+  void reseed_lanes(std::size_t lane, dsp::Rng rng);
+
+  /// Optional per-lane unit-normal tapes for the two noisy stages (LNA
+  /// thermal noise, mixer-2 flicker). Pass nullptr to draw from the lane
+  /// rng; pass an empty tape to record; pass a complete tape to replay.
+  void set_lane_tapes(std::size_t lane, dsp::RVec* lna_tape,
+                      dsp::RVec* flicker_tape);
+
   const DoubleConversionConfig& config() const { return cfg_; }
 
   /// Stage handles for characterization and tests.

@@ -1,6 +1,7 @@
 #include "rf/rfblock.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace wlansim::rf {
 
@@ -47,6 +48,38 @@ void RfChain::process_blockwise_into(std::span<const dsp::Cplx> in,
 
 void RfChain::reset() {
   for (auto& b : blocks_) b->reset();
+}
+
+void RfBlock::process_tile_lanes(double* soa, std::size_t n, std::size_t nl) {
+  (void)soa;
+  (void)n;
+  (void)nl;
+  // Reaching here means a caller ignored supports_lanes() == false.
+  std::abort();
+}
+
+bool RfChain::supports_lanes() const {
+  for (const RfBlock* b : raw_)
+    if (!b->supports_lanes()) return false;
+  return true;
+}
+
+void RfChain::begin_lanes(std::size_t nl) {
+  for (RfBlock* b : raw_) b->begin_lanes(nl);
+}
+
+void RfChain::process_tile_lanes(double* soa, std::size_t n, std::size_t nl) {
+  // Same fused schedule as ChainExecutor::run, shrunk so a tile of SoA
+  // rows costs what a scalar tile costs (16*nl bytes per row): push one
+  // tile through every block before the next tile. Per the tile-invariance
+  // contract this is bit-identical per lane to whole-buffer execution.
+  std::size_t tile = ChainExecutor::auto_tile_size() / (nl ? nl : 1);
+  if (tile == 0) tile = 1;
+  for (std::size_t off = 0; off < n; off += tile) {
+    const std::size_t len = std::min(tile, n - off);
+    double* rows = soa + off * 2 * nl;
+    for (RfBlock* b : raw_) b->process_tile_lanes(rows, len, nl);
+  }
 }
 
 }  // namespace wlansim::rf

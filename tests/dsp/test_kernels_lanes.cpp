@@ -1,0 +1,352 @@
+// Lane-vs-scalar bit identity for the width-W packet-lane (SoA) kernels.
+//
+// Every lane kernel claims, per lane, the exact operation sequence of the
+// scalar block it replaces — same products, same association order — so a
+// packed lane must come back EXACTLY equal (std::memcmp-grade, via
+// bit-compare of both rails) to the scalar computation on that lane's AoS
+// data. Lengths cover the adversarial set {1, W-1, W, W+1, 33} (non-multiple
+// tails included) and widths {1, 3, W}: nl == kLaneWidth exercises the
+// fixed-width fast instantiation, the others the runtime-width body.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "dsp/fir.h"
+#include "dsp/iir.h"
+#include "dsp/kernels.h"
+#include "dsp/resample.h"
+#include "dsp/rng.h"
+
+namespace kn = wlansim::dsp::kernels;
+using wlansim::dsp::Cplx;
+using wlansim::dsp::CVec;
+using wlansim::dsp::RVec;
+
+namespace {
+
+const std::size_t kLens[] = {1, kn::kLaneWidth - 1, kn::kLaneWidth,
+                             kn::kLaneWidth + 1, 33};
+const std::size_t kWidths[] = {1, 3, kn::kLaneWidth};
+
+bool bit_equal(Cplx a, Cplx b) {
+  return std::memcmp(&a, &b, sizeof(Cplx)) == 0;
+}
+
+/// Fill every lane of an SoA buffer from per-lane AoS packets and return
+/// the packets, so tests can run the scalar reference per lane.
+std::vector<CVec> fill_lanes(RVec& soa, std::size_t n, std::size_t nl,
+                             std::uint64_t seed) {
+  wlansim::dsp::Rng rng(seed);
+  std::vector<CVec> lanes(nl);
+  soa.assign(2 * n * nl, 0.0);
+  for (std::size_t l = 0; l < nl; ++l) {
+    lanes[l].resize(n);
+    for (auto& v : lanes[l]) v = rng.cgaussian(1.0);
+    kn::lanes_pack(lanes[l].data(), n, nl, l, soa.data());
+  }
+  return lanes;
+}
+
+void expect_lane_equals(const RVec& soa, std::size_t n, std::size_t nl,
+                        std::size_t lane, const CVec& want) {
+  CVec got(n);
+  kn::lanes_unpack(soa.data(), n, nl, lane, got.data());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_TRUE(bit_equal(got[i], want[i]))
+        << "lane " << lane << " sample " << i << " n=" << n << " nl=" << nl;
+}
+
+/// Run `check(n, nl)` over the adversarial length/width grid.
+template <typename F>
+void for_grid(F&& check) {
+  for (std::size_t n : kLens)
+    for (std::size_t nl : kWidths) check(n, nl);
+}
+
+}  // namespace
+
+TEST(KernelsLanes, PackUnpackRoundtrip) {
+  for_grid([](std::size_t n, std::size_t nl) {
+    RVec soa;
+    const auto lanes = fill_lanes(soa, n, nl, 7 * n + nl);
+    for (std::size_t l = 0; l < nl; ++l) expect_lane_equals(soa, n, nl, l, lanes[l]);
+  });
+}
+
+TEST(KernelsLanes, UnpackDecimTakesPhaseZero) {
+  for (std::size_t decim : {std::size_t{1}, std::size_t{4}}) {
+    for_grid([decim](std::size_t n, std::size_t nl) {
+      RVec soa;
+      const auto lanes = fill_lanes(soa, n, nl, 11 * n + nl + decim);
+      const std::size_t m = (n + decim - 1) / decim;
+      for (std::size_t l = 0; l < nl; ++l) {
+        CVec got(m);
+        kn::lanes_unpack_decim(soa.data(), n, nl, l, decim, got.data());
+        for (std::size_t t = 0; t < m; ++t)
+          ASSERT_TRUE(bit_equal(got[t], lanes[l][t * decim]));
+      }
+    });
+  }
+}
+
+TEST(KernelsLanes, AddScaledPairsMatchesScalar) {
+  for_grid([](std::size_t n, std::size_t nl) {
+    RVec soa;
+    auto lanes = fill_lanes(soa, n, nl, 13 * n + nl);
+    wlansim::dsp::Rng rng(99);
+    const double s = 0.37;
+    for (std::size_t l = 0; l < nl; ++l) {
+      RVec units(2 * n);
+      rng.fill_gaussian(units.data(), units.size());
+      kn::lanes_add_scaled_pairs(soa.data(), n, nl, l, s, units.data());
+      kn::ref::add_scaled_pairs(lanes[l].data(), n, s, units.data());
+      expect_lane_equals(soa, n, nl, l, lanes[l]);
+    }
+  });
+}
+
+TEST(KernelsLanes, WriteScaledPairsMatchesFlickerDrive) {
+  for_grid([](std::size_t n, std::size_t nl) {
+    RVec soa;
+    fill_lanes(soa, n, nl, 17 * n + nl);  // overwritten; exercises old data
+    wlansim::dsp::Rng rng(5);
+    const double s0 = std::sqrt(1.0 / 2.0);
+    const double s1 = 3.25e-4;
+    for (std::size_t l = 0; l < nl; ++l) {
+      RVec units(2 * n);
+      rng.fill_gaussian(units.data(), units.size());
+      kn::lanes_write_scaled_pairs(soa.data(), n, nl, l, s0, s1, units.data());
+      // The flicker drive: cgaussian(1) * drive, left-associated per rail.
+      CVec want(n);
+      for (std::size_t i = 0; i < n; ++i)
+        want[i] = Cplx{(s0 * units[2 * i]) * s1, (s0 * units[2 * i + 1]) * s1};
+      expect_lane_equals(soa, n, nl, l, want);
+    }
+  });
+}
+
+TEST(KernelsLanes, AddScaledPairsMultiMatchesPerLane) {
+  // The fused all-lanes pass must be bit-identical to nl per-lane passes:
+  // every element op is the same multiply-add, only the iteration order over
+  // independent elements changes.
+  for_grid([](std::size_t n, std::size_t nl) {
+    RVec soa_multi;
+    fill_lanes(soa_multi, n, nl, 43 * n + nl);
+    RVec soa_per = soa_multi;
+    wlansim::dsp::Rng rng(57);
+    const double s = 0.37;
+    std::vector<RVec> units(nl);
+    std::vector<const double*> ptrs(nl);
+    for (std::size_t l = 0; l < nl; ++l) {
+      units[l].resize(2 * n);
+      rng.fill_gaussian(units[l].data(), units[l].size());
+      ptrs[l] = units[l].data();
+    }
+    kn::lanes_add_scaled_pairs_multi(soa_multi.data(), n, nl, s, ptrs.data());
+    for (std::size_t l = 0; l < nl; ++l)
+      kn::lanes_add_scaled_pairs(soa_per.data(), n, nl, l, s, units[l].data());
+    ASSERT_EQ(std::memcmp(soa_multi.data(), soa_per.data(),
+                          soa_multi.size() * 8), 0)
+        << "n=" << n << " nl=" << nl;
+  });
+}
+
+TEST(KernelsLanes, WriteScaledPairsMultiMatchesPerLane) {
+  for_grid([](std::size_t n, std::size_t nl) {
+    RVec soa_multi;
+    fill_lanes(soa_multi, n, nl, 47 * n + nl);  // stale data, overwritten
+    RVec soa_per = soa_multi;
+    wlansim::dsp::Rng rng(58);
+    const double s0 = std::sqrt(1.0 / 2.0);
+    const double s1 = 3.25e-4;
+    std::vector<RVec> units(nl);
+    std::vector<const double*> ptrs(nl);
+    for (std::size_t l = 0; l < nl; ++l) {
+      units[l].resize(2 * n);
+      rng.fill_gaussian(units[l].data(), units[l].size());
+      ptrs[l] = units[l].data();
+    }
+    kn::lanes_write_scaled_pairs_multi(soa_multi.data(), n, nl, s0, s1,
+                                       ptrs.data());
+    for (std::size_t l = 0; l < nl; ++l)
+      kn::lanes_write_scaled_pairs(soa_per.data(), n, nl, l, s0, s1,
+                                   units[l].data());
+    ASSERT_EQ(std::memcmp(soa_multi.data(), soa_per.data(),
+                          soa_multi.size() * 8), 0)
+        << "n=" << n << " nl=" << nl;
+  });
+}
+
+TEST(KernelsLanes, AddIsElementwise) {
+  wlansim::dsp::Rng rng(21);
+  for (std::size_t count : {std::size_t{1}, std::size_t{16}, std::size_t{67}}) {
+    RVec dst(count), src(count), want(count);
+    rng.fill_gaussian(dst.data(), count);
+    rng.fill_gaussian(src.data(), count);
+    for (std::size_t j = 0; j < count; ++j) want[j] = dst[j] + src[j];
+    kn::lanes_add(dst.data(), src.data(), count);
+    for (std::size_t j = 0; j < count; ++j)
+      ASSERT_EQ(std::memcmp(&dst[j], &want[j], sizeof(double)), 0);
+  }
+}
+
+TEST(KernelsLanes, BiquadMatchesScalarSection) {
+  // A realistic section from the Chebyshev channel filter design.
+  const wlansim::dsp::BiquadCascade c =
+      wlansim::dsp::design_chebyshev1_lowpass(7, 1.0, 0.1075);
+  ASSERT_GT(c.num_sections(), 0u);
+  for_grid([&](std::size_t n, std::size_t nl) {
+    RVec soa;
+    auto lanes = fill_lanes(soa, n, nl, 29 * n + nl);
+    for (const wlansim::dsp::Biquad& sec : c.sections()) {
+      RVec state(4 * nl, 0.0);
+      kn::lanes_biquad(soa.data(), n, nl, sec.b0, sec.b1, sec.b2, sec.a1,
+                       sec.a2, state.data());
+      for (std::size_t l = 0; l < nl; ++l) {
+        wlansim::dsp::Biquad ref = sec;
+        ref.reset();
+        for (auto& v : lanes[l]) v = ref.step(v);
+        expect_lane_equals(soa, n, nl, l, lanes[l]);
+      }
+    }
+  });
+}
+
+TEST(KernelsLanes, BiquadStateCarriesAcrossTiles) {
+  // Two half-length calls with carried state == one whole-buffer call: the
+  // property the fused lane tile loop relies on.
+  const wlansim::dsp::Biquad sec{0.9, -1.7, 0.82, -1.6, 0.71};
+  const std::size_t n = 33, nl = kn::kLaneWidth;
+  RVec whole, tiled;
+  fill_lanes(whole, n, nl, 123);
+  tiled = whole;
+  RVec sw(4 * nl, 0.0), st(4 * nl, 0.0);
+  kn::lanes_biquad(whole.data(), n, nl, sec.b0, sec.b1, sec.b2, sec.a1, sec.a2,
+                   sw.data());
+  const std::size_t n1 = 13;
+  kn::lanes_biquad(tiled.data(), n1, nl, sec.b0, sec.b1, sec.b2, sec.a1,
+                   sec.a2, st.data());
+  kn::lanes_biquad(tiled.data() + 2 * nl * n1, n - n1, nl, sec.b0, sec.b1,
+                   sec.b2, sec.a1, sec.a2, st.data());
+  ASSERT_EQ(std::memcmp(whole.data(), tiled.data(), whole.size() * 8), 0);
+  ASSERT_EQ(std::memcmp(sw.data(), st.data(), sw.size() * 8), 0);
+}
+
+TEST(KernelsLanes, MixUnityLoMatchesScalar) {
+  kn::MixParams cases[3];
+  cases[0].gain = 2.51;                       // plain gain + dc
+  cases[0].dc = Cplx{3e-5, 2e-5};
+  cases[1] = cases[0];
+  cases[1].image_amp = 0.01;                  // finite image rejection
+  cases[2] = cases[1];
+  cases[2].iq_active = true;                  // full I/Q imbalance stage
+  cases[2].iq_eps = 1.02;
+  cases[2].iq_sin = 0.015;
+  cases[2].iq_cos = std::sqrt(1.0 - 0.015 * 0.015);
+  for (const kn::MixParams& p : cases) {
+    for_grid([&](std::size_t n, std::size_t nl) {
+      RVec soa;
+      auto lanes = fill_lanes(soa, n, nl, 31 * n + nl);
+      kn::lanes_mix_unity_lo(soa.data(), n, nl, p);
+      for (std::size_t l = 0; l < nl; ++l) {
+        kn::mix_const_lo(lanes[l].data(), n, Cplx{1.0, 0.0}, p,
+                         lanes[l].data());
+        expect_lane_equals(soa, n, nl, l, lanes[l]);
+      }
+    });
+  }
+}
+
+TEST(KernelsLanes, AmpRappP2MatchesScalarFormula) {
+  const double lin_gain = 5.62, lin_gain2 = lin_gain * lin_gain;
+  const double inv_vsat2 = 1.0 / 0.031623;
+  for_grid([&](std::size_t n, std::size_t nl) {
+    RVec soa;
+    auto lanes = fill_lanes(soa, n, nl, 37 * n + nl);
+    kn::lanes_amp_rapp_p2(soa.data(), n, nl, lin_gain, lin_gain2, inv_vsat2);
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (auto& v : lanes[l]) {
+        const double n2 = v.real() * v.real() + v.imag() * v.imag();
+        const double r2 = (lin_gain2 * n2) * inv_vsat2;
+        const double g = lin_gain / std::sqrt(std::sqrt(1.0 + r2 * r2));
+        v = Cplx{v.real() * g, v.imag() * g};
+      }
+      expect_lane_equals(soa, n, nl, l, lanes[l]);
+    }
+  });
+}
+
+TEST(KernelsLanes, FirDecimMatchesStreamingFilter) {
+  const RVec taps = wlansim::dsp::resampling_taps(4);
+  for (std::size_t decim : {std::size_t{1}, std::size_t{4}}) {
+    for_grid([&](std::size_t n, std::size_t nl) {
+      RVec soa;
+      const auto lanes = fill_lanes(soa, n, nl, 41 * n + nl + decim);
+      const std::size_t m = (n + decim - 1) / decim;
+      for (std::size_t l = 0; l < nl; ++l) {
+        CVec got(m);
+        kn::lanes_fir_decim(soa.data(), n, nl, l, taps.data(), taps.size(),
+                            decim, got.data());
+        wlansim::dsp::FirFilter f(taps);
+        f.reset();
+        CVec want(m);
+        f.process_decim_into(lanes[l], decim, want);
+        for (std::size_t t = 0; t < m; ++t)
+          ASSERT_TRUE(bit_equal(got[t], want[t]))
+              << "t=" << t << " n=" << n << " nl=" << nl << " d=" << decim;
+      }
+    });
+  }
+}
+
+// The dispatched entry points must agree with the reference namespace
+// whatever target make_table picked (generic or native).
+TEST(KernelsLanes, DispatchedAgreesWithRef) {
+  const std::size_t n = 33, nl = kn::kLaneWidth;
+  RVec a, b;
+  fill_lanes(a, n, nl, 777);
+  b = a;
+
+  kn::MixParams p;
+  p.gain = 2.51;
+  p.image_amp = 0.01;
+  p.dc = Cplx{3e-5, 2e-5};
+  kn::lanes_mix_unity_lo(a.data(), n, nl, p);
+  kn::ref::lanes_mix_unity_lo(b.data(), n, nl, p);
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+
+  kn::lanes_amp_rapp_p2(a.data(), n, nl, 5.6, 31.36, 31.6);
+  kn::ref::lanes_amp_rapp_p2(b.data(), n, nl, 5.6, 31.36, 31.6);
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+
+  RVec sa(4 * nl, 0.0), sb(4 * nl, 0.0);
+  kn::lanes_biquad(a.data(), n, nl, 0.9, -1.7, 0.82, -1.6, 0.71, sa.data());
+  kn::ref::lanes_biquad(b.data(), n, nl, 0.9, -1.7, 0.82, -1.6, 0.71,
+                        sb.data());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+  ASSERT_EQ(std::memcmp(sa.data(), sb.data(), sa.size() * 8), 0);
+
+  wlansim::dsp::Rng rng(91);
+  std::vector<RVec> units(nl);
+  std::vector<const double*> ptrs(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    units[l].resize(2 * n);
+    rng.fill_gaussian(units[l].data(), units[l].size());
+    ptrs[l] = units[l].data();
+  }
+  kn::lanes_add_scaled_pairs_multi(a.data(), n, nl, 0.37, ptrs.data());
+  kn::ref::lanes_add_scaled_pairs_multi(b.data(), n, nl, 0.37, ptrs.data());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+
+  kn::lanes_write_scaled_pairs_multi(a.data(), n, nl, 0.7, 3e-4, ptrs.data());
+  kn::ref::lanes_write_scaled_pairs_multi(b.data(), n, nl, 0.7, 3e-4,
+                                          ptrs.data());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * 8), 0);
+}
+
+TEST(KernelsLanes, ImplNameReportsLaneWidth) {
+  const std::string name = kn::impl_name();
+  EXPECT_NE(name.find("lane width 8"), std::string::npos) << name;
+}

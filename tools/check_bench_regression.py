@@ -109,8 +109,12 @@ def main():
         print(f"bench-check: {status} {name}: {b:.0f} -> {f:.0f} {unit_b} "
               f"(x{ratio:.3f}, tolerance x{args.tolerance:.2f})")
         if ratio > args.tolerance:
-            failures.append(f"'{name}' regressed x{ratio:.3f} "
-                            f"(> x{args.tolerance:.2f})")
+            failures.append(
+                f"'{name}' regressed x{ratio:.3f} — cpu_time "
+                f"+{(ratio - 1.0) * 100.0:.1f}% over baseline, "
+                f"{(ratio - args.tolerance) * 100.0:.1f} points past the "
+                f"x{args.tolerance:.2f} tolerance "
+                f"({b:.0f} -> {f:.0f} {unit_b})")
 
     if failures:
         for msg in failures:

@@ -43,12 +43,35 @@ if [[ "$build_type" != "Release" ]]; then
   echo "  numbers will NOT be comparable to the Release baseline." >&2
 fi
 
+# Fail fast, with a message naming the fix, when the tree has no bench
+# targets at all (configured before bench/ existed, or with the benchmark
+# package missing) — otherwise the --target build dies with an opaque
+# "No rule to make target 'engine_perf'".
+# (grep without -q: an early-exit grep would SIGPIPE cmake and trip pipefail
+# on perfectly good trees.)
+if ! cmake --build "$build_dir" --target help 2>/dev/null \
+    | grep 'engine_perf' > /dev/null; then
+  echo "run_bench.sh: build tree '$build_dir' has no 'engine_perf' target." >&2
+  echo "  The tree was configured without the benchmark suite (stale cache" >&2
+  echo "  from before bench/ existed, or find_package(benchmark) failed)." >&2
+  echo "  Reconfigure it — e.g. 'rm -rf $build_dir' and rerun this script" >&2
+  echo "  — or pass a build dir that has the bench targets." >&2
+  exit 1
+fi
+
 cmake --build "$build_dir" -j --target engine_perf > /dev/null
+
+bench_bin="$build_dir/bench/engine_perf"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "run_bench.sh: built engine_perf but '$bench_bin' is missing;" >&2
+  echo "  the build tree does not place bench binaries in <dir>/bench/." >&2
+  exit 1
+fi
 
 out="$repo_root/BENCH_engine.json"
 tmp_out="$out.tmp"
 # Older google-benchmark wants a plain number for --benchmark_min_time.
-"$build_dir/bench/engine_perf" \
+"$bench_bin" \
   --benchmark_min_time=0.2 \
   --benchmark_format=json \
   --benchmark_out="$tmp_out" \
