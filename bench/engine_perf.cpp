@@ -6,9 +6,14 @@
 // Google-benchmark microbenches of the engine and the hot kernels.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "core/experiments.h"
 #include "core/link.h"
 #include "core/parallel.h"
+#include "core/surrogate.h"
 #include "dsp/fft.h"
 #include "dsp/rng.h"
 #include "phy80211a/convcode.h"
@@ -509,6 +514,76 @@ void BM_BerSweepFixedBudget(benchmark::State& state) {
 BENCHMARK(BM_BerSweepFixedBudget)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+/// Per-process scratch calibration store so bench runs never touch (or
+/// depend on) the user's real ~/.cache store.
+std::filesystem::path bench_calib_dir() {
+  return std::filesystem::temp_directory_path() /
+         ("wlansim-bench-calib-" + std::to_string(::getpid()));
+}
+
+core::SurrogateOptions bench_surrogate_opts() {
+  core::SurrogateOptions opts;
+  opts.store_dir = bench_calib_dir();
+  opts.axis = sim::SurrogateAxis::kSnrDb;
+  opts.rule = deep_waterfall_rule();
+  opts.grid_step = 1.0;
+  opts.grid_pad = 0.0;
+  return opts;
+}
+
+void BM_SurrogateCalibrateCold(benchmark::State& state) {
+  // One-time cost of the surrogate: calibrate the deep-waterfall curve from
+  // an empty store. grid_step 1 / pad 0 over [6, 13] puts the 8 knots on
+  // exactly the BM_BerSweepAdaptive points, so cold calibration should cost
+  // about one adaptive sweep plus the store write.
+  const core::LinkConfig base = deep_waterfall_points()[0];
+  const core::SurrogateOptions opts = bench_surrogate_opts();
+  for (auto _ : state) {
+    std::filesystem::remove_all(opts.store_dir);
+    const auto curve = core::calibrate_ber_surrogate(base, 6.0, 13.0, opts);
+    if (curve.points.size() != 8) {
+      state.SkipWithError("expected 8 calibration knots");
+      return;
+    }
+    benchmark::DoNotOptimize(curve.points.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_SurrogateCalibrateCold)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SurrogateQueryWarm(benchmark::State& state) {
+  // The payoff: a 40-point waterfall query against the warm store — one
+  // store read plus interpolation, zero Monte-Carlo packets (miss policy
+  // kError guarantees it). Target: >= 100x faster than BM_BerSweepAdaptive
+  // measuring the same span with packets.
+  const core::LinkConfig base = deep_waterfall_points()[0];
+  core::SurrogateOptions opts = bench_surrogate_opts();
+  std::filesystem::remove_all(opts.store_dir);
+  core::calibrate_ber_surrogate(base, 6.0, 13.0, opts);  // warm the store
+  opts.miss_policy = core::SurrogateMissPolicy::kError;
+
+  std::vector<core::LinkConfig> points;
+  for (int k = 0; k < 40; ++k) {
+    core::LinkConfig c = base;
+    c.snr_db = 6.0 + 7.0 * static_cast<double>(k) / 39.0;
+    points.push_back(c);
+  }
+  for (auto _ : state) {
+    try {
+      const auto sweep = core::sweep_ber_surrogate(points, opts);
+      benchmark::DoNotOptimize(sweep.data());
+    } catch (const std::exception& e) {
+      state.SkipWithError(e.what());
+      return;
+    }
+  }
+  std::filesystem::remove_all(opts.store_dir);
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_SurrogateQueryWarm)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

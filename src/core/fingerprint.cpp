@@ -1,0 +1,173 @@
+#include "core/fingerprint.h"
+
+#include <optional>
+#include <type_traits>
+
+namespace wlansim::core {
+
+namespace {
+
+template <typename T>
+void put(std::string& s, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  s.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void put_opt(std::string& s, const std::optional<T>& v) {
+  put(s, v.has_value());
+  if (v.has_value()) put(s, *v);
+}
+
+}  // namespace
+
+std::string link_fingerprint(const LinkConfig& c) {
+  if (c.custom_rf) return {};
+  std::string s;
+  s.reserve(256);
+  put(s, c.rate);
+  put(s, c.psdu_bytes);
+  put(s, c.rx_power_dbm);
+  put_opt(s, c.snr_db);
+  put(s, c.antenna_noise_density_dbm_hz);
+  put(s, c.fading.has_value());
+  if (c.fading) {
+    put(s, c.fading->rms_delay_spread_s);
+    put(s, c.fading->sample_rate_hz);
+    put(s, c.fading->truncation);
+    put(s, c.fading->normalize);
+  }
+  put(s, c.interferer.has_value());
+  if (c.interferer) {
+    put(s, c.interferer->offset_hz);
+    put(s, c.interferer->level_db);
+    put(s, c.interferer->rate);
+    put(s, c.interferer->psdu_bytes);
+  }
+  put(s, c.sco_ppm);
+  put_opt(s, c.tx_pa_backoff_db);
+  put(s, c.tx_pa_model);
+  put(s, c.tx_pa_am_pm_max_deg);
+  put(s, c.tx_iq_gain_imbalance_db);
+  put(s, c.tx_iq_phase_error_deg);
+  put(s, c.tx_lo_leakage_rel);
+  put(s, c.rf_engine);
+  put(s, c.oversample);
+
+  const rf::DoubleConversionConfig& rf = c.rf;
+  put(s, rf.sample_rate_hz);
+  put(s, rf.lna_gain_db);
+  put(s, rf.lna_nf_db);
+  put(s, rf.lna_p1db_in_dbm);
+  put(s, rf.lna_model);
+  put(s, rf.lna_am_pm_max_deg);
+  put(s, rf.mixer1_gain_db);
+  put(s, rf.mixer2_gain_db);
+  put(s, rf.lo_offset_hz);
+  put(s, rf.lo_phase_noise.level_dbc_hz);
+  put(s, rf.lo_phase_noise.offset_hz);
+  put(s, rf.mixer1_image_rejection_db);
+  put(s, rf.mixer2_dc_offset);
+  put(s, rf.mixer2_flicker_power_dbm);
+  put(s, rf.flicker_corner_hz);
+  put(s, rf.hpf_order);
+  put(s, rf.hpf_cutoff_hz);
+  put(s, rf.bb_filter_order);
+  put(s, rf.bb_filter_ripple_db);
+  put(s, rf.bb_filter_edge_hz);
+  put(s, rf.bb_bandwidth_factor);
+  put(s, rf.agc.target_power_dbm);
+  put(s, rf.agc.max_gain_db);
+  put(s, rf.agc.min_gain_db);
+  put(s, rf.agc.loop_gain);
+  put(s, rf.agc.attack_db_per_sample);
+  put(s, rf.agc.decay_db_per_sample);
+  put(s, rf.agc.detector_time_const);
+  put(s, rf.agc.initial_gain_db);
+  put(s, rf.agc.lock_window_db);
+  put(s, rf.agc.lock_count);
+  put(s, rf.agc.unlock_window_db);
+  put(s, rf.adc.bits);
+  put(s, rf.adc.full_scale);
+  put(s, rf.adc.enabled);
+  put(s, rf.noise_enabled);
+
+  put(s, c.cosim.analog_oversample);
+  put(s, c.cosim.supports_noise_functions);
+  put(s, c.cosim.sync_overhead_ops);
+  put(s, c.receiver.track_phase);
+  put(s, c.receiver.track_timing);
+  put(s, c.receiver.detect_threshold);
+  put(s, c.receiver.chanest_smoothing);
+  put(s, c.mode);
+  put(s, c.packet_path);
+  put(s, c.lead_samples);
+  put(s, c.tail_samples);
+  put(s, c.seed);
+  return s;
+}
+
+std::string tx_scene_fingerprint(const LinkConfig& c) {
+  if (c.custom_rf) return {};
+  std::string s;
+  s.reserve(160);
+  put(s, c.rate);
+  put(s, c.psdu_bytes);
+  put(s, c.rx_power_dbm);
+  put(s, c.fading.has_value());
+  if (c.fading) {
+    put(s, c.fading->rms_delay_spread_s);
+    put(s, c.fading->sample_rate_hz);
+    put(s, c.fading->truncation);
+    put(s, c.fading->normalize);
+  }
+  put(s, c.interferer.has_value());
+  if (c.interferer) {
+    put(s, c.interferer->offset_hz);
+    put(s, c.interferer->level_db);
+    put(s, c.interferer->rate);
+    put(s, c.interferer->psdu_bytes);
+  }
+  put(s, c.sco_ppm);
+  put_opt(s, c.tx_pa_backoff_db);
+  put(s, c.tx_pa_model);
+  put(s, c.tx_pa_am_pm_max_deg);
+  put(s, c.tx_iq_gain_imbalance_db);
+  put(s, c.tx_iq_phase_error_deg);
+  put(s, c.tx_lo_leakage_rel);
+  put(s, c.rf_engine);
+  put(s, c.oversample);
+  put(s, c.mode);
+  put(s, c.packet_path);
+  put(s, c.lead_samples);
+  put(s, c.tail_samples);
+  put(s, c.seed);
+  return s;
+}
+
+std::string surrogate_fingerprint(const LinkConfig& c,
+                                  sim::SurrogateAxis axis) {
+  // Canonicalize the axis field to a fixed value, so configs differing
+  // only along the axis serialize identically; the leading tag byte keeps
+  // curves of different axes (and a canonicalized config that genuinely
+  // has the canonical value) from colliding.
+  LinkConfig canon = c;
+  switch (axis) {
+    case sim::SurrogateAxis::kSnrDb:
+      if (!canon.snr_db.has_value()) return {};
+      canon.snr_db = 0.0;
+      break;
+    case sim::SurrogateAxis::kRxPowerDbm:
+      canon.rx_power_dbm = 0.0;
+      break;
+  }
+  std::string body = link_fingerprint(canon);
+  if (body.empty()) return {};
+  std::string s;
+  s.reserve(body.size() + 2);
+  put(s, static_cast<std::uint8_t>(axis));
+  s += body;
+  return s;
+}
+
+}  // namespace wlansim::core

@@ -1,0 +1,51 @@
+// Content fingerprints of a LinkConfig — byte-exact serializations of the
+// fields that influence a measurement, used as cache keys at three scopes:
+//
+//   * link_fingerprint      — everything run_packet consumes. Keys the
+//                             per-worker WlanLink cache (core/parallel).
+//   * tx_scene_fingerprint  — the noise-independent TX half only. Two
+//                             configs with equal TX fingerprints build
+//                             bit-identical pre-noise scenes for every
+//                             packet index, so a sweep over them shares
+//                             one TxScene per packet (core/parallel).
+//   * surrogate_fingerprint — everything EXCEPT the swept axis (SNR or
+//                             receive power). Keys a BER-vs-axis
+//                             calibration curve in the on-disk
+//                             content-addressed store (core/surrogate):
+//                             configs that differ only in the axis value
+//                             share one curve.
+//
+// All three serialize field by field (never whole structs), so struct
+// padding bytes cannot poison a comparison, and return "" when the config
+// is not fingerprintable (callable members such as custom_rf).
+#pragma once
+
+#include <string>
+
+#include "core/linkconfig.h"
+#include "sim/ber_surrogate.h"
+
+namespace wlansim::core {
+
+/// Byte-exact serialization of every LinkConfig field that influences
+/// run_packet. Returns "" when the config is not fingerprintable.
+std::string link_fingerprint(const LinkConfig& c);
+
+/// Byte-exact serialization of the LinkConfig fields that shape a packet's
+/// noise-independent TX scene: everything WlanLink consumes up to (and
+/// including) the interferer, plus the fields that decide the packet path.
+/// Noise-level fields (snr_db, antenna noise density), the RF front-end,
+/// and the receiver are deliberately absent — those act after the scene
+/// snapshot. Returns "" when not fingerprintable.
+std::string tx_scene_fingerprint(const LinkConfig& c);
+
+/// The calibration-curve key: an axis tag plus link_fingerprint with the
+/// axis field canonicalized away, so every config of a sweep along that
+/// axis maps to the same curve. Everything else — rate, PSDU size, RF
+/// front-end parameters, receiver options, and the seed — stays in the
+/// key: any field that could move the BER curve forces its own
+/// calibration. Returns "" when the config is not fingerprintable or the
+/// axis value is absent (e.g. axis kSnrDb with snr_db == nullopt).
+std::string surrogate_fingerprint(const LinkConfig& c, sim::SurrogateAxis axis);
+
+}  // namespace wlansim::core

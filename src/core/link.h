@@ -111,11 +111,22 @@ struct BerResult {
   /// fixed-budget runs report false).
   bool converged = false;
 
+  // Surrogate-model results (core/surrogate.h). When a point is answered
+  // from a calibration curve instead of Monte-Carlo packets, the model's
+  // interpolated rates land here (the counters above stay zero — there were
+  // no packets), ber_ci_rel carries the calibrated Wilson CI of the
+  // bracketing knots, and from_surrogate is set. -1 = unset.
+  double model_ber = -1.0;
+  double model_per = -1.0;
+  bool from_surrogate = false;
+
   double ber() const {
+    if (model_ber >= 0.0) return model_ber;
     return bits ? static_cast<double>(bit_errors) / static_cast<double>(bits)
                 : 0.0;
   }
   double per() const {
+    if (model_per >= 0.0) return model_per;
     return packets ? static_cast<double>(packet_errors) /
                          static_cast<double>(packets)
                    : 0.0;

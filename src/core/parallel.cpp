@@ -10,6 +10,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/fingerprint.h"
 #include "core/packet_batch.h"
 #include "core/thread_pool.h"
 
@@ -20,154 +21,6 @@ namespace {
 /// Packets per scheduling chunk: large enough that chunk handoff is noise
 /// next to a packet's cost, small enough to balance tail latency.
 constexpr std::size_t kPacketChunk = 8;
-
-template <typename T>
-void put(std::string& s, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  s.append(reinterpret_cast<const char*>(&v), sizeof v);
-}
-
-template <typename T>
-void put_opt(std::string& s, const std::optional<T>& v) {
-  put(s, v.has_value());
-  if (v.has_value()) put(s, *v);
-}
-
-/// Byte-exact serialization of every LinkConfig field that influences
-/// run_packet, used as the worker-side link-cache key. Field-by-field (never
-/// whole structs) so padding bytes cannot poison the comparison. Returns ""
-/// when the config is not fingerprintable (callable members).
-std::string fingerprint(const LinkConfig& c) {
-  if (c.custom_rf) return {};
-  std::string s;
-  s.reserve(256);
-  put(s, c.rate);
-  put(s, c.psdu_bytes);
-  put(s, c.rx_power_dbm);
-  put_opt(s, c.snr_db);
-  put(s, c.antenna_noise_density_dbm_hz);
-  put(s, c.fading.has_value());
-  if (c.fading) {
-    put(s, c.fading->rms_delay_spread_s);
-    put(s, c.fading->sample_rate_hz);
-    put(s, c.fading->truncation);
-    put(s, c.fading->normalize);
-  }
-  put(s, c.interferer.has_value());
-  if (c.interferer) {
-    put(s, c.interferer->offset_hz);
-    put(s, c.interferer->level_db);
-    put(s, c.interferer->rate);
-    put(s, c.interferer->psdu_bytes);
-  }
-  put(s, c.sco_ppm);
-  put_opt(s, c.tx_pa_backoff_db);
-  put(s, c.tx_pa_model);
-  put(s, c.tx_pa_am_pm_max_deg);
-  put(s, c.tx_iq_gain_imbalance_db);
-  put(s, c.tx_iq_phase_error_deg);
-  put(s, c.tx_lo_leakage_rel);
-  put(s, c.rf_engine);
-  put(s, c.oversample);
-
-  const rf::DoubleConversionConfig& rf = c.rf;
-  put(s, rf.sample_rate_hz);
-  put(s, rf.lna_gain_db);
-  put(s, rf.lna_nf_db);
-  put(s, rf.lna_p1db_in_dbm);
-  put(s, rf.lna_model);
-  put(s, rf.lna_am_pm_max_deg);
-  put(s, rf.mixer1_gain_db);
-  put(s, rf.mixer2_gain_db);
-  put(s, rf.lo_offset_hz);
-  put(s, rf.lo_phase_noise.level_dbc_hz);
-  put(s, rf.lo_phase_noise.offset_hz);
-  put(s, rf.mixer1_image_rejection_db);
-  put(s, rf.mixer2_dc_offset);
-  put(s, rf.mixer2_flicker_power_dbm);
-  put(s, rf.flicker_corner_hz);
-  put(s, rf.hpf_order);
-  put(s, rf.hpf_cutoff_hz);
-  put(s, rf.bb_filter_order);
-  put(s, rf.bb_filter_ripple_db);
-  put(s, rf.bb_filter_edge_hz);
-  put(s, rf.bb_bandwidth_factor);
-  put(s, rf.agc.target_power_dbm);
-  put(s, rf.agc.max_gain_db);
-  put(s, rf.agc.min_gain_db);
-  put(s, rf.agc.loop_gain);
-  put(s, rf.agc.attack_db_per_sample);
-  put(s, rf.agc.decay_db_per_sample);
-  put(s, rf.agc.detector_time_const);
-  put(s, rf.agc.initial_gain_db);
-  put(s, rf.agc.lock_window_db);
-  put(s, rf.agc.lock_count);
-  put(s, rf.agc.unlock_window_db);
-  put(s, rf.adc.bits);
-  put(s, rf.adc.full_scale);
-  put(s, rf.adc.enabled);
-  put(s, rf.noise_enabled);
-
-  put(s, c.cosim.analog_oversample);
-  put(s, c.cosim.supports_noise_functions);
-  put(s, c.cosim.sync_overhead_ops);
-  put(s, c.receiver.track_phase);
-  put(s, c.receiver.track_timing);
-  put(s, c.receiver.detect_threshold);
-  put(s, c.receiver.chanest_smoothing);
-  put(s, c.mode);
-  put(s, c.packet_path);
-  put(s, c.lead_samples);
-  put(s, c.tail_samples);
-  put(s, c.seed);
-  return s;
-}
-
-/// Byte-exact serialization of the LinkConfig fields that shape a packet's
-/// noise-independent TX scene: everything WlanLink consumes up to (and
-/// including) the interferer, plus the fields that decide the packet path.
-/// Two configs with equal TX fingerprints build bit-identical pre-noise
-/// scenes for every packet index, so a sweep over them can share one
-/// TxScene per packet. Noise-level fields (snr_db, antenna noise density),
-/// the RF front-end, and the receiver are deliberately absent — those act
-/// after the scene snapshot. Returns "" when not fingerprintable.
-std::string tx_scene_fingerprint(const LinkConfig& c) {
-  if (c.custom_rf) return {};
-  std::string s;
-  s.reserve(160);
-  put(s, c.rate);
-  put(s, c.psdu_bytes);
-  put(s, c.rx_power_dbm);
-  put(s, c.fading.has_value());
-  if (c.fading) {
-    put(s, c.fading->rms_delay_spread_s);
-    put(s, c.fading->sample_rate_hz);
-    put(s, c.fading->truncation);
-    put(s, c.fading->normalize);
-  }
-  put(s, c.interferer.has_value());
-  if (c.interferer) {
-    put(s, c.interferer->offset_hz);
-    put(s, c.interferer->level_db);
-    put(s, c.interferer->rate);
-    put(s, c.interferer->psdu_bytes);
-  }
-  put(s, c.sco_ppm);
-  put_opt(s, c.tx_pa_backoff_db);
-  put(s, c.tx_pa_model);
-  put(s, c.tx_pa_am_pm_max_deg);
-  put(s, c.tx_iq_gain_imbalance_db);
-  put(s, c.tx_iq_phase_error_deg);
-  put(s, c.tx_lo_leakage_rel);
-  put(s, c.rf_engine);
-  put(s, c.oversample);
-  put(s, c.mode);
-  put(s, c.packet_path);
-  put(s, c.lead_samples);
-  put(s, c.tail_samples);
-  put(s, c.seed);
-  return s;
-}
 
 /// The calling worker's cached link, rebuilt only when the key changes.
 /// Lives on the pool's persistent threads, so repeated measurements of one
@@ -253,7 +106,7 @@ BerResult run_ber_parallel_impl(const LinkConfig& cfg, std::size_t num_packets,
                                 std::size_t batch_width) {
   if (num_packets == 0) return {};
 
-  std::string key = fingerprint(cfg);
+  std::string key = link_fingerprint(cfg);
   if (key.empty()) {
     // Not fingerprintable: key the cache to this call so links are fresh
     // per call but still shared by all packets of the call.
@@ -370,7 +223,7 @@ std::vector<BerResult> sweep_ber_parallel(std::span<const LinkConfig> configs,
     keys.reserve(npts);
     for (std::size_t k = 0; memo && k < npts; ++k) {
       if (k > 0 && tx_scene_fingerprint(configs[k]) != tx0) memo = false;
-      keys.push_back(fingerprint(configs[k]));
+      keys.push_back(link_fingerprint(configs[k]));
       if (keys.back().empty()) memo = false;
     }
   }
@@ -470,7 +323,7 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
   std::vector<std::string> keys(npts);
   bool memo = opts.memoize_tx && npts > 1;
   for (std::size_t k = 0; k < npts; ++k) {
-    keys[k] = fingerprint(configs[k]);
+    keys[k] = link_fingerprint(configs[k]);
     if (keys[k].empty()) {
       keys[k] = "#adaptive-" + std::to_string(sweep_id) + "-" +
                 std::to_string(k);

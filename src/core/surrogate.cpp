@@ -1,0 +1,272 @@
+#include "core/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/fingerprint.h"
+
+namespace wlansim::core {
+
+namespace {
+
+double axis_value(const LinkConfig& c, sim::SurrogateAxis axis) {
+  switch (axis) {
+    case sim::SurrogateAxis::kSnrDb:
+      return c.snr_db.value();  // fingerprintability guarantees has_value
+    case sim::SurrogateAxis::kRxPowerDbm:
+      return c.rx_power_dbm;
+  }
+  return 0.0;
+}
+
+void set_axis_value(LinkConfig& c, sim::SurrogateAxis axis, double x) {
+  switch (axis) {
+    case sim::SurrogateAxis::kSnrDb:
+      c.snr_db = x;
+      break;
+    case sim::SurrogateAxis::kRxPowerDbm:
+      c.rx_power_dbm = x;
+      break;
+  }
+}
+
+/// A stored curve answers for a rule only when it was calibrated under
+/// exactly that rule — a looser calibration would report CIs the caller
+/// did not ask for, and a tighter one would break the cold-path
+/// bit-identity contract on backfill. Mismatch reads as a full miss.
+bool rule_matches(const sim::CalibrationCurve& curve,
+                  const sim::StoppingRule& rule) {
+  return curve.target_rel_ci == rule.target_rel_ci &&
+         curve.confidence_z == rule.confidence_z &&
+         curve.min_errors == rule.min_errors &&
+         curve.min_packets == rule.min_packets &&
+         curve.max_packets == rule.max_packets;
+}
+
+sim::CalibrationCurve fresh_curve(std::string fingerprint,
+                                  const SurrogateOptions& opts) {
+  sim::CalibrationCurve curve;
+  curve.axis = opts.axis;
+  curve.fingerprint = std::move(fingerprint);
+  curve.target_rel_ci = opts.rule.target_rel_ci;
+  curve.confidence_z = opts.rule.confidence_z;
+  curve.min_errors = opts.rule.min_errors;
+  curve.min_packets = opts.rule.min_packets;
+  curve.max_packets = opts.rule.max_packets;
+  // Never let the calibration grid outrun the coverage rule.
+  curve.max_gap = std::max(curve.max_gap, opts.grid_step +
+                           sim::CalibrationCurve::kKnotTol);
+  return curve;
+}
+
+sim::CalibrationPoint point_from_result(double x, const BerResult& r) {
+  sim::CalibrationPoint p;
+  p.x = x;
+  p.ber = r.ber();
+  p.ber_ci_rel = r.ber_ci_rel;
+  p.per = r.per();
+  p.evm = r.evm_rms_avg;
+  p.bits = r.bits;
+  p.bit_errors = r.bit_errors;
+  p.packets = r.packets;
+  p.converged = r.converged;
+  return p;
+}
+
+BerResult result_from_query(const sim::SurrogateQuery& q,
+                            const sim::CalibrationCurve& curve) {
+  BerResult r;
+  r.model_ber = q.ber;
+  r.model_per = q.per;
+  r.from_surrogate = true;
+  r.evm_rms_avg = q.evm;
+  r.ber_ci_rel = q.ber_ci_rel;
+  r.converged = std::isfinite(q.ber_ci_rel) &&
+                q.ber_ci_rel <= curve.target_rel_ci;
+  return r;
+}
+
+/// The store view for one call: the caller's persistent cache when given,
+/// else a fresh per-call view (so store-file deletions between calls are
+/// observed — see SurrogateOptions::cache).
+sim::BerSurrogate make_local_view(const SurrogateOptions& opts) {
+  std::filesystem::path dir =
+      opts.store_dir.empty() ? default_calibration_dir() : opts.store_dir;
+  return sim::BerSurrogate(sim::CalibrationStore(std::move(dir)));
+}
+
+}  // namespace
+
+std::filesystem::path default_calibration_dir() {
+  if (const char* dir = std::getenv("WLANSIM_CALIB_DIR"); dir && *dir) {
+    return dir;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg) {
+    return std::filesystem::path(xdg) / "wlansim" / "calib";
+  }
+  if (const char* home = std::getenv("HOME"); home && *home) {
+    return std::filesystem::path(home) / ".cache" / "wlansim" / "calib";
+  }
+  return std::filesystem::path(".wlansim-calib");
+}
+
+sim::CalibrationCurve calibrate_ber_surrogate(const LinkConfig& base,
+                                              double x_lo, double x_hi,
+                                              const SurrogateOptions& opts) {
+  if (!(opts.grid_step > 0.0)) {
+    throw std::invalid_argument("calibrate_ber_surrogate: grid_step <= 0");
+  }
+  if (!(x_lo <= x_hi)) {
+    throw std::invalid_argument("calibrate_ber_surrogate: x_lo > x_hi");
+  }
+  std::string fp = surrogate_fingerprint(base, opts.axis);
+  if (fp.empty()) {
+    throw std::invalid_argument(
+        "calibrate_ber_surrogate: config not fingerprintable (custom_rf, or "
+        "axis snr_db with snr_db unset)");
+  }
+
+  sim::BerSurrogate local = make_local_view(opts);
+  sim::BerSurrogate& view = opts.cache ? *opts.cache : local;
+
+  sim::CalibrationCurve curve;
+  if (const sim::CalibrationCurve* stored = view.lookup(fp);
+      stored && rule_matches(*stored, opts.rule)) {
+    curve = *stored;
+    curve.max_gap = std::max(curve.max_gap,
+                             opts.grid_step + sim::CalibrationCurve::kKnotTol);
+  } else {
+    curve = fresh_curve(fp, opts);
+  }
+
+  // Grid knots on multiples of grid_step covering the padded span, so
+  // repeated calibrations over overlapping ranges land on shared knots.
+  const long k_lo =
+      static_cast<long>(std::floor((x_lo - opts.grid_pad) / opts.grid_step));
+  const long k_hi =
+      static_cast<long>(std::ceil((x_hi + opts.grid_pad) / opts.grid_step));
+  std::vector<double> missing;
+  for (long k = k_lo; k <= k_hi; ++k) {
+    const double x = static_cast<double>(k) * opts.grid_step;
+    const bool have = std::any_of(
+        curve.points.begin(), curve.points.end(), [&](const auto& p) {
+          return std::abs(p.x - x) <= sim::CalibrationCurve::kKnotTol;
+        });
+    if (!have) missing.push_back(x);
+  }
+
+  if (!missing.empty()) {
+    std::vector<LinkConfig> cfgs;
+    cfgs.reserve(missing.size());
+    for (double x : missing) {
+      LinkConfig c = base;
+      set_axis_value(c, opts.axis, x);
+      cfgs.push_back(std::move(c));
+    }
+    SweepOptions sweep_opts;
+    sweep_opts.threads = opts.threads;
+    std::vector<BerResult> results =
+        sweep_ber_adaptive(cfgs, opts.rule, sweep_opts);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      curve.merge_point(point_from_result(missing[i], results[i]));
+    }
+    view.put(curve);  // save failure tolerated: the store is a cache
+  }
+  return curve;
+}
+
+std::vector<BerResult> sweep_ber_surrogate(std::span<const LinkConfig> configs,
+                                           const SurrogateOptions& opts) {
+  if (configs.empty()) return {};
+
+  const std::string fp = surrogate_fingerprint(configs[0], opts.axis);
+  if (fp.empty()) {
+    throw std::invalid_argument(
+        "sweep_ber_surrogate: config not fingerprintable (custom_rf, or axis "
+        "snr_db with snr_db unset)");
+  }
+  for (std::size_t i = 1; i < configs.size(); ++i) {
+    if (surrogate_fingerprint(configs[i], opts.axis) != fp) {
+      throw std::invalid_argument(
+          "sweep_ber_surrogate: configs must differ only along the surrogate "
+          "axis (config " +
+          std::to_string(i) + " has a different fingerprint)");
+    }
+  }
+
+  sim::BerSurrogate local = make_local_view(opts);
+  sim::BerSurrogate& view = opts.cache ? *opts.cache : local;
+
+  std::vector<double> xs;
+  xs.reserve(configs.size());
+  for (const LinkConfig& c : configs) xs.push_back(axis_value(c, opts.axis));
+
+  const sim::CalibrationCurve* stored = view.lookup(fp);
+  const bool usable = stored && rule_matches(*stored, opts.rule);
+
+  std::vector<BerResult> out(configs.size());
+  std::vector<std::size_t> miss_idx;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (usable && stored->covers(xs[i])) {
+      out[i] = result_from_query(stored->query(xs[i]), *stored);
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  if (miss_idx.empty()) return out;
+
+  switch (opts.miss_policy) {
+    case SurrogateMissPolicy::kError: {
+      std::ostringstream msg;
+      msg << "sweep_ber_surrogate: no calibration covers "
+          << sim::surrogate_axis_name(opts.axis) << " = " << xs[miss_idx[0]]
+          << " (" << miss_idx.size() << " of " << configs.size()
+          << " points missed; store " << view.store().dir().string()
+          << ", miss policy kError)";
+      throw std::runtime_error(msg.str());
+    }
+
+    case SurrogateMissPolicy::kCalibrate: {
+      const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+      sim::CalibrationCurve curve =
+          calibrate_ber_surrogate(configs[0], *lo_it, *hi_it, opts);
+      for (std::size_t i : miss_idx) {
+        out[i] = result_from_query(curve.query(xs[i]), curve);
+      }
+      return out;
+    }
+
+    case SurrogateMissPolicy::kFallbackBackfill: {
+      // Measure exactly the missed configs. Each adaptive point is a pure
+      // function of (config, rule) — see core/parallel.h — so these
+      // results are bit-identical to a direct sweep_ber_adaptive call.
+      std::vector<LinkConfig> missed;
+      missed.reserve(miss_idx.size());
+      for (std::size_t i : miss_idx) missed.push_back(configs[i]);
+      SweepOptions sweep_opts;
+      sweep_opts.threads = opts.threads;
+      std::vector<BerResult> mc =
+          sweep_ber_adaptive(missed, opts.rule, sweep_opts);
+
+      sim::CalibrationCurve curve =
+          usable ? *stored : fresh_curve(fp, opts);
+      for (std::size_t k = 0; k < miss_idx.size(); ++k) {
+        out[miss_idx[k]] = mc[k];
+        curve.merge_point(point_from_result(xs[miss_idx[k]], mc[k]));
+      }
+      view.put(curve);  // save failure tolerated: the store is a cache
+      return out;
+    }
+  }
+  return out;  // unreachable
+}
+
+BerResult run_ber_surrogate(const LinkConfig& cfg,
+                            const SurrogateOptions& opts) {
+  return sweep_ber_surrogate(std::span<const LinkConfig>(&cfg, 1), opts)[0];
+}
+
+}  // namespace wlansim::core

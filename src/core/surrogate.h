@@ -1,0 +1,95 @@
+// Surrogate-backed BER measurement drivers: answer BER queries from a
+// persistent calibration curve (sim/ber_surrogate.h) when one covers the
+// query, and from the adaptive Monte-Carlo engine (core/parallel.h) when
+// none does — backfilling the store so the next process never pays again.
+//
+// The split with sim/: sim owns the pure model (curves, interpolation,
+// store); this layer owns everything that needs a WlanLink — computing the
+// fingerprint key from a LinkConfig, driving sweep_ber_adaptive to fill
+// curves, and mapping curve queries back into BerResult.
+//
+// Determinism: a miss under kFallbackBackfill runs sweep_ber_adaptive on
+// exactly the missed configs. Each adaptive point is a pure function of
+// (config, rule) — independent of which other points share the call (see
+// the contract in core/parallel.h) — so the cold path is bit-identical to
+// calling sweep_ber_adaptive directly on the full sweep.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/parallel.h"
+#include "sim/ber_surrogate.h"
+
+namespace wlansim::core {
+
+/// What to do when no stored curve covers a query point.
+enum class SurrogateMissPolicy {
+  /// Measure the missed points with sweep_ber_adaptive, return those MC
+  /// results (bit-identical to a direct adaptive sweep), and merge them
+  /// into the stored curve so the next query hits. The default.
+  kFallbackBackfill,
+  /// Calibrate a fresh auto-chosen grid spanning the query range (knots at
+  /// grid_step spacing, padded by grid_pad on both sides), store it, then
+  /// answer every point from the curve.
+  kCalibrate,
+  /// Throw std::runtime_error. For callers that must never pay MC cost
+  /// (e.g. a latency-bound service path).
+  kError,
+};
+
+struct SurrogateOptions {
+  /// Calibration store directory; empty = default_calibration_dir().
+  std::filesystem::path store_dir;
+  /// Which LinkConfig field the query sweeps (and the curve key's axis).
+  sim::SurrogateAxis axis = sim::SurrogateAxis::kSnrDb;
+  SurrogateMissPolicy miss_policy = SurrogateMissPolicy::kFallbackBackfill;
+  /// Stopping rule for calibration / fallback MC runs.
+  sim::StoppingRule rule;
+  /// Auto-grid spacing and span padding [dB] for kCalibrate and
+  /// calibrate_ber_surrogate. Knots land on multiples of grid_step so
+  /// repeated calibrations over overlapping ranges share knots.
+  double grid_step = 1.0;
+  double grid_pad = 1.0;
+  /// Worker threads for MC runs (run_ber_parallel semantics; 0 = shared).
+  std::size_t threads = 0;
+  /// Optional persistent in-memory cache. Default null: each call builds a
+  /// fresh store view, re-reading disk — so deleting a store file between
+  /// calls is observed as a miss (and, under kFallbackBackfill, reproduces
+  /// the MC result bit-identically). Point at a long-lived sim::BerSurrogate
+  /// to skip the disk read in tight loops that own their store's lifetime.
+  sim::BerSurrogate* cache = nullptr;
+};
+
+/// The calibration store directory queries use when SurrogateOptions::
+/// store_dir is empty: $WLANSIM_CALIB_DIR, else $XDG_CACHE_HOME/wlansim/
+/// calib, else $HOME/.cache/wlansim/calib, else ./.wlansim-calib.
+std::filesystem::path default_calibration_dir();
+
+/// Calibrate (or extend) the curve for `base`'s fingerprint over
+/// [x_lo, x_hi]: choose grid knots (multiples of opts.grid_step covering
+/// the padded span), measure every knot not already stored via
+/// sweep_ber_adaptive under opts.rule, merge, and persist. Returns the
+/// resulting curve. Throws std::invalid_argument when `base` is not
+/// fingerprintable (custom_rf, or axis kSnrDb with snr_db unset).
+sim::CalibrationCurve calibrate_ber_surrogate(const LinkConfig& base,
+                                              double x_lo, double x_hi,
+                                              const SurrogateOptions& opts);
+
+/// Surrogate-backed sweep: like sweep_ber_adaptive(configs, opts.rule) but
+/// each point covered by a stored calibration curve is answered by
+/// interpolation (microseconds) instead of packets. Covered points return a
+/// BerResult with from_surrogate set, model_ber/model_per filled from the
+/// curve, ber_ci_rel the conservative calibrated CI, and zero packet
+/// counters; missed points follow opts.miss_policy. All configs must share
+/// one surrogate fingerprint (differ only along opts.axis) — otherwise
+/// std::invalid_argument.
+std::vector<BerResult> sweep_ber_surrogate(std::span<const LinkConfig> configs,
+                                           const SurrogateOptions& opts = {});
+
+/// Single-point convenience wrapper over sweep_ber_surrogate.
+BerResult run_ber_surrogate(const LinkConfig& cfg,
+                            const SurrogateOptions& opts = {});
+
+}  // namespace wlansim::core

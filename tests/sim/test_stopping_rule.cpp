@@ -35,6 +35,54 @@ TEST(WilsonInterval, EdgeCases) {
                    wilson_halfwidth(0, 1000, 1.96));
 }
 
+TEST(WilsonInterval, ZeroAndOneErrorBoundaryQuanta) {
+  // The calibration store serializes unconverged knots whose relative CI
+  // is literally infinite — pin down exactly when that happens at the
+  // 8-packet quantum boundaries the adaptive engine stops on.
+  const double z = 1.96;
+  for (std::uint64_t bits : {8u * 480u, 16u * 480u, 1024u * 480u}) {
+    SCOPED_TRACE("bits=" + std::to_string(bits));
+    // Zero errors: rate estimate is 0, so the RELATIVE half-width is inf
+    // at every sample size — no amount of clean data converges a rel-CI
+    // target. (The surrogate relies on this: an inf ci_rel knot is marked
+    // unconverged however many packets it absorbed.)
+    EXPECT_TRUE(std::isinf(wilson_rel_halfwidth(0, bits, z)));
+    // The FIRST error snaps it finite...
+    const double rel1 = wilson_rel_halfwidth(1, bits, z);
+    EXPECT_TRUE(std::isfinite(rel1));
+    EXPECT_GT(rel1, 0.0);
+    // ...but one error can never satisfy a practical target: the relative
+    // width is z/sqrt(1)-ish regardless of how many bits diluted it.
+    EXPECT_GT(rel1, 1.0);
+  }
+  // One error's rel half-width is nearly sample-size invariant (it is a
+  // property of the error COUNT): the 8- and 1024-packet quanta agree to
+  // a few percent.
+  EXPECT_NEAR(wilson_rel_halfwidth(1, 8 * 480, z),
+              wilson_rel_halfwidth(1, 1024 * 480, z),
+              0.1 * wilson_rel_halfwidth(1, 1024 * 480, z));
+}
+
+TEST(StoppingRule, ZeroErrorsNeverMeetsAnHonestTarget) {
+  // Even with min_errors disabled, a clean run must not "converge": the
+  // infinite relative CI fails any positive target at any quantum.
+  StoppingRule rule;
+  rule.target_rel_ci = 0.25;
+  rule.min_errors = 0;
+  rule.min_packets = 8;
+  rule.max_packets = 1u << 20;
+  for (std::uint64_t packets : {8u, 64u, 65536u}) {
+    SCOPED_TRACE("packets=" + std::to_string(packets));
+    EXPECT_FALSE(stopping_rule_met(rule, packets, 0, packets * 480));
+  }
+  // The first error at the next quantum flips the CI finite; with a loose
+  // enough target that single error is already decisive.
+  StoppingRule loose = rule;
+  loose.target_rel_ci = 3.0;  // rel CI of one error ~ 1.96
+  EXPECT_FALSE(stopping_rule_met(loose, 8, 0, 8 * 480));
+  EXPECT_TRUE(stopping_rule_met(loose, 16, 1, 16 * 480));
+}
+
 TEST(WilsonInterval, TightensWithMoreErrors) {
   // At a fixed error rate, more data means a tighter relative interval.
   double prev = std::numeric_limits<double>::infinity();

@@ -9,6 +9,12 @@ directly:
     tools/run_bench.sh                      # re-record BENCH_engine.json
     tools/check_bench_regression.py --fresh /tmp/fresh.json
 
+With --dry-run no baseline is consulted: the fresh recording alone is
+validated (parses, Release-flavored, and contains every watched benchmark).
+run_bench.sh uses this to vet a recording before publishing it, and CI uses
+it to keep the bench suite compiling and the watch list honest on machines
+with no trustworthy baseline timing.
+
 cpu_time is compared rather than real_time: the BER-sweep benches are
 wall-clock parallel and cpu_time is the steadier signal on loaded CI boxes.
 """
@@ -31,6 +37,8 @@ DEFAULT_WATCHED = [
     "BM_FftBatch64/32",
     "BM_TxModulateBatch",
     "BM_RxDataSymbolsBatch",
+    "BM_SurrogateCalibrateCold/iterations:1",
+    "BM_SurrogateQueryWarm/iterations:1",
 ]
 
 
@@ -58,7 +66,37 @@ def main():
     ap.add_argument("--benchmarks", default=",".join(DEFAULT_WATCHED),
                     help="comma-separated benchmark names to watch "
                          "(default: the hot-path set)")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="validate the fresh recording only (no baseline "
+                         "comparison): it must parse, be Release-flavored, "
+                         "and contain every watched benchmark")
     args = ap.parse_args()
+
+    watched = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+
+    if args.dry_run:
+        try:
+            fresh_ctx, fresh = load_times(args.fresh)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"bench-check: --dry-run: cannot read {args.fresh}: {err}",
+                  file=sys.stderr)
+            return 1
+        failures = []
+        if fresh_ctx.get("wlansim_non_release_build"):
+            failures.append(
+                f"recorded from a non-Release build "
+                f"({fresh_ctx['wlansim_non_release_build']})")
+        for name in watched:
+            if name not in fresh:
+                failures.append(f"watched benchmark '{name}' missing")
+        if failures:
+            for msg in failures:
+                print(f"bench-check: FAILURE: {args.fresh}: {msg}",
+                      file=sys.stderr)
+            return 1
+        print(f"bench-check: --dry-run: {args.fresh} OK "
+              f"({len(watched)} watched benchmarks present)")
+        return 0
 
     base_ctx, base = load_times(args.baseline)
     fresh_ctx, fresh = load_times(args.fresh)
@@ -83,21 +121,22 @@ def main():
               file=sys.stderr)
         return 1
 
-    watched = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
     failures = []
     for name in watched:
-        # A watched name absent from either file is a hard failure: a silent
-        # skip would let a renamed or accidentally-dropped benchmark
-        # evacuate the watch list without anyone noticing. After adding a
-        # benchmark, re-record the baseline (tools/run_bench.sh) in the same
-        # change.
-        if name not in base:
-            failures.append(f"'{name}' missing from baseline "
-                            f"{args.baseline} (re-record it with "
-                            "tools/run_bench.sh)")
-            continue
+        # A watched name absent from the FRESH run is a hard failure: a
+        # silent skip would let a renamed or accidentally-dropped benchmark
+        # evacuate the watch list without anyone noticing.
         if name not in fresh:
             failures.append(f"'{name}' missing from fresh run {args.fresh}")
+            continue
+        # Absent from the baseline but present fresh = a benchmark newly
+        # added to the watch list, checked against a recording that predates
+        # it. Nothing to compare yet — report it and move on, so growing the
+        # watch list does not hard-fail every older baseline. (Re-record
+        # with tools/run_bench.sh to start tracking it.)
+        if name not in base:
+            print(f"bench-check: NEW {name}: not in baseline "
+                  f"{args.baseline}; recorded fresh, nothing to compare")
             continue
         (b, unit_b), (f, unit_f) = base[name], fresh[name]
         if unit_b != unit_f:

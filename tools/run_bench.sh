@@ -97,6 +97,18 @@ if [[ "$lib_build_type" == "debug" ]]; then
   echo "run_bench.sh: WARNING: debug libbenchmark; numbers are only" >&2
   echo "  comparable to a baseline recorded with the same library flavor." >&2
 fi
+
+# Vet the recording we just made before it can become the baseline: it must
+# parse and contain every benchmark the regression checker watches. Catches
+# a watched-list/suite drift (renamed or dropped benchmark) at record time
+# instead of at the next bench-check.
+if ! python3 "$repo_root/tools/check_bench_regression.py" \
+    --dry-run --fresh "$tmp_out"; then
+  rm -f "$tmp_out"
+  echo "run_bench.sh: freshly recorded output failed validation (see" >&2
+  echo "  bench-check messages above); baseline left untouched." >&2
+  exit 1
+fi
 mv "$tmp_out" "$out"
 
 if [[ "$build_type" != "Release" ]]; then

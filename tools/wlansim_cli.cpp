@@ -18,6 +18,7 @@
 #include "core/cliargs.h"
 #include "core/experiments.h"
 #include "core/parallel.h"
+#include "core/surrogate.h"
 #include "dsp/mathutil.h"
 #include "rf/analyses.h"
 #include "sim/waveio.h"
@@ -100,6 +101,20 @@ std::optional<sim::StoppingRule> rule_from_args(const core::CliArgs& args) {
   return rule;
 }
 
+/// Surrogate query options from --calib-dir plus the adaptive flags (the
+/// stopping rule doubles as the calibration / fallback-MC rule).
+core::SurrogateOptions surrogate_opts_from_args(
+    const core::CliArgs& args, sim::SurrogateAxis axis,
+    const std::optional<sim::StoppingRule>& rule, std::size_t threads) {
+  core::SurrogateOptions opts;
+  opts.axis = axis;
+  if (rule.has_value()) opts.rule = *rule;
+  const std::string dir = args.get_string("calib-dir", "");
+  if (!dir.empty()) opts.store_dir = dir;
+  opts.threads = threads;
+  return opts;
+}
+
 void print_ber_result(const core::LinkConfig& cfg, const core::BerResult& r) {
   std::printf("rate        : %s\n",
               std::string(phy::rate_name(cfg.rate)).c_str());
@@ -117,8 +132,23 @@ int cmd_ber(const core::CliArgs& args) {
   const auto packets = static_cast<std::size_t>(args.get_long("packets", 20));
   const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
   const auto rule = rule_from_args(args);
+  const bool surrogate = args.has("surrogate");
+  const core::SurrogateOptions sopts = surrogate_opts_from_args(
+      args, sim::SurrogateAxis::kSnrDb, rule, threads);
   fail_on_unused(args);
 
+  if (surrogate) {
+    const core::BerResult r = core::run_ber_surrogate(cfg, sopts);
+    print_ber_result(cfg, r);
+    if (r.from_surrogate) {
+      std::printf("source      : calibration store (surrogate, ~0 packets)\n");
+    } else {
+      std::printf("source      : adaptive MC (store miss; curve backfilled "
+                  "for next time)\n");
+      std::printf("wall        : %.2f s\n", r.wall_seconds);
+    }
+    return 0;
+  }
   if (rule.has_value()) {
     const core::BerResult r = core::run_ber_adaptive(cfg, *rule, threads);
     print_ber_result(cfg, r);
@@ -149,6 +179,22 @@ int cmd_sweep(const core::CliArgs& args) {
   std::vector<double> values;
   for (double v = from; v <= to + 1e-9; v += step) values.push_back(v);
 
+  const bool surrogate = args.has("surrogate");
+  std::optional<sim::SurrogateAxis> axis;
+  if (surrogate) {
+    if (param == "snr") {
+      axis = sim::SurrogateAxis::kSnrDb;
+    } else if (param == "power") {
+      axis = sim::SurrogateAxis::kRxPowerDbm;
+    } else {
+      throw std::invalid_argument(
+          "--surrogate sweeps support --param snr|power only (other "
+          "parameters change the front-end, i.e. the calibration key)");
+    }
+  }
+  const core::SurrogateOptions sopts = surrogate_opts_from_args(
+      args, axis.value_or(sim::SurrogateAxis::kSnrDb), rule, threads);
+
   const core::LinkConfig base = link_from_args(args);
   fail_on_unused(args);
 
@@ -173,11 +219,16 @@ int cmd_sweep(const core::CliArgs& args) {
     points.push_back(cfg);
   }
 
-  core::SweepOptions opts;
-  opts.threads = threads;
-  const std::vector<core::BerResult> results =
-      rule.has_value() ? core::sweep_ber_adaptive(points, *rule, opts)
-                       : core::sweep_ber_parallel(points, packets, threads);
+  std::vector<core::BerResult> results;
+  if (surrogate) {
+    results = core::sweep_ber_surrogate(points, sopts);
+  } else if (rule.has_value()) {
+    core::SweepOptions opts;
+    opts.threads = threads;
+    results = core::sweep_ber_adaptive(points, *rule, opts);
+  } else {
+    results = core::sweep_ber_parallel(points, packets, threads);
+  }
 
   sim::SweepResult res;
   res.param_name = param;
@@ -186,13 +237,14 @@ int cmd_sweep(const core::CliArgs& args) {
     const core::BerResult& r = results[k];
     std::map<std::string, double> row{
         {"ber", r.ber()}, {"per", r.per()}, {"evm", r.evm_rms_avg}};
-    if (rule.has_value()) {
+    if (rule.has_value() || surrogate) {
       row["packets"] = static_cast<double>(r.packets);
       row["bit_errors"] = static_cast<double>(r.bit_errors);
       row["ci_rel"] = r.ber_ci_rel;
       row["converged"] = r.converged ? 1.0 : 0.0;
       row["wall_s"] = r.wall_seconds;
     }
+    if (surrogate) row["surrogate"] = r.from_surrogate ? 1.0 : 0.0;
     res.rows.push_back(sim::SweepRow{values[k], std::move(row)});
   }
 
@@ -279,12 +331,13 @@ void usage() {
       "wlansim — 802.11a link-level verification with RF in the loop\n"
       "\n"
       "  wlansim ber      [link options] [--packets N] [--threads T]\n"
-      "                   [adaptive options]\n"
+      "                   [adaptive options] [surrogate options]\n"
       "  wlansim goodput  [link options] [--payload B] [--frames N]\n"
       "                   [--retries R]\n"
       "  wlansim sweep    --param snr|p1db|bandwidth|power|sco\n"
       "                   --from A --to B --step S [--packets N] [--csv F]\n"
       "                   [--threads T] [adaptive options]\n"
+      "                   [surrogate options]\n"
       "  wlansim spectrum [link options] [--csv F]\n"
       "  wlansim rfchar   [link options]\n"
       "\n"
@@ -297,6 +350,15 @@ void usage() {
       "  --min-errors E                 require E bit errors first [100]\n"
       "  --min-packets N                minimum packets per point [8]\n"
       "  --max-packets N                hard cap per point [10000]\n"
+      "\n"
+      "surrogate options (ber and sweep; sweep supports --param snr|power):\n"
+      "  --surrogate                    answer from the persistent BER\n"
+      "                                 calibration store when a stored\n"
+      "                                 curve covers the point; misses run\n"
+      "                                 adaptive MC and backfill the store\n"
+      "  --calib-dir DIR                calibration store directory\n"
+      "                                 [$WLANSIM_CALIB_DIR, else\n"
+      "                                 ~/.cache/wlansim/calib]\n"
       "\n"
       "link options:\n"
       "  --rate 6|9|12|18|24|36|48|54   data rate [24]\n"
