@@ -23,6 +23,7 @@
 #include "phy80211a/transmitter.h"
 #include "phy80211b/chips.h"
 #include "rf/receiver_chain.h"
+#include "scenario/drop.h"
 #include "sim/graph.h"
 #include "testsupport/alloc_hook.h"
 
@@ -584,6 +585,68 @@ void BM_SurrogateQueryWarm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 40);
 }
 BENCHMARK(BM_SurrogateQueryWarm)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+scenario::DropConfig bench_drop_config() {
+  // A 256-station, 2-step drop whose SNRs collapse onto ~15 one-dB bins:
+  // the network-scale workload of the drop engine. The loose rule keeps the
+  // cold pooled pass to a few waves; max_packets bounds the error-free
+  // high-SNR bins.
+  scenario::DropConfig cfg;
+  cfg.num_stations = 256;
+  cfg.num_steps = 2;
+  cfg.area_half_m = 60.0;
+  cfg.link = core::default_link_config();
+  cfg.link.psdu_bytes = 60;
+  cfg.snr_bin_db = 1.0;
+  cfg.snr_min_db = 2.0;
+  cfg.snr_max_db = 14.0;
+  cfg.rule.target_rel_ci = 0.5;
+  cfg.rule.min_errors = 20;
+  cfg.rule.min_packets = 8;
+  cfg.rule.max_packets = 48;
+  cfg.store_dir = bench_calib_dir() / "drop";
+  return cfg;
+}
+
+void BM_DropThroughputCold(benchmark::State& state) {
+  // Empty store: every distinct (fingerprint, SNR-bin) key pays one pooled
+  // adaptive Monte-Carlo evaluation; stations/sec here is the floor the
+  // warm path is measured against.
+  const scenario::DropConfig cfg = bench_drop_config();
+  for (auto _ : state) {
+    std::filesystem::remove_all(cfg.store_dir);
+    const scenario::DropSummary s = scenario::run_drop(cfg, {});
+    if (s.totals.warm + s.totals.cold != s.totals.distinct) {
+      state.SkipWithError("dedup stats inconsistent");
+      return;
+    }
+    benchmark::DoNotOptimize(s.totals.queries);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(cfg.num_stations * cfg.num_steps));
+}
+BENCHMARK(BM_DropThroughputCold)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_DropThroughputWarm(benchmark::State& state) {
+  // The payoff: the identical drop against the store the cold run filled —
+  // every station-step answered by curve interpolation, zero Monte-Carlo
+  // packets. Target: >= 100x the cold stations/sec.
+  const scenario::DropConfig cfg = bench_drop_config();
+  std::filesystem::remove_all(cfg.store_dir);
+  scenario::run_drop(cfg, {});  // warm the store
+  for (auto _ : state) {
+    const scenario::DropSummary s = scenario::run_drop(cfg, {});
+    if (s.totals.cold != 0) {
+      state.SkipWithError("warm drop hit a cold key");
+      return;
+    }
+    benchmark::DoNotOptimize(s.totals.queries);
+  }
+  std::filesystem::remove_all(cfg.store_dir);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(cfg.num_stations * cfg.num_steps));
+}
+BENCHMARK(BM_DropThroughputWarm)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -4,25 +4,44 @@
 // rate climbs with SNR, and pushing a too-high rate collapses goodput via
 // retransmissions — the crossover structure every WLAN rate-control
 // algorithm lives off.
+//
+// Measurement: one pooled adaptive Monte-Carlo sweep over all (rate, SNR)
+// points gives each point's PER to a bounded confidence interval (instead
+// of the old fixed per-point frame budget), then the stop-and-wait ARQ
+// layer is closed analytically over the measured PER: delivery ratio
+// 1 - p^(r+1), expected attempts (1 - p^(r+1)) / (1 - p), airtime from the
+// PPDU duration at the MAC frame size.
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/arq.h"
 #include "core/experiments.h"
+#include "core/parallel.h"
+#include "phy80211a/mpdu.h"
 
 namespace {
 
 using namespace wlansim;
 
-double goodput_mbps(phy::Rate rate, double snr, std::size_t frames) {
-  core::LinkConfig cfg = core::default_link_config();
-  cfg.rate = rate;
-  cfg.snr_db = snr;
-  core::ArqConfig arq;
-  arq.payload_bytes = 500;
-  arq.num_frames = frames;
-  const core::ArqResult r = core::run_arq(cfg, arq);
-  return r.goodput_bps(arq.payload_bytes) / 1e6;
+constexpr std::size_t kPayloadBytes = 500;
+constexpr std::size_t kMaxRetries = 3;
+
+/// Analytic stop-and-wait ARQ goodput [Mbps] over a measured PER.
+double arq_goodput_mbps(phy::Rate rate, double per) {
+  const std::size_t psdu =
+      kPayloadBytes + phy::kMacHeaderBytes + phy::kFcsBytes;
+  const double airtime_s = core::ppdu_airtime_s(rate, psdu);
+  const double p = per;
+  // r+1 tries max; expected attempts per offered frame E = sum of the
+  // geometric series, delivery probability 1 - p^(r+1).
+  const double delivery = 1.0 - std::pow(p, kMaxRetries + 1);
+  const double attempts =
+      p < 1.0 ? (1.0 - std::pow(p, kMaxRetries + 1)) / (1.0 - p)
+              : static_cast<double>(kMaxRetries + 1);
+  const double payload_bits = 8.0 * static_cast<double>(kPayloadBytes);
+  return delivery * payload_bits / (attempts * airtime_s) / 1e6;
 }
 
 }  // namespace
@@ -35,10 +54,35 @@ int main() {
 
   const phy::Rate rates[] = {phy::Rate::kMbps6, phy::Rate::kMbps12,
                              phy::Rate::kMbps24, phy::Rate::kMbps54};
-  const std::size_t frames = 12;
+  const double snrs[] = {8.0, 14.0, 20.0, 28.0};
 
-  std::printf("stop-and-wait ARQ, 500-byte payloads, %zu frames/point, "
-              "RF front-end in the loop:\n\n", frames);
+  // All 16 (rate, SNR) points in ONE pooled adaptive pass: the noisy
+  // low-SNR points stop on their CI while the clean points run to the cap,
+  // and the wave scheduler steals work across the whole grid.
+  sim::StoppingRule rule;
+  rule.target_rel_ci = 0.30;
+  rule.min_errors = 30;
+  rule.min_packets = 8;
+  rule.max_packets = 64;
+
+  std::vector<core::LinkConfig> points;
+  for (phy::Rate r : rates) {
+    for (double snr : snrs) {
+      core::LinkConfig cfg = core::default_link_config();
+      cfg.rate = r;
+      cfg.snr_db = snr;
+      cfg.psdu_bytes = kPayloadBytes + phy::kMacHeaderBytes + phy::kFcsBytes;
+      points.push_back(cfg);
+    }
+  }
+  const std::vector<core::BerResult> results =
+      core::sweep_ber_adaptive(points, rule);
+
+  std::size_t packets = 0;
+  for (const auto& r : results) packets += r.packets;
+  std::printf("stop-and-wait ARQ closed over adaptive-MC PER (CI-bounded, "
+              "%zu packets total), 500-byte payloads, RF front-end in the "
+              "loop:\n\n", packets);
   std::printf("%8s", "SNR");
   for (phy::Rate r : rates)
     std::printf("  %8.0fM", phy::rate_params(r).rate_mbps);
@@ -46,20 +90,21 @@ int main() {
 
   double best_at_low = 0.0, best_at_high = 0.0;
   bool ordered = true;
-  for (double snr : {8.0, 14.0, 20.0, 28.0}) {
-    std::printf("%8.0f", snr);
+  for (std::size_t si = 0; si < std::size(snrs); ++si) {
+    std::printf("%8.0f", snrs[si]);
     double best_rate = 0.0, best_gp = -1.0;
-    for (phy::Rate r : rates) {
-      const double gp = goodput_mbps(r, snr, frames);
+    for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
+      const core::BerResult& res = results[ri * std::size(snrs) + si];
+      const double gp = arq_goodput_mbps(rates[ri], res.per());
       std::printf("  %9.2f", gp);
       if (gp > best_gp) {
         best_gp = gp;
-        best_rate = phy::rate_params(r).rate_mbps;
+        best_rate = phy::rate_params(rates[ri]).rate_mbps;
       }
     }
     std::printf("   %4.0fM\n", best_rate);
-    if (snr == 8.0) best_at_low = best_rate;
-    if (snr == 28.0) best_at_high = best_rate;
+    if (snrs[si] == 8.0) best_at_low = best_rate;
+    if (snrs[si] == 28.0) best_at_high = best_rate;
     if (best_gp <= 0.0) ordered = false;
   }
 

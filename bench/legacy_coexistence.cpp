@@ -10,17 +10,64 @@
 #include "channel/awgn.h"
 #include "dsp/mathutil.h"
 #include "core/experiments.h"
+#include "core/parallel.h"
 #include "phy80211b/chips.h"
 #include "phy80211b/receiver.h"
 #include "phy80211b/transmitter.h"
 #include "sim/node.h"
+#include "sim/sweep.h"
 
 namespace {
 
 using namespace wlansim;
 
+/// Loose CI-bounded stopping rule for the coexistence shape checks: points
+/// with real error rates stop as soon as the estimate is usable; clean
+/// points are capped instead of burning a fixed budget.
+sim::StoppingRule coex_rule() {
+  sim::StoppingRule rule;
+  rule.target_rel_ci = 0.35;
+  rule.min_errors = 25;
+  rule.min_packets = 4;
+  rule.max_packets = 12;
+  return rule;
+}
+
+/// Adaptive packet loop over ONE link (the custom-RF wrapper makes the
+/// link non-fingerprintable, so the pooled engines would rebuild the RF
+/// chain per packet; a single WlanLink keeps the old per-packet cost while
+/// the stopping rule bounds the budget).
+core::BerResult run_ber_adaptive_single(core::WlanLink& link,
+                                        const sim::StoppingRule& rule) {
+  core::BerResult agg;
+  double evm_acc = 0.0;
+  std::size_t evm_n = 0;
+  // stopping_rule_met only signals CI convergence; the packet cap is the
+  // caller's job (the pooled engine enforces it in its scheduler).
+  while (agg.packets < rule.max_packets &&
+         !sim::stopping_rule_met(rule, agg.packets, agg.bit_errors,
+                                 agg.bits)) {
+    const core::PacketResult r = link.run_packet(agg.packets);
+    ++agg.packets;
+    agg.bits += r.bits;
+    agg.bit_errors += r.bit_errors;
+    if (r.bit_errors > 0 || !r.decoded) ++agg.packet_errors;
+    if (!r.decoded) {
+      ++agg.packets_lost;
+    } else {
+      evm_acc += r.evm_rms;
+      ++evm_n;
+    }
+  }
+  agg.evm_rms_avg = evm_n ? evm_acc / static_cast<double>(evm_n) : 0.0;
+  agg.ber_ci_rel = sim::wilson_rel_halfwidth(agg.bit_errors, agg.bits,
+                                             rule.confidence_z);
+  agg.converged = agg.packets < rule.max_packets;
+  return agg;
+}
+
 /// 802.11a BER with a DSSS blocker at +20 MHz injected via the custom path.
-core::BerResult run_with_dsss(double level_db, std::size_t packets) {
+core::BerResult run_with_dsss(double level_db) {
   // The stock interferer machinery generates OFDM traffic; inject the DSSS
   // blocker by wrapping the RF front-end: add the blocker at its input.
   core::LinkConfig cfg = core::default_link_config();
@@ -51,17 +98,24 @@ core::BerResult run_with_dsss(double level_db, std::size_t packets) {
     w->inner = std::make_unique<rf::DoubleConversionReceiver>(rfc, rng.fork());
     return w;
   };
+  // Adaptive loop under the CI rule: the high-blocker point collects its
+  // error quota quickly while the clean points stop at the cap.
   core::WlanLink link(cfg);
-  return link.run_ber(packets);
+  return run_ber_adaptive_single(link, coex_rule());
 }
 
-/// 802.11b PER at a chip SNR [dB] (AWGN, one-sample-per-chip).
-double per11b(phy11b::Rate11b rate, double chip_snr_db, std::size_t frames) {
+/// 802.11b PER at a chip SNR [dB] (AWGN, one-sample-per-chip). Adaptive
+/// frame loop: stop once the rule is satisfied on the frame-error count
+/// (frames double as both packets and trials for the CI test).
+double per11b(phy11b::Rate11b rate, double chip_snr_db,
+              const sim::StoppingRule& rule) {
   dsp::Rng rng(7 + static_cast<int>(rate));
   phy11b::Transmitter11b tx;
   phy11b::Receiver11b rx;
   std::size_t errors = 0;
-  for (std::size_t f = 0; f < frames; ++f) {
+  std::size_t frames = 0;
+  while (frames < rule.max_packets &&
+         !sim::stopping_rule_met(rule, frames, errors, frames)) {
     const phy::Bytes payload = phy::random_bytes(100, rng);
     dsp::CVec wave = tx.modulate({rate, payload});
     dsp::CVec in(200, dsp::Cplx{0.0, 0.0});
@@ -71,6 +125,7 @@ double per11b(phy11b::Rate11b rate, double chip_snr_db, std::size_t frames) {
     in = channel::add_awgn(in, noise, rng);
     const auto res = rx.receive(in);
     if (!res.header_ok || res.psdu != payload) ++errors;
+    ++frames;
   }
   return static_cast<double>(errors) / static_cast<double>(frames);
 }
@@ -83,21 +138,29 @@ int main() {
                 "OFDM one; the 802.11b modem's own waterfall is ordered "
                 "1 < 2 < 5.5 < 11 Mbps");
 
-  const std::size_t packets = 8;
   std::printf("802.11a (24 Mbps) with an 11 Mchip/s DSSS blocker at "
-              "+20 MHz (%zu packets):\n", packets);
-  std::printf("%16s  %10s  %8s\n", "blocker [dB]", "ber", "evm%");
+              "+20 MHz (adaptive, CI-bounded):\n");
+  std::printf("%16s  %10s  %8s  %8s\n", "blocker [dB]", "ber", "evm%",
+              "packets");
   double ber_low = 0.0, ber_high = 0.0;
   for (double level : {0.0, 16.0, 36.0}) {
-    const core::BerResult r = run_with_dsss(level, packets);
-    std::printf("%16.0f  %10.2e  %8.2f\n", level, r.ber(),
-                100.0 * r.evm_rms_avg);
+    const core::BerResult r = run_with_dsss(level);
+    std::printf("%16.0f  %10.2e  %8.2f  %8zu\n", level, r.ber(),
+                100.0 * r.evm_rms_avg, r.packets);
     if (level == 16.0) ber_low = r.ber();
     if (level == 36.0) ber_high = r.ber();
   }
 
-  std::printf("\n802.11b packet error rate vs chip SNR (AWGN, 12 frames "
-              "each):\n");
+  // Frame-error rule for the 11b waterfall: error-heavy points stop once
+  // 10 frame errors give a usable PER; clean points cap at 24 frames.
+  sim::StoppingRule rule11b;
+  rule11b.target_rel_ci = 0.35;
+  rule11b.min_errors = 10;
+  rule11b.min_packets = 8;
+  rule11b.max_packets = 24;
+
+  std::printf("\n802.11b packet error rate vs chip SNR (AWGN, adaptive "
+              "frame loop, <= %zu frames):\n", rule11b.max_packets);
   std::printf("%12s  %8s %8s %8s %8s\n", "chip SNR", "1M", "2M", "5.5M",
               "11M");
   double per11_at_low = 0.0, per1_at_low = 0.0;
@@ -106,7 +169,7 @@ int main() {
     for (phy11b::Rate11b r :
          {phy11b::Rate11b::kMbps1, phy11b::Rate11b::kMbps2,
           phy11b::Rate11b::kMbps5_5, phy11b::Rate11b::kMbps11}) {
-      const double per = per11b(r, snr, 12);
+      const double per = per11b(r, snr, rule11b);
       std::printf(" %8.2f", per);
       if (snr == 0.0 && r == phy11b::Rate11b::kMbps1) per1_at_low = per;
       if (snr == 0.0 && r == phy11b::Rate11b::kMbps11) per11_at_low = per;

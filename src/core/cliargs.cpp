@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/surrogate.h"
+
 namespace wlansim::core {
 
 CliArgs CliArgs::parse(int argc, const char* const* argv, int start) {
@@ -77,6 +79,32 @@ std::vector<std::string> CliArgs::unused() const {
     if (!used_.count(k)) out.push_back(k);
   }
   return out;
+}
+
+std::optional<sim::StoppingRule> stopping_rule_from_args(const CliArgs& args) {
+  if (!args.has("target-ci") && !args.has("min-errors") &&
+      !args.has("max-packets") && !args.has("min-packets")) {
+    return std::nullopt;
+  }
+  sim::StoppingRule rule;
+  rule.target_rel_ci = args.get_double("target-ci", rule.target_rel_ci);
+  rule.min_errors = static_cast<std::size_t>(args.get_long("min-errors", 100));
+  rule.min_packets = static_cast<std::size_t>(args.get_long("min-packets", 8));
+  rule.max_packets =
+      static_cast<std::size_t>(args.get_long("max-packets", 10000));
+  return rule;
+}
+
+SurrogateOptions surrogate_options_from_args(
+    const CliArgs& args, sim::SurrogateAxis axis,
+    const std::optional<sim::StoppingRule>& rule, std::size_t threads) {
+  SurrogateOptions opts;
+  opts.axis = axis;
+  if (rule.has_value()) opts.rule = *rule;
+  const std::string dir = args.get_string("calib-dir", "");
+  if (!dir.empty()) opts.store_dir = dir;
+  opts.threads = threads;
+  return opts;
 }
 
 }  // namespace wlansim::core

@@ -1,15 +1,27 @@
 // Minimal command-line argument parsing for the wlansim CLI tool:
 // `--key value` and `--flag` pairs after a subcommand, with typed lookup
-// and unknown-key detection. No external dependencies.
+// and unknown-key detection — plus the shared flag -> option translations
+// (adaptive stopping rule, surrogate store) every measuring subcommand and
+// bench driver uses, so the flag names and defaults stay in one place.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "sim/sweep.h"
+
+namespace wlansim::sim {
+enum class SurrogateAxis : std::uint8_t;
+}
+
 namespace wlansim::core {
+
+struct SurrogateOptions;  // core/surrogate.h
 
 class CliArgs {
  public:
@@ -35,5 +47,16 @@ class CliArgs {
   std::map<std::string, std::string> kv_;
   mutable std::set<std::string> used_;
 };
+
+/// Adaptive early-stopping rule from --target-ci / --min-errors /
+/// --max-packets / --min-packets: present when any of the four is given
+/// (defaults 0.10 / 100 / 10000 / 8), nullopt = fixed packet budget.
+std::optional<sim::StoppingRule> stopping_rule_from_args(const CliArgs& args);
+
+/// Surrogate / dedup evaluation options from --calib-dir plus the adaptive
+/// flags (the stopping rule doubles as the calibration / fallback-MC rule).
+SurrogateOptions surrogate_options_from_args(
+    const CliArgs& args, sim::SurrogateAxis axis,
+    const std::optional<sim::StoppingRule>& rule, std::size_t threads);
 
 }  // namespace wlansim::core

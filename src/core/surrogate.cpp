@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/fingerprint.h"
 
@@ -267,6 +269,135 @@ std::vector<BerResult> sweep_ber_surrogate(std::span<const LinkConfig> configs,
 BerResult run_ber_surrogate(const LinkConfig& cfg,
                             const SurrogateOptions& opts) {
   return sweep_ber_surrogate(std::span<const LinkConfig>(&cfg, 1), opts)[0];
+}
+
+// ---------------------------------------------------------------------------
+// Deduplicated, pooled link evaluation
+// ---------------------------------------------------------------------------
+
+double quantize_axis(double x, double bin_width) {
+  if (!(bin_width > 0.0)) return x;
+  return std::round(x / bin_width) * bin_width;
+}
+
+std::vector<BerResult> sweep_ber_deduped(std::span<const LinkConfig> configs,
+                                         const DedupOptions& opts,
+                                         DedupStats* stats) {
+  const SurrogateOptions& sopts = opts.surrogate;
+  DedupStats st;
+  st.queries = configs.size();
+  std::vector<BerResult> out(configs.size());
+  if (configs.empty()) {
+    if (stats) *stats = st;
+    return out;
+  }
+
+  // Distinct (fingerprint, quantized-axis) work list, first-appearance
+  // order. The axis is snapped onto the bin grid BEFORE evaluation: the
+  // representative config carries the binned value, so a key's result is
+  // exactly what a direct measurement of that config would produce.
+  // Quantized values of one bin are computed by the same expression from
+  // the same bin index, so exact double equality in the key is sound.
+  struct Entry {
+    LinkConfig rep;
+    std::string fp;
+    double x = 0.0;
+    BerResult result;
+    bool warm = false;
+  };
+  std::vector<Entry> entries;
+  std::map<std::pair<std::string, double>, std::size_t> index;
+  std::vector<std::size_t> slot_of(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    std::string fp = surrogate_fingerprint(configs[i], sopts.axis);
+    if (fp.empty()) {
+      throw std::invalid_argument(
+          "sweep_ber_deduped: config " + std::to_string(i) +
+          " not fingerprintable (custom_rf, or axis snr_db with snr_db "
+          "unset)");
+    }
+    const double x = axis_value(configs[i], sopts.axis);
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument("sweep_ber_deduped: config " +
+                                  std::to_string(i) +
+                                  " has a non-finite axis value");
+    }
+    const double qx = quantize_axis(x, opts.bin_width_db);
+    const auto [it, inserted] =
+        index.try_emplace({std::move(fp), qx}, entries.size());
+    if (inserted) {
+      Entry e;
+      e.rep = configs[i];
+      set_axis_value(e.rep, sopts.axis, qx);
+      e.fp = it->first.first;
+      e.x = qx;
+      entries.push_back(std::move(e));
+    }
+    slot_of[i] = it->second;
+  }
+  st.distinct = entries.size();
+
+  sim::BerSurrogate local = make_local_view(sopts);
+  sim::BerSurrogate& view = sopts.cache ? *sopts.cache : local;
+
+  // Warm pass: a key whose fingerprint has a stored, rule-matched curve
+  // covering its bin is answered from the curve. Backfilled knots sit at
+  // exactly the bin values, so warm answers are knot-exact replays of the
+  // MC results that filled them.
+  if (opts.use_store) {
+    for (Entry& e : entries) {
+      const sim::CalibrationCurve* curve = view.lookup(e.fp);
+      if (curve && rule_matches(*curve, sopts.rule) && curve->covers(e.x)) {
+        e.result = result_from_query(curve->query(e.x), *curve);
+        e.warm = true;
+      }
+    }
+  }
+
+  // Pooled cold pass: ONE adaptive sweep over every cold key across all
+  // fingerprint groups, so the wave scheduler steals work across the whole
+  // miss list and TX-scene memoization applies whenever the groups share a
+  // TX fingerprint. Each point is a pure function of (config, rule) — see
+  // core/parallel.h — so pooling changes nothing about any single result.
+  std::vector<std::size_t> cold;
+  for (std::size_t k = 0; k < entries.size(); ++k)
+    if (!entries[k].warm) cold.push_back(k);
+  if (!cold.empty()) {
+    std::vector<LinkConfig> cfgs;
+    cfgs.reserve(cold.size());
+    for (const std::size_t k : cold) cfgs.push_back(entries[k].rep);
+    SweepOptions sweep_opts;
+    sweep_opts.threads = sopts.threads;
+    const std::vector<BerResult> mc =
+        sweep_ber_adaptive(cfgs, sopts.rule, sweep_opts);
+    for (std::size_t j = 0; j < cold.size(); ++j)
+      entries[cold[j]].result = mc[j];
+
+    if (opts.use_store) {
+      // Backfill one curve per fingerprint group so the next mobility step
+      // (and the next process) hits warm.
+      std::map<std::string, std::vector<std::size_t>, std::less<>> by_fp;
+      for (const std::size_t k : cold) by_fp[entries[k].fp].push_back(k);
+      for (const auto& [fp, ks] : by_fp) {
+        const sim::CalibrationCurve* stored = view.lookup(fp);
+        sim::CalibrationCurve curve = stored && rule_matches(*stored, sopts.rule)
+                                          ? *stored
+                                          : fresh_curve(fp, sopts);
+        for (const std::size_t k : ks) {
+          curve.merge_point(
+              point_from_result(entries[k].x, entries[k].result));
+        }
+        view.put(curve);  // save failure tolerated: the store is a cache
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    out[i] = entries[slot_of[i]].result;
+  st.cold = cold.size();
+  st.warm = st.distinct - st.cold;
+  if (stats) *stats = st;
+  return out;
 }
 
 }  // namespace wlansim::core

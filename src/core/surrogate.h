@@ -92,4 +92,67 @@ std::vector<BerResult> sweep_ber_surrogate(std::span<const LinkConfig> configs,
 BerResult run_ber_surrogate(const LinkConfig& cfg,
                             const SurrogateOptions& opts = {});
 
+// ---------------------------------------------------------------------------
+// Deduplicated, pooled link evaluation (the network-scale drop core)
+// ---------------------------------------------------------------------------
+//
+// A multi-user drop asks for thousands-to-millions of link evaluations, but
+// the queries collapse onto a few hundred distinct (front-end fingerprint,
+// quantized-axis) points: stations share the base link configuration and
+// differ only in geometry-derived SNR. sweep_ber_deduped exploits that:
+// quantize, deduplicate, answer warm keys from the calibration store, run
+// every cold key in ONE pooled sweep_ber_adaptive pass (so the wave
+// scheduler's cross-point work stealing and TX-scene memoization keep
+// sharing work across the whole miss list), backfill the store, and scatter
+// results back to the full query list.
+
+/// Snap `x` onto the quantization grid: the nearest multiple of
+/// `bin_width` (std::round ties go away from zero, so the mapping is
+/// symmetric around 0 and platform-independent). bin_width <= 0 disables
+/// quantization and returns `x` unchanged.
+double quantize_axis(double x, double bin_width);
+
+struct DedupOptions {
+  /// Store / axis / rule / threads / cache — the same knobs as the plain
+  /// surrogate drivers. miss_policy is ignored: cold keys always run in
+  /// the pooled adaptive pass and backfill (kFallbackBackfill semantics).
+  SurrogateOptions surrogate;
+  /// Axis quantization bin width [dB]: every query's axis value snaps to
+  /// the nearest multiple before keying AND evaluation, so a key's result
+  /// is exactly what a direct measurement of its representative config
+  /// would produce. See docs/PERFORMANCE.md for choosing the width
+  /// against the stopping rule's CI.
+  double bin_width_db = 0.5;
+  /// false: never touch the calibration store — every distinct key runs
+  /// in the pooled pass and nothing is persisted (pure deduplication).
+  bool use_store = true;
+};
+
+struct DedupStats {
+  std::size_t queries = 0;   ///< configs in
+  std::size_t distinct = 0;  ///< distinct (fingerprint, bin) keys
+  std::size_t warm = 0;      ///< keys answered from a stored curve
+  std::size_t cold = 0;      ///< keys measured in the pooled adaptive pass
+
+  DedupStats& operator+=(const DedupStats& o) {
+    queries += o.queries;
+    distinct += o.distinct;
+    warm += o.warm;
+    cold += o.cold;
+    return *this;
+  }
+};
+
+/// Evaluate every config, deduplicated by (surrogate_fingerprint,
+/// quantized-axis-bin). Unlike sweep_ber_surrogate the configs may span
+/// multiple fingerprints (e.g. stations with different quantized
+/// interferer levels); each fingerprint group keys its own calibration
+/// curve. out[i] is the result of the representative config of i's key:
+/// bit-identical to run_ber_adaptive on that config when the key was cold,
+/// and the stored curve's knot-exact answer when warm. Axis values must be
+/// finite; throws std::invalid_argument on a non-fingerprintable config.
+std::vector<BerResult> sweep_ber_deduped(std::span<const LinkConfig> configs,
+                                         const DedupOptions& opts,
+                                         DedupStats* stats = nullptr);
+
 }  // namespace wlansim::core

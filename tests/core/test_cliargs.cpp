@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/surrogate.h"
+
 namespace wlansim::core {
 namespace {
 
@@ -56,6 +58,57 @@ TEST(CliArgs, TracksUnusedKeys) {
   const auto unused = a.unused();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "typo-key");
+}
+
+TEST(StoppingRuleFromArgs, AbsentWithoutAnyAdaptiveFlag) {
+  const CliArgs a = parse({"--rate", "24", "--snr", "18"});
+  EXPECT_FALSE(stopping_rule_from_args(a).has_value());
+}
+
+TEST(StoppingRuleFromArgs, AnySingleFlagEnablesWithSharedDefaults) {
+  for (const char* flag : {"target-ci", "min-errors", "max-packets",
+                           "min-packets"}) {
+    const CliArgs a = parse({(std::string("--") + flag).c_str(), "12"});
+    const auto rule = stopping_rule_from_args(a);
+    ASSERT_TRUE(rule.has_value()) << flag;
+  }
+  const CliArgs a = parse({"--target-ci", "0.2"});
+  const auto rule = stopping_rule_from_args(a);
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_DOUBLE_EQ(rule->target_rel_ci, 0.2);
+  EXPECT_EQ(rule->min_errors, 100u);
+  EXPECT_EQ(rule->min_packets, 8u);
+  EXPECT_EQ(rule->max_packets, 10000u);
+}
+
+TEST(StoppingRuleFromArgs, AllFieldsParse) {
+  const CliArgs a = parse({"--target-ci", "0.3", "--min-errors", "7",
+                           "--min-packets", "4", "--max-packets", "64"});
+  const auto rule = stopping_rule_from_args(a);
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_DOUBLE_EQ(rule->target_rel_ci, 0.3);
+  EXPECT_EQ(rule->min_errors, 7u);
+  EXPECT_EQ(rule->min_packets, 4u);
+  EXPECT_EQ(rule->max_packets, 64u);
+}
+
+TEST(SurrogateOptionsFromArgs, WiresDirAxisRuleAndThreads) {
+  const CliArgs a = parse({"--calib-dir", "/tmp/x", "--target-ci", "0.25"});
+  const auto rule = stopping_rule_from_args(a);
+  const SurrogateOptions opts = surrogate_options_from_args(
+      a, sim::SurrogateAxis::kRxPowerDbm, rule, 3);
+  EXPECT_EQ(opts.store_dir, std::filesystem::path("/tmp/x"));
+  EXPECT_EQ(opts.axis, sim::SurrogateAxis::kRxPowerDbm);
+  EXPECT_DOUBLE_EQ(opts.rule.target_rel_ci, 0.25);
+  EXPECT_EQ(opts.threads, 3u);
+
+  // No --calib-dir: the default-store sentinel (empty path) survives.
+  const CliArgs b = parse({"--rate", "24"});
+  const SurrogateOptions defaults = surrogate_options_from_args(
+      b, sim::SurrogateAxis::kSnrDb, std::nullopt, 0);
+  EXPECT_TRUE(defaults.store_dir.empty());
+  EXPECT_DOUBLE_EQ(defaults.rule.target_rel_ci,
+                   sim::StoppingRule{}.target_rel_ci);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// The deduplicated pooled sweep (core::sweep_ber_deduped): axis
+// quantization, scatter back to the query list, warm/cold accounting, the
+// pooled-pass bit-identity contract, and the no-store mode.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/experiments.h"
+#include "core/parallel.h"
+#include "core/surrogate.h"
+
+namespace wlansim::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path test_store(const char* name) {
+  fs::path dir = fs::path(::testing::TempDir()) / "wlansim-deduptest" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+LinkConfig cheap_config(double snr) {
+  LinkConfig cfg = default_link_config();
+  cfg.psdu_bytes = 60;
+  cfg.snr_db = snr;
+  return cfg;
+}
+
+sim::StoppingRule small_rule() {
+  sim::StoppingRule rule;
+  rule.target_rel_ci = 0.35;
+  rule.min_errors = 25;
+  rule.min_packets = 8;
+  rule.max_packets = 40;
+  return rule;
+}
+
+DedupOptions dedup_opts(const fs::path& dir, double bin = 1.0) {
+  DedupOptions opts;
+  opts.surrogate.store_dir = dir;
+  opts.surrogate.rule = small_rule();
+  opts.bin_width_db = bin;
+  return opts;
+}
+
+void expect_identical(const BerResult& a, const BerResult& b) {
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.packet_errors, b.packet_errors);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.ber(), b.ber());
+  EXPECT_EQ(a.per(), b.per());
+  EXPECT_EQ(a.ber_ci_rel, b.ber_ci_rel);
+  EXPECT_EQ(a.evm_rms_avg, b.evm_rms_avg);
+}
+
+TEST(QuantizeAxis, SnapsToNearestBin) {
+  EXPECT_DOUBLE_EQ(quantize_axis(7.4, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(quantize_axis(7.1, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantize_axis(-7.4, 0.5), -7.5);
+  EXPECT_DOUBLE_EQ(quantize_axis(3.0, 1.0), 3.0);
+  // Ties round away from zero, symmetrically.
+  EXPECT_DOUBLE_EQ(quantize_axis(0.25, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(quantize_axis(-0.25, 0.5), -0.5);
+}
+
+TEST(QuantizeAxis, NonPositiveBinDisables) {
+  EXPECT_DOUBLE_EQ(quantize_axis(7.37, 0.0), 7.37);
+  EXPECT_DOUBLE_EQ(quantize_axis(7.37, -1.0), 7.37);
+}
+
+TEST(DedupSweep, CollapsesToDistinctBinsAndScatters) {
+  // 8 queries in two 1-dB bins: the pooled pass must run exactly 2 points
+  // and every query must get its own bin's result.
+  std::vector<LinkConfig> configs;
+  for (const double snr : {6.9, 7.1, 7.2, 6.8, 10.1, 9.9, 10.4, 9.6}) {
+    configs.push_back(cheap_config(snr));
+  }
+  DedupStats stats;
+  const auto out =
+      sweep_ber_deduped(configs, dedup_opts(test_store("scatter")), &stats);
+  ASSERT_EQ(out.size(), configs.size());
+  EXPECT_EQ(stats.queries, 8u);
+  EXPECT_EQ(stats.distinct, 2u);
+  EXPECT_EQ(stats.cold, 2u);
+  EXPECT_EQ(stats.warm, 0u);
+  // All members of a bin share the bin representative's result exactly.
+  for (int i : {1, 2, 3}) expect_identical(out[0], out[i]);
+  for (int i : {5, 6, 7}) expect_identical(out[4], out[i]);
+  // The two bins measured genuinely different points.
+  EXPECT_GT(out[0].ber(), out[4].ber());
+}
+
+TEST(DedupSweep, ColdIsBitIdenticalToDirectAdaptive) {
+  // The contract: a cold key's result equals run_ber_adaptive on the
+  // bin-center config under the same rule.
+  const auto opts = dedup_opts(test_store("bitident"));
+  std::vector<LinkConfig> configs{cheap_config(7.3), cheap_config(9.8)};
+  const auto out = sweep_ber_deduped(configs, opts);
+
+  const BerResult direct7 =
+      run_ber_adaptive(cheap_config(7.0), opts.surrogate.rule);
+  const BerResult direct10 =
+      run_ber_adaptive(cheap_config(10.0), opts.surrogate.rule);
+  expect_identical(out[0], direct7);
+  expect_identical(out[1], direct10);
+}
+
+TEST(DedupSweep, SecondCallServesWarmFromStore) {
+  const auto opts = dedup_opts(test_store("warm"));
+  std::vector<LinkConfig> configs{cheap_config(7.0), cheap_config(7.4),
+                                  cheap_config(10.0)};
+  DedupStats cold_stats;
+  const auto cold = sweep_ber_deduped(configs, opts, &cold_stats);
+  EXPECT_EQ(cold_stats.cold, 2u);
+  EXPECT_EQ(cold_stats.warm, 0u);
+
+  DedupStats warm_stats;
+  const auto warm = sweep_ber_deduped(configs, opts, &warm_stats);
+  EXPECT_EQ(warm_stats.cold, 0u);
+  EXPECT_EQ(warm_stats.warm, 2u);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].from_surrogate);
+    EXPECT_EQ(warm[i].packets, 0u);
+    // Knot-exact answers: the backfilled knot sits exactly at the bin, so
+    // the curve returns the measured rates bit-for-bit.
+    EXPECT_EQ(warm[i].ber(), cold[i].ber());
+    EXPECT_EQ(warm[i].per(), cold[i].per());
+  }
+}
+
+TEST(DedupSweep, UseStoreFalseNeverPersists) {
+  const fs::path dir = test_store("nostore");
+  DedupOptions opts = dedup_opts(dir);
+  opts.use_store = false;
+  std::vector<LinkConfig> configs{cheap_config(7.0), cheap_config(7.0)};
+
+  DedupStats stats;
+  const auto out = sweep_ber_deduped(configs, opts, &stats);
+  EXPECT_EQ(stats.distinct, 1u);
+  EXPECT_EQ(stats.cold, 1u);
+  expect_identical(out[0], out[1]);
+  EXPECT_FALSE(out[0].from_surrogate);
+  // Nothing written: a rerun is cold again and the directory stays empty.
+  EXPECT_TRUE(fs::is_empty(dir));
+  DedupStats again;
+  sweep_ber_deduped(configs, opts, &again);
+  EXPECT_EQ(again.cold, 1u);
+}
+
+TEST(DedupSweep, MixedFingerprintsKeySeparateCurves) {
+  // Same SNR bin, different interferer level: distinct fingerprints, so
+  // two distinct keys (and two stored curves) even though the axis matches.
+  LinkConfig clean = cheap_config(10.0);
+  LinkConfig jammed = cheap_config(10.0);
+  jammed.interferer = channel::InterfererConfig{.offset_hz = 20e6,
+                                                .level_db = 10.0};
+  std::vector<LinkConfig> configs{clean, jammed, clean};
+
+  DedupStats stats;
+  const auto out = sweep_ber_deduped(
+      configs, dedup_opts(test_store("mixedfp")), &stats);
+  EXPECT_EQ(stats.distinct, 2u);
+  expect_identical(out[0], out[2]);
+  EXPECT_GE(out[1].ber(), out[0].ber());
+}
+
+TEST(DedupSweep, RejectsNonFingerprintableConfigs) {
+  LinkConfig cfg = cheap_config(10.0);
+  cfg.snr_db.reset();  // kSnrDb axis requires a finite axis value
+  EXPECT_THROW(
+      sweep_ber_deduped(std::vector<LinkConfig>{cfg},
+                        dedup_opts(test_store("badaxis"))),
+      std::invalid_argument);
+}
+
+TEST(DedupSweep, EmptyInputIsANoop) {
+  DedupStats stats;
+  const auto out = sweep_ber_deduped(std::vector<LinkConfig>{},
+                                     dedup_opts(test_store("empty")), &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.distinct, 0u);
+}
+
+}  // namespace
+}  // namespace wlansim::core

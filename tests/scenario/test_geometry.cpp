@@ -1,0 +1,125 @@
+// Drop geometry (scenario/geometry.h): counter-seed independence, placement
+// bounds, reflecting random walk, and the path-loss / shadowing model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "scenario/geometry.h"
+
+namespace wlansim::scenario {
+namespace {
+
+TEST(GeoSeed, DistinctTuplesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t entity = 0; entity < 16; ++entity) {
+    for (std::uint64_t step = 0; step < 16; ++step) {
+      for (GeoStream s :
+           {GeoStream::kPlacement, GeoStream::kWalk, GeoStream::kShadowing}) {
+        seen.insert(geo_seed(1, s, entity, step));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 16u * 3u);
+  // And the drop seed itself decorrelates everything.
+  EXPECT_NE(geo_seed(1, GeoStream::kPlacement, 0, 0),
+            geo_seed(2, GeoStream::kPlacement, 0, 0));
+}
+
+TEST(GeoSeed, SwappedArgumentsDoNotCollide) {
+  // A plain XOR of the tuple would collide under argument swaps; the
+  // chained mix must not.
+  EXPECT_NE(geo_seed(1, GeoStream::kWalk, 3, 5),
+            geo_seed(1, GeoStream::kWalk, 5, 3));
+}
+
+TEST(Placement, UniformWithinBoundsAndDeterministic) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Vec2 p = place_uniform(42, i, 30.0);
+    EXPECT_GE(p.x, -30.0);
+    EXPECT_LE(p.x, 30.0);
+    EXPECT_GE(p.y, -30.0);
+    EXPECT_LE(p.y, 30.0);
+    const Vec2 q = place_uniform(42, i, 30.0);
+    EXPECT_EQ(p.x, q.x);
+    EXPECT_EQ(p.y, q.y);
+  }
+}
+
+TEST(Walk, StepsHaveExactLengthAndStayInBounds) {
+  Vec2 p = place_uniform(7, 0, 10.0);
+  for (std::uint64_t step = 1; step <= 50; ++step) {
+    const Vec2 prev = p;
+    p = walk_step(p, 7, 0, step, 1.5, 10.0);
+    EXPECT_GE(p.x, -10.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, -10.0);
+    EXPECT_LE(p.y, 10.0);
+    // Away from the boundary the displacement is exactly the step length.
+    const double d = distance_m(prev, p);
+    if (std::abs(prev.x) < 8.0 && std::abs(prev.y) < 8.0) {
+      EXPECT_NEAR(d, 1.5, 1e-12);
+    } else {
+      EXPECT_LE(d, 2.0 * 1.5 + 1e-12);
+    }
+  }
+}
+
+TEST(Walk, ZeroStepIsStatic) {
+  const Vec2 p{3.0, -4.0};
+  const Vec2 q = walk_step(p, 1, 0, 1, 0.0, 10.0);
+  EXPECT_EQ(q.x, p.x);
+  EXPECT_EQ(q.y, p.y);
+}
+
+TEST(Walk, ReflectsHugeStepsBackInside) {
+  // Steps much longer than the area must still land inside (multi-bounce).
+  const Vec2 q = walk_step({0.0, 0.0}, 3, 1, 1, 1000.0, 5.0);
+  EXPECT_GE(q.x, -5.0);
+  EXPECT_LE(q.x, 5.0);
+  EXPECT_GE(q.y, -5.0);
+  EXPECT_LE(q.y, 5.0);
+}
+
+TEST(PathLoss, MonotonicWithDistanceAndClamped) {
+  PathLossConfig cfg;
+  const double pl1 = log_distance_path_loss_db(cfg, 1.0);
+  EXPECT_NEAR(pl1, cfg.ref_loss_db, 1e-12);
+  // 10 * exponent dB per decade.
+  EXPECT_NEAR(log_distance_path_loss_db(cfg, 10.0), pl1 + 10.0 * cfg.exponent,
+              1e-9);
+  EXPECT_LT(log_distance_path_loss_db(cfg, 5.0),
+            log_distance_path_loss_db(cfg, 50.0));
+  // Below min_distance_m the model clamps instead of diverging.
+  EXPECT_EQ(log_distance_path_loss_db(cfg, 0.0),
+            log_distance_path_loss_db(cfg, cfg.min_distance_m));
+}
+
+TEST(Shadowing, DeterministicPerTupleAndZeroWhenDisabled) {
+  const double a = shadowing_db(9, 3, 0, 2, 6.0);
+  EXPECT_EQ(a, shadowing_db(9, 3, 0, 2, 6.0));
+  EXPECT_NE(a, shadowing_db(9, 4, 0, 2, 6.0));
+  EXPECT_NE(a, shadowing_db(9, 3, 1, 2, 6.0));
+  EXPECT_NE(a, shadowing_db(9, 3, 0, 3, 6.0));
+  EXPECT_EQ(shadowing_db(9, 3, 0, 2, 0.0), 0.0);
+}
+
+TEST(Shadowing, RoughlyGaussianScale) {
+  // Sample variance over many draws lands near sigma^2 (loose gate).
+  const double sigma = 6.0;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double x = shadowing_db(11, static_cast<std::uint64_t>(i), 0, 0,
+                                  sigma);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.5);
+  EXPECT_NEAR(std::sqrt(var), sigma, 0.5);
+}
+
+}  // namespace
+}  // namespace wlansim::scenario

@@ -39,6 +39,8 @@ DEFAULT_WATCHED = [
     "BM_RxDataSymbolsBatch",
     "BM_SurrogateCalibrateCold/iterations:1",
     "BM_SurrogateQueryWarm/iterations:1",
+    "BM_DropThroughputCold/iterations:1",
+    "BM_DropThroughputWarm/iterations:1",
 ]
 
 

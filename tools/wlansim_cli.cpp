@@ -21,6 +21,8 @@
 #include "core/surrogate.h"
 #include "dsp/mathutil.h"
 #include "rf/analyses.h"
+#include "scenario/drop.h"
+#include "scenario/trace.h"
 #include "sim/waveio.h"
 
 namespace {
@@ -83,38 +85,6 @@ void fail_on_unused(const core::CliArgs& args) {
   throw std::invalid_argument(msg);
 }
 
-/// Adaptive early-stopping rule when any of --target-ci / --min-errors /
-/// --max-packets / --min-packets is present; nullopt = fixed budget.
-std::optional<sim::StoppingRule> rule_from_args(const core::CliArgs& args) {
-  if (!args.has("target-ci") && !args.has("min-errors") &&
-      !args.has("max-packets") && !args.has("min-packets")) {
-    return std::nullopt;
-  }
-  sim::StoppingRule rule;
-  rule.target_rel_ci = args.get_double("target-ci", rule.target_rel_ci);
-  rule.min_errors =
-      static_cast<std::size_t>(args.get_long("min-errors", 100));
-  rule.min_packets =
-      static_cast<std::size_t>(args.get_long("min-packets", 8));
-  rule.max_packets =
-      static_cast<std::size_t>(args.get_long("max-packets", 10000));
-  return rule;
-}
-
-/// Surrogate query options from --calib-dir plus the adaptive flags (the
-/// stopping rule doubles as the calibration / fallback-MC rule).
-core::SurrogateOptions surrogate_opts_from_args(
-    const core::CliArgs& args, sim::SurrogateAxis axis,
-    const std::optional<sim::StoppingRule>& rule, std::size_t threads) {
-  core::SurrogateOptions opts;
-  opts.axis = axis;
-  if (rule.has_value()) opts.rule = *rule;
-  const std::string dir = args.get_string("calib-dir", "");
-  if (!dir.empty()) opts.store_dir = dir;
-  opts.threads = threads;
-  return opts;
-}
-
 void print_ber_result(const core::LinkConfig& cfg, const core::BerResult& r) {
   std::printf("rate        : %s\n",
               std::string(phy::rate_name(cfg.rate)).c_str());
@@ -131,9 +101,9 @@ int cmd_ber(const core::CliArgs& args) {
   const core::LinkConfig cfg = link_from_args(args);
   const auto packets = static_cast<std::size_t>(args.get_long("packets", 20));
   const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
-  const auto rule = rule_from_args(args);
+  const auto rule = core::stopping_rule_from_args(args);
   const bool surrogate = args.has("surrogate");
-  const core::SurrogateOptions sopts = surrogate_opts_from_args(
+  const core::SurrogateOptions sopts = core::surrogate_options_from_args(
       args, sim::SurrogateAxis::kSnrDb, rule, threads);
   fail_on_unused(args);
 
@@ -172,7 +142,7 @@ int cmd_sweep(const core::CliArgs& args) {
   const auto packets = static_cast<std::size_t>(args.get_long("packets", 10));
   const auto threads = static_cast<std::size_t>(args.get_long("threads", 0));
   const std::string csv = args.get_string("csv", "");
-  const auto rule = rule_from_args(args);
+  const auto rule = core::stopping_rule_from_args(args);
   if (step <= 0.0 || to < from)
     throw std::invalid_argument("sweep needs --from <= --to and --step > 0");
 
@@ -192,7 +162,7 @@ int cmd_sweep(const core::CliArgs& args) {
           "parameters change the front-end, i.e. the calibration key)");
     }
   }
-  const core::SurrogateOptions sopts = surrogate_opts_from_args(
+  const core::SurrogateOptions sopts = core::surrogate_options_from_args(
       args, axis.value_or(sim::SurrogateAxis::kSnrDb), rule, threads);
 
   const core::LinkConfig base = link_from_args(args);
@@ -277,6 +247,91 @@ int cmd_goodput(const core::CliArgs& args) {
   return 0;
 }
 
+int cmd_drop(const core::CliArgs& args) {
+  scenario::DropConfig cfg;
+  cfg.num_stations = static_cast<std::size_t>(args.get_long("stations", 100));
+  cfg.num_steps = static_cast<std::size_t>(args.get_long("steps", 1));
+  cfg.area_half_m = args.get_double("area-half", cfg.area_half_m);
+  cfg.tx_power_dbm = args.get_double("tx-power-dbm", cfg.tx_power_dbm);
+  cfg.noise_figure_db = args.get_double("noise-figure", cfg.noise_figure_db);
+  cfg.path_loss.exponent = args.get_double("pl-exp", cfg.path_loss.exponent);
+  cfg.path_loss.ref_loss_db =
+      args.get_double("pl-ref-db", cfg.path_loss.ref_loss_db);
+  cfg.path_loss.shadowing_sigma_db =
+      args.get_double("shadow-sigma", cfg.path_loss.shadowing_sigma_db);
+  cfg.mobility.step_m = args.get_double("walk-step", cfg.mobility.step_m);
+  cfg.snr_bin_db = args.get_double("snr-bin", cfg.snr_bin_db);
+  cfg.snr_min_db = args.get_double("snr-min", cfg.snr_min_db);
+  cfg.snr_max_db = args.get_double("snr-max", cfg.snr_max_db);
+  cfg.adj_bin_db = args.get_double("adj-bin", cfg.adj_bin_db);
+  cfg.adj_floor_db = args.get_double("adj-floor", cfg.adj_floor_db);
+
+  // Interferer BSSs: counter-seeded positions like stations, with entity
+  // indices far above any station index so the streams never collide.
+  const auto cochannel = static_cast<std::size_t>(
+      args.get_long("cochannel-bss", 0));
+  const auto adjacent = static_cast<std::size_t>(
+      args.get_long("adjacent-bss", 0));
+  const double bss_power = args.get_double("bss-power-dbm", 16.0);
+  const double adj_offset = args.get_double("adjacent-offset-hz", 20e6);
+  cfg.link = link_from_args(args);
+  cfg.seed = cfg.link.seed;
+  for (std::size_t j = 0; j < cochannel + adjacent; ++j) {
+    scenario::InterfererBss bss;
+    bss.position = scenario::place_uniform(cfg.seed, (1ull << 32) + j,
+                                           cfg.area_half_m);
+    bss.tx_power_dbm = bss_power;
+    bss.offset_hz = j < cochannel ? 0.0 : adj_offset;
+    cfg.interferers.push_back(bss);
+  }
+
+  cfg.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  const auto rule = core::stopping_rule_from_args(args);
+  if (rule.has_value()) cfg.rule = *rule;
+  cfg.use_store = !args.has("no-store");
+  const std::string dir = args.get_string("calib-dir", "");
+  if (!dir.empty()) cfg.store_dir = dir;
+
+  const std::string csv = args.get_string("csv", "");
+  const std::string jsonl = args.get_string("jsonl", "");
+  const std::string run_tag = args.get_string("run-tag", "drop");
+  fail_on_unused(args);
+
+  std::ofstream csv_os, jsonl_os;
+  std::vector<scenario::TraceWriter> writers;
+  if (!csv.empty()) {
+    csv_os.open(csv);
+    if (!csv_os) throw std::runtime_error("cannot open " + csv);
+    writers.emplace_back(csv_os, scenario::TraceFormat::kCsv, run_tag);
+  }
+  if (!jsonl.empty()) {
+    jsonl_os.open(jsonl);
+    if (!jsonl_os) throw std::runtime_error("cannot open " + jsonl);
+    writers.emplace_back(jsonl_os, scenario::TraceFormat::kJsonl, run_tag);
+  }
+
+  const scenario::DropSummary summary = scenario::run_drop(
+      cfg, [&writers](const scenario::StationSample& s) {
+        for (auto& w : writers) w.write(s);
+      });
+
+  std::printf("step  stations  distinct  warm  cold  mean_snr_db  mean_ber"
+              "   goodput_mbps  wall_s\n");
+  for (const auto& st : summary.steps) {
+    std::printf("%4u  %8zu  %8zu  %4zu  %4zu  %11.2f  %.2e  %12.2f  %6.2f\n",
+                st.step, st.dedup.queries, st.dedup.distinct, st.dedup.warm,
+                st.dedup.cold, st.mean_snr_db, st.mean_ber,
+                st.mean_goodput_mbps, st.wall_seconds);
+  }
+  std::printf("total: %zu evaluations -> %zu distinct (%zu warm, %zu cold) "
+              "in %.2f s\n",
+              summary.totals.queries, summary.totals.distinct,
+              summary.totals.warm, summary.totals.cold, summary.wall_seconds);
+  if (!csv.empty()) std::printf("wrote %s\n", csv.c_str());
+  if (!jsonl.empty()) std::printf("wrote %s\n", jsonl.c_str());
+  return 0;
+}
+
 int cmd_spectrum(const core::CliArgs& args) {
   core::LinkConfig cfg = link_from_args(args);
   const std::string csv = args.get_string("csv", "");
@@ -338,8 +393,35 @@ void usage() {
       "                   --from A --to B --step S [--packets N] [--csv F]\n"
       "                   [--threads T] [adaptive options]\n"
       "                   [surrogate options]\n"
+      "  wlansim drop     [drop options] [link options] [--threads T]\n"
+      "                   [adaptive options] [--calib-dir DIR]\n"
       "  wlansim spectrum [link options] [--csv F]\n"
       "  wlansim rfchar   [link options]\n"
+      "\n"
+      "drop options (network-scale multi-user drop: stations placed around\n"
+      "an AP, log-distance path loss + shadowing + random-walk mobility;\n"
+      "every station-step evaluated through the full PHY/RF chain,\n"
+      "deduplicated by quantized SNR and served from the calibration\n"
+      "store):\n"
+      "  --stations N                   station count [100]\n"
+      "  --steps N                      mobility steps [1]\n"
+      "  --area-half M                  stations in [-M, M]^2 meters [50]\n"
+      "  --tx-power-dbm P               AP transmit power [16]\n"
+      "  --noise-figure NF              receiver noise figure [7]\n"
+      "  --pl-exp E                     path-loss exponent [3]\n"
+      "  --pl-ref-db L                  loss at 1 m [46.7]\n"
+      "  --shadow-sigma S               lognormal shadowing sigma [6]\n"
+      "  --walk-step M                  random-walk step length [1]\n"
+      "  --cochannel-bss N              co-channel interferer BSSs [0]\n"
+      "  --adjacent-bss N               adjacent-channel BSSs [0]\n"
+      "  --bss-power-dbm P              interferer BSS power [16]\n"
+      "  --snr-bin W                    SNR dedup bin width [0.5]\n"
+      "  --snr-min A / --snr-max B      SNR clamp span [0, 30]\n"
+      "  --adj-bin W                    adjacent-level bin width [2]\n"
+      "  --adj-floor L                  drop adjacent below L dB rel [-10]\n"
+      "  --csv F / --jsonl F            stream per-station traces\n"
+      "  --run-tag TAG                  tag column in traces [drop]\n"
+      "  --no-store                     dedup only, skip calibration store\n"
       "\n"
       "adaptive options (any one enables early-stopping Monte-Carlo; each\n"
       "point then runs until its BER confidence interval is tight enough\n"
@@ -388,6 +470,7 @@ int main(int argc, char** argv) {
     if (cmd == "ber") return cmd_ber(args);
     if (cmd == "goodput") return cmd_goodput(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "drop") return cmd_drop(args);
     if (cmd == "spectrum") return cmd_spectrum(args);
     if (cmd == "rfchar") return cmd_rfchar(args);
     if (cmd == "help" || cmd == "--help") {
