@@ -8,7 +8,9 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
+#include <future>
 
 #include "core/experiments.h"
 #include "core/link.h"
@@ -24,6 +26,7 @@
 #include "phy80211b/chips.h"
 #include "rf/receiver_chain.h"
 #include "scenario/drop.h"
+#include "service/scheduler.h"
 #include "sim/graph.h"
 #include "testsupport/alloc_hook.h"
 
@@ -647,6 +650,119 @@ void BM_DropThroughputWarm(benchmark::State& state) {
                           static_cast<long>(cfg.num_stations * cfg.num_steps));
 }
 BENCHMARK(BM_DropThroughputWarm)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- Simulation service: cross-request coalescing, warm-query latency ------
+
+sim::StoppingRule service_bench_rule() {
+  sim::StoppingRule rule;
+  rule.target_rel_ci = 0.5;
+  rule.min_errors = 20;
+  rule.min_packets = 8;
+  rule.max_packets = 48;
+  return rule;
+}
+
+service::JobRequest service_bench_job(double snr_from, double snr_to) {
+  service::JobRequest req;
+  core::LinkConfig base = core::default_link_config();
+  base.psdu_bytes = 60;
+  for (double snr = snr_from; snr <= snr_to + 1e-9; snr += 1.0) {
+    core::LinkConfig c = base;
+    c.snr_db = snr;
+    req.configs.push_back(c);
+  }
+  req.rule = service_bench_rule();
+  req.bin_width_db = 0.0;
+  req.use_store = true;
+  return req;
+}
+
+void BM_ServiceColdCoalesced(benchmark::State& state) {
+  // Four concurrent clients submit overlapping 8-point sweeps against an
+  // empty store while the engine is held; releasing it drains all four into
+  // ONE pooled pass. 32 queries collapse to 11 distinct cold points — the
+  // in-bench gate fails the run if pooling ever does as much Monte-Carlo
+  // work as four independent cold evaluations would.
+  const std::filesystem::path dir = bench_calib_dir() / "service-cold";
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    service::Scheduler::Options opts;
+    opts.store_dir = dir;
+    opts.start_paused = true;
+    service::Scheduler sched(opts);
+    std::vector<std::future<service::JobResult>> futs;
+    std::size_t independent_cold = 0;
+    for (int j = 0; j < 4; ++j) {
+      service::JobRequest req =
+          service_bench_job(4.0 + j, 11.0 + j);  // heavy pairwise overlap
+      independent_cold += req.configs.size();
+      futs.push_back(sched.submit(std::move(req)));
+    }
+    sched.resume();
+    for (auto& f : futs) benchmark::DoNotOptimize(f.get().results.data());
+    const service::SchedulerStats st = sched.stats();
+    if (st.batches != 1 || st.groups != 1) {
+      state.SkipWithError("jobs did not coalesce into one pooled pass");
+      return;
+    }
+    if (st.dedup.cold >= independent_cold) {
+      state.SkipWithError(
+          "pooled pass did not beat 4 independent cold runs");
+      return;
+    }
+    sched.stop();
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ServiceColdCoalesced)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ServiceWarmQuery(benchmark::State& state) {
+  // The payoff: resubmitting a sweep the store has already measured is a
+  // fingerprint lookup plus curve interpolation per point — no Monte-Carlo
+  // packets. The cold pass that fills the store is timed in-bench as the
+  // reference; the gate fails the run unless warm is >= 100x faster.
+  const std::filesystem::path dir = bench_calib_dir() / "service-warm";
+  std::filesystem::remove_all(dir);
+  service::Scheduler::Options opts;
+  opts.store_dir = dir;
+  service::Scheduler sched(opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.submit(service_bench_job(4.0, 14.0)).get();  // fill the store
+  const double cold_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  double warm_s = 0.0;
+  for (auto _ : state) {
+    const auto w0 = std::chrono::steady_clock::now();
+    const service::JobResult r =
+        sched.submit(service_bench_job(4.0, 14.0)).get();
+    warm_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+            .count();
+    for (const core::BerResult& p : r.results) {
+      if (!p.from_surrogate) {
+        state.SkipWithError("warm query fell back to Monte-Carlo");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(r.results.data());
+  }
+  if (warm_s * 100.0 > cold_s * static_cast<double>(state.iterations())) {
+    state.SkipWithError("warm query not >=100x faster than the cold pass");
+    return;
+  }
+  state.counters["cold_ms"] = 1e3 * cold_s;
+  state.counters["speedup"] =
+      cold_s * static_cast<double>(state.iterations()) / warm_s;
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * 11);
+}
+BENCHMARK(BM_ServiceWarmQuery)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

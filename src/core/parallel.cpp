@@ -255,7 +255,10 @@ namespace {
 
 /// Stopping-rule boundaries are multiples of kStopQuantum (plus the cap),
 /// so the stop index never depends on how waves happened to be sized.
-constexpr std::size_t kStopQuantum = kPacketChunk;
+/// Public as kAdaptiveStopQuantum: it is also the checkpoint/resume unit.
+constexpr std::size_t kStopQuantum = kAdaptiveStopQuantum;
+static_assert(kAdaptiveStopQuantum == kPacketChunk,
+              "resume contract: checkpoint boundaries are packet chunks");
 
 /// Wave sizing: geometric growth between kWaveMin and kWaveMax packets per
 /// point, quantum-aligned. Purely a throughput knob — the stop index is
@@ -276,17 +279,52 @@ std::size_t next_wave_size(const sim::StoppingRule& rule,
   return std::min(w, rule.max_packets - scheduled);
 }
 
-/// Scheduler state of one sweep point.
+/// Scheduler state of one sweep point. The reduction is streaming: the
+/// stopping scan folds each quantum's packets into the accumulators in
+/// packet order (the exact arithmetic of reduce_in_packet_order), so the
+/// state at any quantum boundary is checkpointable as a SweepPointProgress
+/// and the final BerResult needs no second pass over raw results.
 struct AdaptivePoint {
   std::vector<PacketResult> results;  ///< per-packet slots, sized to `scheduled`
   std::size_t scheduled = 0;   ///< packets dispatched to workers so far
   std::size_t evaluated = 0;   ///< in-order prefix consumed by the rule scan
-  std::size_t bits = 0;        ///< prefix bit count
-  std::size_t bit_errors = 0;  ///< prefix bit-error count
+  std::size_t bits = 0;          ///< prefix bit count
+  std::size_t bit_errors = 0;    ///< prefix bit-error count
+  std::size_t packets_lost = 0;  ///< prefix header/sync failures
+  std::size_t packet_errors = 0; ///< prefix lost-or-errored packets
+  double evm_sum = 0.0;          ///< prefix EVM fold (decoded packets)
+  std::size_t evm_packets = 0;
   bool stopped = false;
   bool converged = false;      ///< rule met (vs. ran into the cap)
   std::size_t stop_index = 0;  ///< valid once stopped
   double wall_seconds = 0.0;   ///< sweep start -> stopping decision
+
+  SweepPointProgress progress() const {
+    SweepPointProgress p;
+    p.packets = stopped ? stop_index : evaluated;
+    p.packets_lost = packets_lost;
+    p.packet_errors = packet_errors;
+    p.bits = bits;
+    p.bit_errors = bit_errors;
+    p.evm_sum = evm_sum;
+    p.evm_packets = evm_packets;
+    p.stopped = stopped;
+    p.converged = converged;
+    return p;
+  }
+
+  void restore(const SweepPointProgress& p) {
+    scheduled = evaluated = static_cast<std::size_t>(p.packets);
+    bits = static_cast<std::size_t>(p.bits);
+    bit_errors = static_cast<std::size_t>(p.bit_errors);
+    packets_lost = static_cast<std::size_t>(p.packets_lost);
+    packet_errors = static_cast<std::size_t>(p.packet_errors);
+    evm_sum = p.evm_sum;
+    evm_packets = static_cast<std::size_t>(p.evm_packets);
+    stopped = p.stopped;
+    converged = p.converged;
+    stop_index = stopped ? static_cast<std::size_t>(p.packets) : 0;
+  }
 };
 
 /// One ≤8-packet chunk of one point, the unit workers claim from the shared
@@ -299,14 +337,19 @@ struct WaveItem {
 
 }  // namespace
 
-std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
-                                          const sim::StoppingRule& rule,
-                                          const SweepOptions& opts) {
+std::vector<BerResult> sweep_ber_adaptive_resumable(
+    std::span<const LinkConfig> configs, const sim::StoppingRule& rule,
+    const SweepOptions& opts, AdaptiveResume* resume) {
   const std::size_t npts = configs.size();
   if (npts == 0) return {};
   if (rule.max_packets == 0)
     throw std::invalid_argument(
         "sweep_ber_adaptive: StoppingRule::max_packets must be > 0");
+  if (resume != nullptr && !resume->progress.empty() &&
+      resume->progress.size() != npts)
+    throw std::invalid_argument(
+        "sweep_ber_adaptive_resumable: resume progress must be empty or have "
+        "one entry per config");
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&t0] {
@@ -338,6 +381,23 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
   }
 
   std::vector<AdaptivePoint> pts(npts);
+  if (resume != nullptr && !resume->progress.empty()) {
+    for (std::size_t k = 0; k < npts; ++k) {
+      const SweepPointProgress& p = resume->progress[k];
+      if (p.packets > rule.max_packets ||
+          (!p.stopped && (p.packets >= rule.max_packets ||
+                          p.packets % kStopQuantum != 0)))
+        throw std::invalid_argument(
+            "sweep_ber_adaptive_resumable: resume progress for point " +
+            std::to_string(k) +
+            " is not a valid quantum-boundary state under this rule");
+      pts[k].restore(p);
+      // Slots [0, scheduled) are never touched again — the prefix already
+      // lives in the accumulators; only packets from `scheduled` on run.
+      pts[k].results.resize(pts[k].scheduled);
+    }
+  }
+  if (resume != nullptr) resume->preempted = false;
   std::vector<WaveItem> items;
   std::optional<ThreadPool> dedicated;
 
@@ -409,7 +469,9 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
     // --- Deterministic stopping scan on the in-order prefix ---------------
     // The stop index is the earliest quantum boundary whose prefix meets the
     // rule (or the cap), regardless of how far the wave overshot; the
-    // speculative packets past it are discarded.
+    // speculative packets past it are discarded. The fold mirrors
+    // reduce_in_packet_order term for term, so the accumulated state at any
+    // boundary is the bit-exact streaming reduction of the prefix.
     for (std::size_t k = 0; k < npts; ++k) {
       AdaptivePoint& P = pts[k];
       if (P.stopped) continue;
@@ -417,8 +479,16 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
         const std::size_t b =
             std::min(P.evaluated + kStopQuantum, P.scheduled);
         for (std::size_t p = P.evaluated; p < b; ++p) {
-          P.bits += P.results[p].bits;
-          P.bit_errors += P.results[p].bit_errors;
+          const PacketResult& r = P.results[p];
+          P.bits += r.bits;
+          P.bit_errors += r.bit_errors;
+          if (r.bit_errors > 0 || !r.decoded) ++P.packet_errors;
+          if (!r.decoded) {
+            ++P.packets_lost;
+          } else {
+            P.evm_sum += r.evm_rms;
+            ++P.evm_packets;
+          }
         }
         P.evaluated = b;
         if (sim::stopping_rule_met(rule, b, P.bit_errors, P.bits)) {
@@ -437,14 +507,41 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
         }
       }
     }
+
+    // --- Checkpoint hook / preemption --------------------------------------
+    // Every point now sits at a quantum boundary, so the progress vector is
+    // a complete resume state. A false return preempts: scheduling stops,
+    // partial points keep their prefix statistics for a later resume.
+    if (resume != nullptr && resume->on_wave) {
+      resume->progress.resize(npts);
+      for (std::size_t k = 0; k < npts; ++k)
+        resume->progress[k] = pts[k].progress();
+      if (!resume->on_wave(resume->progress)) {
+        resume->preempted = true;
+        break;
+      }
+    }
+  }
+
+  if (resume != nullptr) {
+    resume->progress.resize(npts);
+    for (std::size_t k = 0; k < npts; ++k)
+      resume->progress[k] = pts[k].progress();
   }
 
   std::vector<BerResult> out;
   out.reserve(npts);
   for (std::size_t k = 0; k < npts; ++k) {
     const AdaptivePoint& P = pts[k];
-    BerResult r = reduce_in_packet_order(
-        std::span<const PacketResult>(P.results.data(), P.stop_index));
+    BerResult r;
+    r.packets = P.stopped ? P.stop_index : P.evaluated;
+    r.packets_lost = P.packets_lost;
+    r.packet_errors = P.packet_errors;
+    r.bits = P.bits;
+    r.bit_errors = P.bit_errors;
+    r.evm_rms_avg = P.evm_packets != 0
+                        ? P.evm_sum / static_cast<double>(P.evm_packets)
+                        : 0.0;
     r.ber_ci_rel =
         sim::wilson_rel_halfwidth(r.bit_errors, r.bits, rule.confidence_z);
     r.wall_seconds = P.wall_seconds;
@@ -452,6 +549,12 @@ std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
     out.push_back(r);
   }
   return out;
+}
+
+std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
+                                          const sim::StoppingRule& rule,
+                                          const SweepOptions& opts) {
+  return sweep_ber_adaptive_resumable(configs, rule, opts, nullptr);
 }
 
 BerResult run_ber_adaptive(const LinkConfig& cfg, const sim::StoppingRule& rule,

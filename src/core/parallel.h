@@ -9,6 +9,8 @@
 // link construction per point.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -102,5 +104,71 @@ BerResult run_ber_adaptive(const LinkConfig& cfg, const sim::StoppingRule& rule,
 std::vector<BerResult> sweep_ber_adaptive(std::span<const LinkConfig> configs,
                                           const sim::StoppingRule& rule,
                                           const SweepOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Resumable adaptive sweeps (checkpoint/restore at the stop quantum)
+// ---------------------------------------------------------------------------
+//
+// The adaptive engine evaluates its stopping rule on in-order packet
+// prefixes at fixed 8-packet boundaries, and every packet is a pure
+// function of (config seed, packet index) — packet_seed's counter-based
+// contract. A point's state at any boundary therefore compresses to the
+// streaming reduction of its prefix: restart the engine with that state
+// and it schedules, folds, and stops exactly as the uninterrupted run
+// would from that boundary on. SweepPointProgress is that state, and
+// sweep_ber_adaptive_resumable is the entry point a service layer uses to
+// checkpoint million-point studies across process restarts (the file
+// format lives in service/checkpoint.h; core only defines the state).
+
+/// The boundary quantum [packets] at which adaptive progress is
+/// evaluated, checkpointable, and resumable.
+inline constexpr std::size_t kAdaptiveStopQuantum = 8;
+
+/// Serializable progress of one adaptive sweep point: the streaming
+/// packet-order reduction of the evaluated prefix. For a still-running
+/// point, `packets` is quantum-aligned; a stopped point's `packets` is its
+/// final stop index. The RNG needs no state of its own — counter-based
+/// seeding makes `packets` the complete "rng counter state".
+struct SweepPointProgress {
+  std::uint64_t packets = 0;        ///< evaluated in-order prefix length
+  std::uint64_t packets_lost = 0;
+  std::uint64_t packet_errors = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t bit_errors = 0;
+  double evm_sum = 0.0;             ///< running EVM fold (exact packet order)
+  std::uint64_t evm_packets = 0;    ///< decoded packets in the fold
+  bool stopped = false;
+  bool converged = false;           ///< rule met (vs. ran into the cap)
+};
+
+/// Resume state + per-wave observation hook for
+/// sweep_ber_adaptive_resumable.
+struct AdaptiveResume {
+  /// In: the state to resume from — either empty (cold start) or exactly
+  /// one entry per config, each a state a previous run reported (running
+  /// entries quantum-aligned and below the cap). Out: the final state.
+  /// Invalid resume states throw std::invalid_argument.
+  std::vector<SweepPointProgress> progress;
+
+  /// Called after every wave's stopping scan with the current progress
+  /// (quantum-boundary state, safe to checkpoint). Return false to preempt:
+  /// the sweep stops scheduling, `progress` keeps the preempted state for a
+  /// later resume, and the returned results carry the partial prefixes
+  /// (un-stopped points report converged == false). Null = never preempt.
+  std::function<bool(std::span<const SweepPointProgress>)> on_wave;
+
+  /// Out: true when on_wave preempted the sweep before every point stopped.
+  bool preempted = false;
+};
+
+/// sweep_ber_adaptive with checkpoint/resume plumbing. With `resume`
+/// null (or default-constructed) this IS sweep_ber_adaptive; with a
+/// progress vector from an earlier (preempted) run it continues from that
+/// boundary, and the completed results are bit-identical to the
+/// uninterrupted run's for every field except wall_seconds (which measures
+/// this call, not the sum of attempts).
+std::vector<BerResult> sweep_ber_adaptive_resumable(
+    std::span<const LinkConfig> configs, const sim::StoppingRule& rule,
+    const SweepOptions& opts, AdaptiveResume* resume);
 
 }  // namespace wlansim::core

@@ -369,7 +369,13 @@ std::vector<BerResult> sweep_ber_deduped(std::span<const LinkConfig> configs,
     SweepOptions sweep_opts;
     sweep_opts.threads = sopts.threads;
     const std::vector<BerResult> mc =
-        sweep_ber_adaptive(cfgs, sopts.rule, sweep_opts);
+        opts.cold_pass ? opts.cold_pass(cfgs, sopts.rule, sweep_opts)
+                       : sweep_ber_adaptive(cfgs, sopts.rule, sweep_opts);
+    if (mc.size() != cold.size())
+      throw std::logic_error(
+          "sweep_ber_deduped: cold_pass hook returned " +
+          std::to_string(mc.size()) + " results for " +
+          std::to_string(cold.size()) + " configs");
     for (std::size_t j = 0; j < cold.size(); ++j)
       entries[cold[j]].result = mc[j];
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -126,6 +127,18 @@ struct DedupOptions {
   /// false: never touch the calibration store — every distinct key runs
   /// in the pooled pass and nothing is persisted (pure deduplication).
   bool use_store = true;
+  /// Optional replacement for the pooled cold pass. Null (the default)
+  /// runs sweep_ber_adaptive(cfgs, rule, sweep_opts) directly; a service
+  /// layer substitutes a checkpointing wrapper (e.g. one built on
+  /// sweep_ber_adaptive_resumable) here. The hook MUST return results
+  /// bit-identical to sweep_ber_adaptive for the same (cfgs, rule) — the
+  /// dedup layer backfills the store from them. A hook that cannot finish
+  /// (preemption) should throw; the exception propagates out of
+  /// sweep_ber_deduped before any backfill, leaving the store untouched.
+  std::function<std::vector<BerResult>(
+      std::span<const LinkConfig>, const sim::StoppingRule&,
+      const SweepOptions&)>
+      cold_pass;
 };
 
 struct DedupStats {

@@ -20,7 +20,8 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_start_.notify_all();
-  for (auto& t : workers_) t.join();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
 }
 
 void ThreadPool::drain(std::size_t worker) {
@@ -54,32 +55,68 @@ void ThreadPool::worker_loop(std::size_t worker) {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
     }
-    cv_done_.notify_one();
+    // notify_all: both the submitting caller (waiting on active_ == 0) and a
+    // shutdown() drainer (waiting on in_flight_ == false) sleep on cv_done_.
+    cv_done_.notify_all();
   }
 }
 
-void ThreadPool::parallel_for(
+bool ThreadPool::parallel_for(
     std::size_t n, std::size_t chunk,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
   if (chunk == 0) chunk = 1;
-  if (size_ <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(0, i);
-    return;
-  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
-    n_ = n;
-    chunk_ = chunk;
-    next_ = 0;
-    ++generation_;
+    if (draining_) return false;
+    if (n == 0) return true;
+    in_flight_ = true;
+    if (size_ > 1) {
+      fn_ = &fn;
+      n_ = n;
+      chunk_ = chunk;
+      next_ = 0;
+      ++generation_;
+    }
+  }
+  if (size_ <= 1) {
+    // Inline pool: still an in-flight job — shutdown() waits for it.
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = false;
+    }
+    cv_done_.notify_all();
+    return true;
   }
   cv_start_.notify_all();
   drain(/*worker=*/0);  // the caller works too
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    in_flight_ = false;
+  }
+  cv_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::shutdown() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return active_ == 0; });
-  fn_ = nullptr;
+  draining_ = true;
+  // Let an in-flight parallel_for run its full index range to completion —
+  // nothing is torn down mid-wave.
+  cv_done_.wait(lock, [&] { return !in_flight_; });
+  if (stop_) return;  // an earlier shutdown() already joined the workers
+  stop_ = true;
+  lock.unlock();
+  cv_start_.notify_all();
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+bool ThreadPool::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
 }
 
 ThreadPool& ThreadPool::shared() {

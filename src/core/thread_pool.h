@@ -33,9 +33,22 @@ class ThreadPool {
   /// claimed in contiguous chunks of `chunk` by whichever worker is free
   /// (dynamic scheduling); `worker` is a stable id in [0, size()), with the
   /// calling thread participating as worker 0. Blocks until all indices are
-  /// done. Not reentrant — one parallel_for at a time per pool.
-  void parallel_for(std::size_t n, std::size_t chunk,
+  /// done and returns true. Not reentrant — one parallel_for at a time per
+  /// pool. After shutdown() the call is rejected: returns false with NO
+  /// index invoked (callers owning result buffers must check).
+  bool parallel_for(std::size_t n, std::size_t chunk,
                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Graceful drain: waits for an in-flight parallel_for to finish its full
+  /// index range (nothing is interrupted mid-chunk), rejects any submit
+  /// that arrives after this call, then joins the worker threads. Safe to
+  /// call while another thread is inside parallel_for, and idempotent —
+  /// late/duplicate calls return once the pool is quiescent. The daemon's
+  /// SIGTERM path: stop accepting jobs, shutdown() the pool, exit.
+  void shutdown();
+
+  /// True once shutdown() has been requested (submits are being rejected).
+  bool is_shutdown() const;
 
   /// Process-wide pool at hardware concurrency, created on first use.
   static ThreadPool& shared();
@@ -47,7 +60,7 @@ class ThreadPool {
   std::size_t size_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
@@ -56,6 +69,8 @@ class ThreadPool {
   std::size_t next_ = 0;        ///< next unclaimed index (guarded by mu_)
   std::size_t generation_ = 0;  ///< bumped per parallel_for
   std::size_t active_ = 0;      ///< helpers still inside the current job
+  bool in_flight_ = false;      ///< a parallel_for is between entry and exit
+  bool draining_ = false;       ///< shutdown requested; reject new submits
   bool stop_ = false;
 };
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 
 namespace wlansim::sim {
 
@@ -424,16 +426,19 @@ std::optional<CalibrationCurve> CalibrationStore::load(
   return parse_curve(buf.str(), fingerprint);
 }
 
-bool CalibrationStore::save(const CalibrationCurve& curve) const {
-  if (curve.fingerprint.empty()) return false;
+namespace {
+
+/// One atomic tmp+rename publish attempt. Unique temp name per writer so
+/// two processes calibrating the same key never interleave writes; rename()
+/// then publishes whole files only.
+bool save_attempt(const std::filesystem::path& dir,
+                  const std::filesystem::path& final_path,
+                  const std::string& payload) {
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
+  std::filesystem::create_directories(dir, ec);
   if (ec) return false;
 
-  // Unique temp name per writer so two processes calibrating the same key
-  // never interleave writes; rename() then publishes whole files only.
   static std::atomic<unsigned> counter{0};
-  const std::filesystem::path final_path = path_for(curve.fingerprint);
   std::filesystem::path tmp = final_path;
   tmp += ".tmp." + std::to_string(::getpid()) + "." +
          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
@@ -441,7 +446,7 @@ bool CalibrationStore::save(const CalibrationCurve& curve) const {
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
-    out << serialize_curve(curve);
+    out << payload;
     out.flush();
     if (!out) {
       out.close();
@@ -455,6 +460,30 @@ bool CalibrationStore::save(const CalibrationCurve& curve) const {
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool CalibrationStore::save(const CalibrationCurve& curve) const {
+  if (curve.fingerprint.empty()) return false;
+  const std::filesystem::path final_path = path_for(curve.fingerprint);
+  const std::string payload = serialize_curve(curve);
+
+  // Bounded retry with exponential backoff. Concurrent daemon shards racing
+  // on the same content-addressed key write identical payloads, so
+  // last-writer-wins is safe — a transient failure (rename contention,
+  // directory creation race, brief EMFILE) should be absorbed here rather
+  // than surfaced to a caller that would only retry the identical write.
+  constexpr int kAttempts = 5;
+  std::chrono::milliseconds backoff{1};
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    if (save_attempt(dir_, final_path, payload)) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

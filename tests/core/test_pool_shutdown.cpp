@@ -1,0 +1,78 @@
+// ThreadPool graceful shutdown: in-flight work drains to completion,
+// post-shutdown submits are rejected without invoking anything, and the
+// call is idempotent / safe from a concurrent thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/thread_pool.h"
+
+namespace wlansim::core {
+namespace {
+
+TEST(PoolShutdown, IdleShutdownRejectsLaterSubmits) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.is_shutdown());
+  pool.shutdown();
+  EXPECT_TRUE(pool.is_shutdown());
+
+  std::atomic<int> invoked{0};
+  const bool ran =
+      pool.parallel_for(64, 4, [&](std::size_t, std::size_t) { ++invoked; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(invoked.load(), 0);
+}
+
+TEST(PoolShutdown, ShutdownWhileBusyDrainsTheFullRange) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 200;
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> started{false};
+
+  std::thread submitter([&] {
+    const bool ran = pool.parallel_for(kItems, 1, [&](std::size_t,
+                                                      std::size_t) {
+      started.store(true);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++done;
+    });
+    EXPECT_TRUE(ran);
+  });
+
+  while (!started.load()) std::this_thread::yield();
+  pool.shutdown();  // must wait for the in-flight range, not interrupt it
+
+  // After shutdown() returns, every index has run exactly once.
+  EXPECT_EQ(done.load(), kItems);
+  submitter.join();
+
+  std::atomic<int> late{0};
+  EXPECT_FALSE(
+      pool.parallel_for(8, 1, [&](std::size_t, std::size_t) { ++late; }));
+  EXPECT_EQ(late.load(), 0);
+}
+
+TEST(PoolShutdown, IdempotentAndConcurrent) {
+  ThreadPool pool(2);
+  std::thread a([&] { pool.shutdown(); });
+  std::thread b([&] { pool.shutdown(); });
+  a.join();
+  b.join();
+  pool.shutdown();  // third call on a quiescent pool: no-op
+  EXPECT_TRUE(pool.is_shutdown());
+}
+
+TEST(PoolShutdown, InlinePoolDrainsToo) {
+  ThreadPool pool(1);  // size-1 pool runs inline on the caller
+  std::atomic<int> n{0};
+  EXPECT_TRUE(pool.parallel_for(5, 1, [&](std::size_t, std::size_t) { ++n; }));
+  EXPECT_EQ(n.load(), 5);
+  pool.shutdown();
+  EXPECT_FALSE(pool.parallel_for(5, 1, [&](std::size_t, std::size_t) { ++n; }));
+  EXPECT_EQ(n.load(), 5);
+}
+
+}  // namespace
+}  // namespace wlansim::core

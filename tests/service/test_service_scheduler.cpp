@@ -1,0 +1,170 @@
+// Cross-request batching: jobs queued while the engine is paused (or busy)
+// coalesce into one pooled deduplicated pass per compatible group, with
+// results bit-identical to evaluating each job alone.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "core/experiments.h"
+#include "core/parallel.h"
+#include "service/checkpoint.h"
+#include "service/scheduler.h"
+
+namespace wlansim::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path test_dir(const char* name) {
+  fs::path dir = fs::path(::testing::TempDir()) / "wlansim-schedtest" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+core::LinkConfig cheap_config(double snr) {
+  core::LinkConfig cfg = core::default_link_config();
+  cfg.psdu_bytes = 60;
+  cfg.snr_db = snr;
+  return cfg;
+}
+
+sim::StoppingRule small_rule() {
+  sim::StoppingRule rule;
+  rule.target_rel_ci = 0.35;
+  rule.min_errors = 25;
+  rule.min_packets = 8;
+  rule.max_packets = 40;
+  return rule;
+}
+
+JobRequest job_for(std::initializer_list<double> snrs) {
+  JobRequest req;
+  for (const double snr : snrs) req.configs.push_back(cheap_config(snr));
+  req.rule = small_rule();
+  req.bin_width_db = 0.0;
+  req.use_store = true;
+  return req;
+}
+
+void expect_identical(const core::BerResult& a, const core::BerResult& b) {
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+  EXPECT_EQ(a.packet_errors, b.packet_errors);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.evm_rms_avg, b.evm_rms_avg);
+  EXPECT_EQ(a.ber_ci_rel, b.ber_ci_rel);
+}
+
+Scheduler::Options paused_opts(const fs::path& dir) {
+  Scheduler::Options opts;
+  opts.store_dir = dir;
+  opts.threads = 2;
+  opts.start_paused = true;
+  return opts;
+}
+
+TEST(ServiceScheduler, PausedSubmissionsCoalesceIntoOneBatch) {
+  const fs::path dir = test_dir("coalesce");
+  Scheduler sched(paused_opts(dir));
+
+  // Four concurrent clients with overlapping points: 6 distinct configs
+  // across 8 queries.
+  std::vector<std::future<JobResult>> futs;
+  futs.push_back(sched.submit(job_for({6.0, 8.0})));
+  futs.push_back(sched.submit(job_for({8.0, 10.0})));
+  futs.push_back(sched.submit(job_for({6.0, 12.0})));
+  futs.push_back(sched.submit(job_for({7.0, 9.0})));
+  sched.resume();
+
+  std::vector<JobResult> results;
+  for (auto& f : futs) results.push_back(f.get());
+
+  const SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.jobs, 4u);
+  EXPECT_EQ(st.batches, 1u);  // the whole queue drained in one engine pass
+  EXPECT_EQ(st.groups, 1u);   // same rule/axis/bin -> one pooled pass
+  EXPECT_EQ(st.dedup.queries, 8u);
+  EXPECT_EQ(st.dedup.distinct, 6u);  // 6.0 and 8.0 shared across jobs
+  EXPECT_EQ(st.dedup.cold, 6u);
+
+  // Every job sees the pooled group's stats but its own query count.
+  EXPECT_EQ(results[0].stats.queries, 2u);
+  EXPECT_EQ(results[0].stats.distinct, 6u);
+
+  // Bit-identity: each job's slice equals a direct adaptive evaluation of
+  // its own configs (the dedup contract makes pooling invisible).
+  for (std::size_t j = 0; j < 4; ++j) {
+    const JobRequest req = [&] {
+      switch (j) {
+        case 0: return job_for({6.0, 8.0});
+        case 1: return job_for({8.0, 10.0});
+        case 2: return job_for({6.0, 12.0});
+        default: return job_for({7.0, 9.0});
+      }
+    }();
+    core::SweepOptions sopts;
+    sopts.threads = 2;
+    const std::vector<core::BerResult> direct =
+        core::sweep_ber_adaptive(req.configs, req.rule, sopts);
+    ASSERT_EQ(results[j].results.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+      expect_identical(results[j].results[i], direct[i]);
+  }
+}
+
+TEST(ServiceScheduler, SecondBatchIsServedWarm) {
+  const fs::path dir = test_dir("warm");
+  Scheduler sched(paused_opts(dir));
+  sched.resume();
+
+  sched.submit(job_for({6.0, 8.0})).get();
+  const JobResult warm = sched.submit(job_for({6.0, 8.0})).get();
+  EXPECT_TRUE(warm.results[0].from_surrogate);
+  EXPECT_TRUE(warm.results[1].from_surrogate);
+
+  const SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.dedup.cold, 2u);  // only the first batch measured anything
+  EXPECT_EQ(st.dedup.warm, 2u);
+}
+
+TEST(ServiceScheduler, IncompatibleRulesSplitIntoGroups) {
+  const fs::path dir = test_dir("groups");
+  Scheduler sched(paused_opts(dir));
+
+  JobRequest a = job_for({6.0});
+  JobRequest b = job_for({6.0});
+  b.rule.max_packets += 8;  // different rule: must not share results
+  auto fa = sched.submit(std::move(a));
+  auto fb = sched.submit(std::move(b));
+  sched.resume();
+  fa.get();
+  fb.get();
+
+  const SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.groups, 2u);
+}
+
+TEST(ServiceScheduler, StopPreemptsQueuedJobs) {
+  const fs::path dir = test_dir("preempt");
+  Scheduler sched(paused_opts(dir));
+  auto fut = sched.submit(job_for({6.0}));
+  sched.stop();  // engine never ran the job
+  EXPECT_THROW(fut.get(), PreemptedError);
+  EXPECT_EQ(sched.stats().preempted, 1u);
+  EXPECT_THROW(sched.submit(job_for({6.0})), std::runtime_error);
+}
+
+TEST(ServiceScheduler, EmptyJobIsRejected) {
+  const fs::path dir = test_dir("empty");
+  Scheduler sched(paused_opts(dir));
+  EXPECT_THROW(sched.submit(JobRequest{}), std::invalid_argument);
+  sched.stop();
+}
+
+}  // namespace
+}  // namespace wlansim::service

@@ -41,6 +41,8 @@ DEFAULT_WATCHED = [
     "BM_SurrogateQueryWarm/iterations:1",
     "BM_DropThroughputCold/iterations:1",
     "BM_DropThroughputWarm/iterations:1",
+    "BM_ServiceColdCoalesced/iterations:1",
+    "BM_ServiceWarmQuery/iterations:1",
 ]
 
 

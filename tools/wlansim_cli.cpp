@@ -24,66 +24,13 @@
 #include "scenario/drop.h"
 #include "scenario/trace.h"
 #include "sim/waveio.h"
+#include "cli_link.h"
 
 namespace {
 
 using namespace wlansim;
-
-phy::Rate rate_from_mbps(long mbps) {
-  switch (mbps) {
-    case 6: return phy::Rate::kMbps6;
-    case 9: return phy::Rate::kMbps9;
-    case 12: return phy::Rate::kMbps12;
-    case 18: return phy::Rate::kMbps18;
-    case 24: return phy::Rate::kMbps24;
-    case 36: return phy::Rate::kMbps36;
-    case 48: return phy::Rate::kMbps48;
-    case 54: return phy::Rate::kMbps54;
-    default:
-      throw std::invalid_argument("--rate must be one of 6 9 12 18 24 36 48 54");
-  }
-}
-
-core::LinkConfig link_from_args(const core::CliArgs& args) {
-  core::LinkConfig cfg = core::default_link_config();
-  cfg.rate = rate_from_mbps(args.get_long("rate", 24));
-  cfg.psdu_bytes = static_cast<std::size_t>(args.get_long("bytes", 200));
-  cfg.rx_power_dbm = args.get_double("power-dbm", -65.0);
-  if (args.has("no-snr")) {
-    cfg.snr_db.reset();
-  } else {
-    cfg.snr_db = args.get_double("snr", 25.0);
-  }
-  const std::string rf = args.get_string("rf", "system");
-  if (rf == "none") {
-    cfg.rf_engine = core::RfEngine::kNone;
-  } else if (rf == "system") {
-    cfg.rf_engine = core::RfEngine::kSystemLevel;
-  } else if (rf == "cosim") {
-    cfg.rf_engine = core::RfEngine::kCosim;
-  } else {
-    throw std::invalid_argument("--rf must be none|system|cosim");
-  }
-  cfg.rf.lna_p1db_in_dbm = args.get_double("p1db", cfg.rf.lna_p1db_in_dbm);
-  cfg.rf.bb_bandwidth_factor =
-      args.get_double("bandwidth-factor", cfg.rf.bb_bandwidth_factor);
-  cfg.sco_ppm = args.get_double("sco-ppm", 0.0);
-  if (args.has("adjacent-db")) {
-    cfg.interferer = channel::InterfererConfig{
-        .offset_hz = args.get_double("adjacent-offset-hz", 20e6),
-        .level_db = args.get_double("adjacent-db", 16.0)};
-  }
-  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 2003));
-  return cfg;
-}
-
-void fail_on_unused(const core::CliArgs& args) {
-  const auto extra = args.unused();
-  if (extra.empty()) return;
-  std::string msg = "unknown option(s):";
-  for (const auto& k : extra) msg += " --" + k;
-  throw std::invalid_argument(msg);
-}
+using tools::fail_on_unused;
+using tools::link_from_args;
 
 void print_ber_result(const core::LinkConfig& cfg, const core::BerResult& r) {
   std::printf("rate        : %s\n",
