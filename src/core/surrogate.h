@@ -113,6 +113,19 @@ BerResult run_ber_surrogate(const LinkConfig& cfg,
 /// quantization and returns `x` unchanged.
 double quantize_axis(double x, double bin_width);
 
+/// A replacement for the pooled cold pass (see DedupOptions::cold_pass and
+/// scenario::DropConfig::cold_pass). The contract: the function MUST return
+/// results bit-identical to sweep_ber_adaptive(cfgs, rule, sweep_opts) for
+/// every field except wall_seconds — each point is a pure function of
+/// (config, rule), so a conforming implementation may checkpoint, resume,
+/// or shard the pass across worker processes (service/shard.h) without
+/// changing a single bit of any result. A hook that cannot finish
+/// (preemption) should throw; the exception propagates out before any
+/// store backfill.
+using ColdPassFn = std::function<std::vector<BerResult>(
+    std::span<const LinkConfig>, const sim::StoppingRule&,
+    const SweepOptions&)>;
+
 struct DedupOptions {
   /// Store / axis / rule / threads / cache — the same knobs as the plain
   /// surrogate drivers. miss_policy is ignored: cold keys always run in
@@ -129,16 +142,15 @@ struct DedupOptions {
   bool use_store = true;
   /// Optional replacement for the pooled cold pass. Null (the default)
   /// runs sweep_ber_adaptive(cfgs, rule, sweep_opts) directly; a service
-  /// layer substitutes a checkpointing wrapper (e.g. one built on
-  /// sweep_ber_adaptive_resumable) here. The hook MUST return results
-  /// bit-identical to sweep_ber_adaptive for the same (cfgs, rule) — the
-  /// dedup layer backfills the store from them. A hook that cannot finish
-  /// (preemption) should throw; the exception propagates out of
-  /// sweep_ber_deduped before any backfill, leaving the store untouched.
-  std::function<std::vector<BerResult>(
-      std::span<const LinkConfig>, const sim::StoppingRule&,
-      const SweepOptions&)>
-      cold_pass;
+  /// layer substitutes a checkpointing wrapper (run_cold_pass_checkpointed)
+  /// or a sharded coordinator fanning the pass out across worker processes
+  /// (service/shard.h) here. The cold keys reach the hook in
+  /// first-appearance order — the order a shard partition is defined
+  /// against. See ColdPassFn for the bit-identity contract; the dedup
+  /// layer backfills the store from the hook's results, and an exception
+  /// (preemption) propagates out of sweep_ber_deduped before any backfill,
+  /// leaving the store untouched.
+  ColdPassFn cold_pass;
 };
 
 struct DedupStats {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "phy80211a/params.h"
@@ -140,6 +141,7 @@ DropSummary run_drop(const DropConfig& cfg, const SampleSink& sink) {
   dopts.surrogate.cache = cache.has_value() ? &*cache : nullptr;
   dopts.bin_width_db = cfg.snr_bin_db;
   dopts.use_store = cfg.use_store;
+  dopts.cold_pass = cfg.cold_pass;
 
   std::vector<Vec2> pos(cfg.num_stations);
   for (std::size_t i = 0; i < cfg.num_stations; ++i)
@@ -199,6 +201,32 @@ DropSummary run_drop(const DropConfig& cfg, const SampleSink& sink) {
   }
   summary.wall_seconds = elapsed();
   return summary;
+}
+
+std::string drop_summary_table(const DropSummary& summary) {
+  // The byte-exact table `wlansim drop` has always printed; the service
+  // path ships these same bytes to `wlansim_client drop`, so any format
+  // change here is a wire-visible change (pinned by tests/service/).
+  std::string out;
+  char line[160];
+  out += "step  stations  distinct  warm  cold  mean_snr_db  mean_ber"
+         "   goodput_mbps  wall_s\n";
+  for (const StepSummary& st : summary.steps) {
+    std::snprintf(line, sizeof(line),
+                  "%4u  %8zu  %8zu  %4zu  %4zu  %11.2f  %.2e  %12.2f  %6.2f\n",
+                  st.step, st.dedup.queries, st.dedup.distinct, st.dedup.warm,
+                  st.dedup.cold, st.mean_snr_db, st.mean_ber,
+                  st.mean_goodput_mbps, st.wall_seconds);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %zu evaluations -> %zu distinct (%zu warm, %zu cold) "
+                "in %.2f s\n",
+                summary.totals.queries, summary.totals.distinct,
+                summary.totals.warm, summary.totals.cold,
+                summary.wall_seconds);
+  out += line;
+  return out;
 }
 
 DropSummary run_drop_collect(const DropConfig& cfg,

@@ -22,6 +22,7 @@
 #include <filesystem>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/surrogate.h"
@@ -87,6 +88,12 @@ struct DropConfig {
   bool use_store = true;
   /// Calibration store directory; empty = core::default_calibration_dir().
   std::filesystem::path store_dir;
+  /// Optional replacement for each step's pooled cold pass, forwarded into
+  /// core::DedupOptions::cold_pass — the service layer routes this to its
+  /// checkpointed (and sharded, service/shard.h) executor so a drop served
+  /// over the socket checkpoints and fans out exactly like a sweep job.
+  /// Same bit-identity contract as core::ColdPassFn.
+  core::ColdPassFn cold_pass;
 };
 
 /// One station at one mobility step, with its link evaluation.
@@ -134,6 +141,11 @@ DropSummary run_drop(const DropConfig& cfg, const SampleSink& sink);
 /// Convenience wrapper collecting every sample (small drops / tests).
 DropSummary run_drop_collect(const DropConfig& cfg,
                              std::vector<StationSample>& samples);
+
+/// Render `summary` as the CLI's per-step table (header, one row per step,
+/// totals line) — the exact bytes `wlansim drop` prints, shared with the
+/// service path so `wlansim_client drop` output is byte-identical.
+std::string drop_summary_table(const DropSummary& summary);
 
 /// The exact LinkConfig the drop evaluated for `s` (base link + binned SNR
 /// + quantized adjacent interferer): running core::run_ber_adaptive on it

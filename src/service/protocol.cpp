@@ -299,6 +299,228 @@ EvalRequest EvalRequest::from_json(const Json& j) {
   return req;
 }
 
+Json DropRequest::to_json() const {
+  Json j = Json::object();
+  j.set("op", Json::string("drop"));
+  j.set("num_stations", Json::number_u64(cfg.num_stations));
+  j.set("num_steps", Json::number_u64(cfg.num_steps));
+  j.set("area_half_m", Json::number(cfg.area_half_m));
+  Json ap = Json::object();
+  ap.set("x", Json::number(cfg.ap.x));
+  ap.set("y", Json::number(cfg.ap.y));
+  j.set("ap", std::move(ap));
+  j.set("tx_power_dbm", Json::number(cfg.tx_power_dbm));
+  j.set("noise_figure_db", Json::number(cfg.noise_figure_db));
+  j.set("bandwidth_hz", Json::number(cfg.bandwidth_hz));
+  Json pl = Json::object();
+  pl.set("ref_loss_db", Json::number(cfg.path_loss.ref_loss_db));
+  pl.set("ref_distance_m", Json::number(cfg.path_loss.ref_distance_m));
+  pl.set("exponent", Json::number(cfg.path_loss.exponent));
+  pl.set("shadowing_sigma_db",
+         Json::number(cfg.path_loss.shadowing_sigma_db));
+  pl.set("min_distance_m", Json::number(cfg.path_loss.min_distance_m));
+  j.set("path_loss", std::move(pl));
+  j.set("walk_step_m", Json::number(cfg.mobility.step_m));
+  Json bsses = Json::array();
+  for (const scenario::InterfererBss& bss : cfg.interferers) {
+    Json b = Json::object();
+    b.set("x", Json::number(bss.position.x));
+    b.set("y", Json::number(bss.position.y));
+    b.set("tx_power_dbm", Json::number(bss.tx_power_dbm));
+    b.set("offset_hz", Json::number(bss.offset_hz));
+    bsses.push_back(std::move(b));
+  }
+  j.set("interferers", std::move(bsses));
+  j.set("seed", Json::number_u64(cfg.seed));
+  j.set("link", link_to_json(cfg.link));
+  j.set("snr_bin_db", Json::number(cfg.snr_bin_db));
+  j.set("snr_min_db", Json::number(cfg.snr_min_db));
+  j.set("snr_max_db", Json::number(cfg.snr_max_db));
+  j.set("adj_bin_db", Json::number(cfg.adj_bin_db));
+  j.set("adj_floor_db", Json::number(cfg.adj_floor_db));
+  j.set("rule", rule_to_json(cfg.rule));
+  j.set("use_store", Json::boolean(cfg.use_store));
+  return j;
+}
+
+DropRequest DropRequest::from_json(const Json& j) {
+  DropRequest req;
+  scenario::DropConfig& cfg = req.cfg;
+  cfg.num_stations =
+      static_cast<std::size_t>(get_u64(j, "num_stations", cfg.num_stations));
+  cfg.num_steps =
+      static_cast<std::size_t>(get_u64(j, "num_steps", cfg.num_steps));
+  cfg.area_half_m = get_double(j, "area_half_m", cfg.area_half_m);
+  if (const Json* ap = j.find("ap")) {
+    cfg.ap.x = get_double(*ap, "x", 0.0);
+    cfg.ap.y = get_double(*ap, "y", 0.0);
+  }
+  cfg.tx_power_dbm = get_double(j, "tx_power_dbm", cfg.tx_power_dbm);
+  cfg.noise_figure_db = get_double(j, "noise_figure_db", cfg.noise_figure_db);
+  cfg.bandwidth_hz = get_double(j, "bandwidth_hz", cfg.bandwidth_hz);
+  if (const Json* pl = j.find("path_loss")) {
+    cfg.path_loss.ref_loss_db =
+        get_double(*pl, "ref_loss_db", cfg.path_loss.ref_loss_db);
+    cfg.path_loss.ref_distance_m =
+        get_double(*pl, "ref_distance_m", cfg.path_loss.ref_distance_m);
+    cfg.path_loss.exponent = get_double(*pl, "exponent", cfg.path_loss.exponent);
+    cfg.path_loss.shadowing_sigma_db =
+        get_double(*pl, "shadowing_sigma_db", cfg.path_loss.shadowing_sigma_db);
+    cfg.path_loss.min_distance_m =
+        get_double(*pl, "min_distance_m", cfg.path_loss.min_distance_m);
+  }
+  cfg.mobility.step_m = get_double(j, "walk_step_m", cfg.mobility.step_m);
+  if (const Json* bsses = j.find("interferers")) {
+    if (!bsses->is_array())
+      throw std::runtime_error("protocol: \"interferers\" must be an array");
+    for (const Json& b : bsses->as_array()) {
+      scenario::InterfererBss bss;
+      bss.position.x = get_double(b, "x", 0.0);
+      bss.position.y = get_double(b, "y", 0.0);
+      bss.tx_power_dbm = get_double(b, "tx_power_dbm", bss.tx_power_dbm);
+      bss.offset_hz = get_double(b, "offset_hz", bss.offset_hz);
+      cfg.interferers.push_back(bss);
+    }
+  }
+  cfg.seed = get_u64(j, "seed", cfg.seed);
+  cfg.link = link_from_json(require(j, "link"));
+  cfg.snr_bin_db = get_double(j, "snr_bin_db", cfg.snr_bin_db);
+  cfg.snr_min_db = get_double(j, "snr_min_db", cfg.snr_min_db);
+  cfg.snr_max_db = get_double(j, "snr_max_db", cfg.snr_max_db);
+  cfg.adj_bin_db = get_double(j, "adj_bin_db", cfg.adj_bin_db);
+  cfg.adj_floor_db = get_double(j, "adj_floor_db", cfg.adj_floor_db);
+  cfg.rule = rule_from_json(require(j, "rule"));
+  cfg.use_store = get_bool(j, "use_store", true);
+  return req;
+}
+
+Json progress_to_json(const core::SweepPointProgress& p) {
+  Json j = Json::object();
+  j.set("packets", Json::number_u64(p.packets));
+  j.set("packets_lost", Json::number_u64(p.packets_lost));
+  j.set("packet_errors", Json::number_u64(p.packet_errors));
+  j.set("bits", Json::number_u64(p.bits));
+  j.set("bit_errors", Json::number_u64(p.bit_errors));
+  j.set("evm_sum", Json::number(p.evm_sum));
+  j.set("evm_packets", Json::number_u64(p.evm_packets));
+  j.set("stopped", Json::boolean(p.stopped));
+  j.set("converged", Json::boolean(p.converged));
+  return j;
+}
+
+core::SweepPointProgress progress_from_json(const Json& j) {
+  if (!j.is_object())
+    throw std::runtime_error("protocol: progress entry must be an object");
+  core::SweepPointProgress p;
+  p.packets = require(j, "packets").as_u64();
+  p.packets_lost = require(j, "packets_lost").as_u64();
+  p.packet_errors = require(j, "packet_errors").as_u64();
+  p.bits = require(j, "bits").as_u64();
+  p.bit_errors = require(j, "bit_errors").as_u64();
+  p.evm_sum = require(j, "evm_sum").as_double();
+  p.evm_packets = require(j, "evm_packets").as_u64();
+  p.stopped = require(j, "stopped").as_bool();
+  p.converged = require(j, "converged").as_bool();
+  return p;
+}
+
+Json progress_array_to_json(std::span<const core::SweepPointProgress> ps) {
+  Json arr = Json::array();
+  for (const core::SweepPointProgress& p : ps)
+    arr.push_back(progress_to_json(p));
+  return arr;
+}
+
+std::vector<core::SweepPointProgress> progress_array_from_json(const Json& j) {
+  if (!j.is_array())
+    throw std::runtime_error("protocol: progress must be an array");
+  std::vector<core::SweepPointProgress> ps;
+  ps.reserve(j.as_array().size());
+  for (const Json& p : j.as_array()) ps.push_back(progress_from_json(p));
+  return ps;
+}
+
+Json ShardRequest::to_json() const {
+  Json j = Json::object();
+  j.set("op", Json::string("shard"));
+  Json arr = Json::array();
+  for (const core::LinkConfig& cfg : links) arr.push_back(link_to_json(cfg));
+  j.set("links", std::move(arr));
+  j.set("rule", rule_to_json(rule));
+  j.set("threads", Json::number_u64(threads));
+  j.set("report_every_waves", Json::number_u64(report_every_waves));
+  if (!resume.empty()) j.set("resume", progress_array_to_json(resume));
+  return j;
+}
+
+ShardRequest ShardRequest::from_json(const Json& j) {
+  ShardRequest req;
+  const Json& links = require(j, "links");
+  if (!links.is_array() || links.as_array().empty())
+    throw std::runtime_error("protocol: \"links\" must be a non-empty array");
+  req.links.reserve(links.as_array().size());
+  for (const Json& l : links.as_array()) req.links.push_back(link_from_json(l));
+  req.rule = rule_from_json(require(j, "rule"));
+  req.threads = static_cast<std::size_t>(get_u64(j, "threads", 0));
+  req.report_every_waves =
+      static_cast<std::size_t>(get_u64(j, "report_every_waves", 1));
+  if (req.report_every_waves == 0) req.report_every_waves = 1;
+  if (const Json* r = j.find("resume")) {
+    req.resume = progress_array_from_json(*r);
+    if (req.resume.size() != req.links.size())
+      throw std::runtime_error(
+          "protocol: \"resume\" must carry one entry per link");
+  }
+  return req;
+}
+
+Json shard_progress_response(std::span<const core::SweepPointProgress> ps) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  j.set("shard", Json::string("progress"));
+  j.set("progress", progress_array_to_json(ps));
+  return j;
+}
+
+Json shard_done_response(const std::vector<core::BerResult>& results,
+                         std::span<const core::SweepPointProgress> ps,
+                         std::uint64_t resumed_packets) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  j.set("shard", Json::string("done"));
+  Json res = Json::array();
+  for (const core::BerResult& r : results) res.push_back(result_to_json(r));
+  j.set("results", std::move(res));
+  j.set("progress", progress_array_to_json(ps));
+  j.set("resumed_packets", Json::number_u64(resumed_packets));
+  return j;
+}
+
+ShardReply shard_reply_from_json(const Json& j) {
+  if (!j.is_object())
+    throw std::runtime_error("protocol: shard reply must be an object");
+  if (!get_bool(j, "ok", false)) {
+    const Json* err = j.find("error");
+    throw std::runtime_error(err && err->is_string()
+                                 ? err->as_string()
+                                 : std::string("shard worker error"));
+  }
+  ShardReply reply;
+  const std::string kind = require(j, "shard").as_string();
+  if (kind == "done") {
+    reply.done = true;
+  } else if (kind != "progress") {
+    throw std::runtime_error("protocol: shard kind must be progress|done");
+  }
+  reply.progress = progress_array_from_json(require(j, "progress"));
+  if (reply.done) {
+    for (const Json& r : require(j, "results").as_array())
+      reply.results.push_back(result_from_json(r));
+    reply.resumed_packets = get_u64(j, "resumed_packets", 0);
+  }
+  return reply;
+}
+
 Json error_response(const std::string& message, bool resumable) {
   Json j = Json::object();
   j.set("ok", Json::boolean(false));
@@ -349,6 +571,69 @@ ResultsReply results_reply_from_json(const Json& j) {
     reply.stats.cold = static_cast<std::size_t>(get_u64(*st, "cold", 0));
   }
   return reply;
+}
+
+Json drop_response(const scenario::DropSummary& summary) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  Json steps = Json::array();
+  for (const scenario::StepSummary& st : summary.steps) {
+    Json s = Json::object();
+    s.set("step", Json::number_u64(st.step));
+    s.set("queries", Json::number_u64(st.dedup.queries));
+    s.set("distinct", Json::number_u64(st.dedup.distinct));
+    s.set("warm", Json::number_u64(st.dedup.warm));
+    s.set("cold", Json::number_u64(st.dedup.cold));
+    s.set("wall_seconds", Json::number(st.wall_seconds));
+    s.set("mean_snr_db", Json::number(st.mean_snr_db));
+    s.set("mean_ber", Json::number(st.mean_ber));
+    s.set("mean_goodput_mbps", Json::number(st.mean_goodput_mbps));
+    steps.push_back(std::move(s));
+  }
+  j.set("steps", std::move(steps));
+  Json tot = Json::object();
+  tot.set("queries", Json::number_u64(summary.totals.queries));
+  tot.set("distinct", Json::number_u64(summary.totals.distinct));
+  tot.set("warm", Json::number_u64(summary.totals.warm));
+  tot.set("cold", Json::number_u64(summary.totals.cold));
+  j.set("totals", std::move(tot));
+  j.set("wall_seconds", Json::number(summary.wall_seconds));
+  return j;
+}
+
+scenario::DropSummary drop_summary_from_json(const Json& j) {
+  if (!j.is_object())
+    throw std::runtime_error("protocol: drop response must be an object");
+  if (!get_bool(j, "ok", false)) {
+    const Json* err = j.find("error");
+    throw std::runtime_error(err && err->is_string()
+                                 ? err->as_string()
+                                 : std::string("service error"));
+  }
+  scenario::DropSummary summary;
+  for (const Json& s : require(j, "steps").as_array()) {
+    scenario::StepSummary st;
+    st.step = static_cast<std::uint32_t>(require(s, "step").as_u64());
+    st.dedup.queries = static_cast<std::size_t>(require(s, "queries").as_u64());
+    st.dedup.distinct =
+        static_cast<std::size_t>(require(s, "distinct").as_u64());
+    st.dedup.warm = static_cast<std::size_t>(require(s, "warm").as_u64());
+    st.dedup.cold = static_cast<std::size_t>(require(s, "cold").as_u64());
+    st.wall_seconds = require(s, "wall_seconds").as_double();
+    st.mean_snr_db = require(s, "mean_snr_db").as_double();
+    st.mean_ber = require(s, "mean_ber").as_double();
+    st.mean_goodput_mbps = require(s, "mean_goodput_mbps").as_double();
+    summary.steps.push_back(st);
+  }
+  const Json& tot = require(j, "totals");
+  summary.totals.queries =
+      static_cast<std::size_t>(require(tot, "queries").as_u64());
+  summary.totals.distinct =
+      static_cast<std::size_t>(require(tot, "distinct").as_u64());
+  summary.totals.warm = static_cast<std::size_t>(require(tot, "warm").as_u64());
+  summary.totals.cold = static_cast<std::size_t>(require(tot, "cold").as_u64());
+  summary.wall_seconds = require(j, "wall_seconds").as_double();
+  return summary;
 }
 
 }  // namespace wlansim::service

@@ -39,6 +39,17 @@ Scheduler::Scheduler(Options opts)
                                                    : opts_.checkpoint_dir),
       cache_(sim::CalibrationStore(store_dir_)),
       paused_(opts_.start_paused) {
+  if (opts_.workers > 0 || !opts_.worker_sockets.empty()) {
+    ShardCoordinator::Options copts;
+    copts.workers = opts_.workers;
+    copts.attach_sockets = opts_.worker_sockets;
+    copts.worker_binary = opts_.worker_binary;
+    copts.checkpoint_dir = checkpoint_dir_;
+    copts.checkpoint_every_waves = opts_.checkpoint_every_waves;
+    copts.worker_threads = opts_.threads;
+    copts.stop = &stop_flag_;
+    coordinator_ = std::make_unique<ShardCoordinator>(std::move(copts));
+  }
   engine_ = std::thread([this] { engine_loop(); });
 }
 
@@ -84,35 +95,117 @@ void Scheduler::stop() {
   if (engine_.joinable()) engine_.join();
 }
 
+std::future<scenario::DropSummary> Scheduler::submit_drop(
+    scenario::DropConfig cfg) {
+  PendingDrop p;
+  p.cfg = std::move(cfg);
+  std::future<scenario::DropSummary> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+      throw std::runtime_error("Scheduler::submit_drop: scheduler is stopped");
+    pending_drops_.push_back(std::move(p));
+    ++stats_.jobs;
+  }
+  cv_.notify_all();
+  return fut;
+}
+
 SchedulerStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SchedulerStats st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st = stats_;
+  }
+  if (coordinator_) {
+    const ShardStats ss = coordinator_->stats();
+    st.workers = coordinator_->num_workers();
+    st.sharded_passes = ss.passes;
+    st.shard_reassigned = ss.reassigned;
+    st.worker_respawns = ss.worker_respawns;
+  }
+  return st;
+}
+
+core::ColdPassFn Scheduler::cold_pass_hook() {
+  return [this](std::span<const core::LinkConfig> cfgs,
+                const sim::StoppingRule& rule,
+                const core::SweepOptions& sopts) {
+    // A pass with more than one dedup key fans out across the workers;
+    // single-key passes (and unsharded daemons) run the plain checkpointed
+    // path. Both are bit-identical to sweep_ber_adaptive on `cfgs` — the
+    // coordinator shares the checkpointed path's key, so either executor
+    // resumes the other's preempted work.
+    if (coordinator_ && coordinator_->num_workers() > 0 && cfgs.size() > 1)
+      return coordinator_->run(cfgs, rule, sopts);
+    return run_cold_pass_checkpointed(checkpoint_dir_, cfgs, rule, sopts,
+                                      &stop_flag_,
+                                      opts_.checkpoint_every_waves);
+  };
 }
 
 void Scheduler::engine_loop() {
   for (;;) {
     std::vector<Pending> batch;
+    std::vector<PendingDrop> drops;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] {
-        return stopping_ || (!paused_ && !pending_.empty());
+        return stopping_ ||
+               (!paused_ && (!pending_.empty() || !pending_drops_.empty()));
       });
       if (stopping_) {
         batch = std::move(pending_);
         pending_.clear();
-        stats_.preempted += batch.size();
+        drops = std::move(pending_drops_);
+        pending_drops_.clear();
+        stats_.preempted += batch.size() + drops.size();
         lock.unlock();
-        for (Pending& p : batch) {
-          p.promise.set_exception(std::make_exception_ptr(PreemptedError(
-              "job preempted: scheduler stopping before evaluation")));
-        }
+        const auto err = std::make_exception_ptr(PreemptedError(
+            "job preempted: scheduler stopping before evaluation"));
+        for (Pending& p : batch) p.promise.set_exception(err);
+        for (PendingDrop& p : drops) p.promise.set_exception(err);
         return;
       }
       batch = std::move(pending_);
       pending_.clear();
+      drops = std::move(pending_drops_);
+      pending_drops_.clear();
       ++stats_.batches;
     }
     run_batch(batch);
+    run_drops(drops);
+  }
+}
+
+void Scheduler::run_drops(std::vector<PendingDrop>& drops) {
+  for (PendingDrop& p : drops) {
+    // The daemon owns the execution resources; the request owns only the
+    // question. The shared in-memory cache stays out deliberately —
+    // run_drop builds its own store view, and the store files are the
+    // coherence point (exactly how the CLI behaves against the same dir).
+    p.cfg.threads = opts_.threads;
+    p.cfg.store_dir = store_dir_;
+    p.cfg.cold_pass = cold_pass_hook();
+    try {
+      scenario::DropSummary summary = scenario::run_drop(p.cfg, nullptr);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.drops;
+        stats_.dedup += summary.totals;
+      }
+      p.promise.set_value(std::move(summary));
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      try {
+        std::rethrow_exception(err);
+      } catch (const PreemptedError&) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.preempted;
+      } catch (...) {
+      }
+      p.promise.set_exception(err);
+    }
   }
 }
 
@@ -145,13 +238,7 @@ void Scheduler::run_batch(std::vector<Pending>& batch) {
     dopts.surrogate.cache = proto.use_store ? &cache_ : nullptr;
     dopts.bin_width_db = proto.bin_width_db;
     dopts.use_store = proto.use_store;
-    dopts.cold_pass = [this](std::span<const core::LinkConfig> cfgs,
-                             const sim::StoppingRule& rule,
-                             const core::SweepOptions& sopts) {
-      return run_cold_pass_checkpointed(checkpoint_dir_, cfgs, rule, sopts,
-                                        &stop_flag_,
-                                        opts_.checkpoint_every_waves);
-    };
+    dopts.cold_pass = cold_pass_hook();
 
     try {
       core::DedupStats dstats;

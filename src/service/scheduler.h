@@ -24,11 +24,14 @@
 #include <cstdint>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/surrogate.h"
+#include "scenario/drop.h"
+#include "service/shard.h"
 #include "sim/ber_surrogate.h"
 
 namespace wlansim::service {
@@ -57,7 +60,13 @@ struct SchedulerStats {
   std::uint64_t batches = 0;   ///< engine passes (queue drains)
   std::uint64_t groups = 0;    ///< sweep_ber_deduped calls
   std::uint64_t preempted = 0; ///< jobs failed by shutdown preemption
-  core::DedupStats dedup;      ///< accumulated over all groups
+  std::uint64_t drops = 0;     ///< drop jobs completed
+  core::DedupStats dedup;      ///< accumulated over all groups and drops
+  // Shard-coordinator view (zero when sharding is not configured):
+  std::size_t workers = 0;           ///< workers configured
+  std::uint64_t sharded_passes = 0;  ///< cold passes fanned out
+  std::uint64_t shard_reassigned = 0;
+  std::uint64_t worker_respawns = 0;
 };
 
 class Scheduler {
@@ -75,6 +84,15 @@ class Scheduler {
     /// Start with the engine paused: submissions queue but do not run
     /// until resume() — deterministic coalescing for tests and benches.
     bool start_paused = false;
+    /// Local worker processes to spawn for sharded cold passes
+    /// (service/shard.h). 0 (+ no worker_sockets) = single-process cold
+    /// passes, exactly the pre-sharding behavior.
+    std::size_t workers = 0;
+    /// Sockets of already-running worker daemons to attach.
+    std::vector<std::filesystem::path> worker_sockets;
+    /// Worker binary for spawned workers; empty = auto-resolve
+    /// (ShardCoordinator::Options::worker_binary).
+    std::filesystem::path worker_binary;
   };
 
   explicit Scheduler(Options opts);
@@ -88,6 +106,12 @@ class Scheduler {
   /// PreemptedError when a shutdown preempted the job (its cold-pass
   /// progress is checkpointed; resubmitting after restart resumes).
   std::future<JobResult> submit(JobRequest req);
+
+  /// Enqueue a full drop (scenario::run_drop) on the engine thread. The
+  /// drop's threads / store_dir are overridden with the daemon's own, and
+  /// its pooled cold passes route through the same checkpointed (and
+  /// sharded, when workers are configured) executor as sweep jobs.
+  std::future<scenario::DropSummary> submit_drop(scenario::DropConfig cfg);
 
   /// Release a start_paused engine.
   void resume();
@@ -103,24 +127,35 @@ class Scheduler {
   const std::filesystem::path& checkpoint_dir() const {
     return checkpoint_dir_;
   }
+  /// The shard coordinator, or nullptr when sharding is not configured
+  /// (tests SIGKILL its worker_pids()).
+  ShardCoordinator* coordinator() { return coordinator_.get(); }
 
  private:
   struct Pending {
     JobRequest req;
     std::promise<JobResult> promise;
   };
+  struct PendingDrop {
+    scenario::DropConfig cfg;
+    std::promise<scenario::DropSummary> promise;
+  };
 
   void engine_loop();
   void run_batch(std::vector<Pending>& batch);
+  void run_drops(std::vector<PendingDrop>& drops);
+  core::ColdPassFn cold_pass_hook();
 
   Options opts_;
   std::filesystem::path store_dir_;
   std::filesystem::path checkpoint_dir_;
   sim::BerSurrogate cache_;  ///< persistent in-memory store view (engine only)
+  std::unique_ptr<ShardCoordinator> coordinator_;  ///< null = unsharded
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Pending> pending_;
+  std::vector<PendingDrop> pending_drops_;
   bool paused_ = false;
   bool stopping_ = false;
   SchedulerStats stats_;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "service/checkpoint.h"
+#include "service/shard.h"
 
 namespace wlansim::service {
 
@@ -169,10 +170,15 @@ std::string Server::handle_line(const std::string& line) {
       j.set("batches", Json::number_u64(st.batches));
       j.set("groups", Json::number_u64(st.groups));
       j.set("preempted", Json::number_u64(st.preempted));
+      j.set("drops", Json::number_u64(st.drops));
       j.set("queries", Json::number_u64(st.dedup.queries));
       j.set("distinct", Json::number_u64(st.dedup.distinct));
       j.set("warm", Json::number_u64(st.dedup.warm));
       j.set("cold", Json::number_u64(st.dedup.cold));
+      j.set("workers", Json::number_u64(st.workers));
+      j.set("sharded_passes", Json::number_u64(st.sharded_passes));
+      j.set("shard_reassigned", Json::number_u64(st.shard_reassigned));
+      j.set("worker_respawns", Json::number_u64(st.worker_respawns));
       return j.dump();
     }
     if (name == "shutdown") {
@@ -181,6 +187,13 @@ std::string Server::handle_line(const std::string& line) {
       j.set("ok", Json::boolean(true));
       j.set("stopping", Json::boolean(true));
       return j.dump();
+    }
+
+    if (name == "drop") {
+      const DropRequest drop = DropRequest::from_json(*req);
+      const scenario::DropSummary summary =
+          scheduler_.submit_drop(drop.cfg).get();
+      return drop_response(summary).dump();
     }
 
     JobRequest job;
@@ -219,6 +232,23 @@ std::string Server::handle_line(const std::string& line) {
   }
 }
 
+bool Server::serve_shard_line(int fd, const Json& req) {
+  try {
+    const ShardRequest shard = ShardRequest::from_json(req);
+    ShardServeOptions so;
+    so.checkpoint_dir = scheduler_.checkpoint_dir();
+    so.checkpoint_every_waves = opts_.scheduler.checkpoint_every_waves;
+    so.stop = &stop_;
+    // false = preempted (our stop flag or the coordinator vanished); the
+    // shard checkpoint is saved and the connection should close.
+    return serve_shard(fd, shard, so);
+  } catch (const std::exception& e) {
+    const std::string response = error_response(e.what()).dump() + "\n";
+    send_all(fd, response);
+    return false;
+  }
+}
+
 void Server::serve_connection(Connection* conn) {
   const int fd = conn->fd;
   std::string buffer;
@@ -230,6 +260,18 @@ void Server::serve_connection(Connection* conn) {
       buffer.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      // Shard jobs break the one-request-one-response shape: the worker
+      // streams progress lines and a final done line straight to the fd
+      // (service/shard.h). Everything else goes through handle_line.
+      if (line.find("\"shard\"") != std::string::npos) {
+        std::string parse_err;
+        const std::optional<Json> req = Json::parse(line, &parse_err);
+        const Json* op = req ? req->find("op") : nullptr;
+        if (req && op && op->is_string() && op->as_string() == "shard") {
+          if (!serve_shard_line(fd, *req)) break;
+          continue;
+        }
+      }
       const std::string response = handle_line(line) + "\n";
       if (!send_all(fd, response)) break;
       continue;

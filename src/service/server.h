@@ -69,6 +69,9 @@ class Server {
   };
 
   void serve_connection(Connection* conn);
+  /// Run an "op":"shard" request, streaming its responses to `fd`; true
+  /// when the connection may keep serving (the done line was sent).
+  bool serve_shard_line(int fd, const Json& req);
   /// Join and close connections whose threads have finished (the fd is
   /// closed only here and at teardown, so a descriptor is never recycled
   /// while another thread still holds its number).

@@ -187,6 +187,46 @@ TEST(ServiceServer, EndToEndOverTheSocket) {
   serving.join();
 }
 
+TEST(ServiceServer, HandleLineDropMatchesDirectRun) {
+  const fs::path dir = test_dir("drop");
+  Server server(server_opts(dir, "dr"));
+
+  DropRequest req;
+  req.cfg.num_stations = 6;
+  req.cfg.num_steps = 2;
+  req.cfg.area_half_m = 30.0;
+  req.cfg.seed = 7;
+  req.cfg.link = core::default_link_config();
+  req.cfg.link.psdu_bytes = 60;
+  req.cfg.snr_bin_db = 2.0;
+  req.cfg.rule = small_rule();
+
+  const scenario::DropSummary served = drop_summary_from_json(
+      parse_line(server.handle_line(req.to_json().dump())));
+
+  // Direct run with the daemon's resources (its store, its threads) — the
+  // served drop must agree in everything but wall clock, down to the
+  // rendered table bytes once the wall column is excluded.
+  scenario::DropConfig direct_cfg = req.cfg;
+  direct_cfg.threads = 2;
+  direct_cfg.store_dir = test_dir("drop-direct");
+  const scenario::DropSummary direct =
+      scenario::run_drop(direct_cfg, nullptr);
+
+  ASSERT_EQ(served.steps.size(), direct.steps.size());
+  for (std::size_t s = 0; s < direct.steps.size(); ++s) {
+    EXPECT_EQ(served.steps[s].dedup.queries, direct.steps[s].dedup.queries);
+    EXPECT_EQ(served.steps[s].dedup.distinct, direct.steps[s].dedup.distinct);
+    EXPECT_EQ(served.steps[s].mean_snr_db, direct.steps[s].mean_snr_db);
+    EXPECT_EQ(served.steps[s].mean_ber, direct.steps[s].mean_ber);
+    EXPECT_EQ(served.steps[s].mean_goodput_mbps,
+              direct.steps[s].mean_goodput_mbps);
+  }
+  EXPECT_EQ(served.totals.queries, direct.totals.queries);
+  EXPECT_EQ(served.totals.distinct, direct.totals.distinct);
+  EXPECT_EQ(server.scheduler().stats().drops, 1u);
+}
+
 TEST(ServiceServer, ConcurrentClientsCoalesce) {
   const fs::path dir = test_dir("concurrent");
   Server::Options opts = server_opts(dir, "cc");

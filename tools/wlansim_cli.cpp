@@ -24,6 +24,7 @@
 #include "scenario/drop.h"
 #include "scenario/trace.h"
 #include "sim/waveio.h"
+#include "cli_drop.h"
 #include "cli_link.h"
 
 namespace {
@@ -195,50 +196,7 @@ int cmd_goodput(const core::CliArgs& args) {
 }
 
 int cmd_drop(const core::CliArgs& args) {
-  scenario::DropConfig cfg;
-  cfg.num_stations = static_cast<std::size_t>(args.get_long("stations", 100));
-  cfg.num_steps = static_cast<std::size_t>(args.get_long("steps", 1));
-  cfg.area_half_m = args.get_double("area-half", cfg.area_half_m);
-  cfg.tx_power_dbm = args.get_double("tx-power-dbm", cfg.tx_power_dbm);
-  cfg.noise_figure_db = args.get_double("noise-figure", cfg.noise_figure_db);
-  cfg.path_loss.exponent = args.get_double("pl-exp", cfg.path_loss.exponent);
-  cfg.path_loss.ref_loss_db =
-      args.get_double("pl-ref-db", cfg.path_loss.ref_loss_db);
-  cfg.path_loss.shadowing_sigma_db =
-      args.get_double("shadow-sigma", cfg.path_loss.shadowing_sigma_db);
-  cfg.mobility.step_m = args.get_double("walk-step", cfg.mobility.step_m);
-  cfg.snr_bin_db = args.get_double("snr-bin", cfg.snr_bin_db);
-  cfg.snr_min_db = args.get_double("snr-min", cfg.snr_min_db);
-  cfg.snr_max_db = args.get_double("snr-max", cfg.snr_max_db);
-  cfg.adj_bin_db = args.get_double("adj-bin", cfg.adj_bin_db);
-  cfg.adj_floor_db = args.get_double("adj-floor", cfg.adj_floor_db);
-
-  // Interferer BSSs: counter-seeded positions like stations, with entity
-  // indices far above any station index so the streams never collide.
-  const auto cochannel = static_cast<std::size_t>(
-      args.get_long("cochannel-bss", 0));
-  const auto adjacent = static_cast<std::size_t>(
-      args.get_long("adjacent-bss", 0));
-  const double bss_power = args.get_double("bss-power-dbm", 16.0);
-  const double adj_offset = args.get_double("adjacent-offset-hz", 20e6);
-  cfg.link = link_from_args(args);
-  cfg.seed = cfg.link.seed;
-  for (std::size_t j = 0; j < cochannel + adjacent; ++j) {
-    scenario::InterfererBss bss;
-    bss.position = scenario::place_uniform(cfg.seed, (1ull << 32) + j,
-                                           cfg.area_half_m);
-    bss.tx_power_dbm = bss_power;
-    bss.offset_hz = j < cochannel ? 0.0 : adj_offset;
-    cfg.interferers.push_back(bss);
-  }
-
-  cfg.threads = static_cast<std::size_t>(args.get_long("threads", 0));
-  const auto rule = core::stopping_rule_from_args(args);
-  if (rule.has_value()) cfg.rule = *rule;
-  cfg.use_store = !args.has("no-store");
-  const std::string dir = args.get_string("calib-dir", "");
-  if (!dir.empty()) cfg.store_dir = dir;
-
+  scenario::DropConfig cfg = tools::drop_config_from_args(args);
   const std::string csv = args.get_string("csv", "");
   const std::string jsonl = args.get_string("jsonl", "");
   const std::string run_tag = args.get_string("run-tag", "drop");
@@ -262,18 +220,7 @@ int cmd_drop(const core::CliArgs& args) {
         for (auto& w : writers) w.write(s);
       });
 
-  std::printf("step  stations  distinct  warm  cold  mean_snr_db  mean_ber"
-              "   goodput_mbps  wall_s\n");
-  for (const auto& st : summary.steps) {
-    std::printf("%4u  %8zu  %8zu  %4zu  %4zu  %11.2f  %.2e  %12.2f  %6.2f\n",
-                st.step, st.dedup.queries, st.dedup.distinct, st.dedup.warm,
-                st.dedup.cold, st.mean_snr_db, st.mean_ber,
-                st.mean_goodput_mbps, st.wall_seconds);
-  }
-  std::printf("total: %zu evaluations -> %zu distinct (%zu warm, %zu cold) "
-              "in %.2f s\n",
-              summary.totals.queries, summary.totals.distinct,
-              summary.totals.warm, summary.totals.cold, summary.wall_seconds);
+  std::fputs(scenario::drop_summary_table(summary).c_str(), stdout);
   if (!csv.empty()) std::printf("wrote %s\n", csv.c_str());
   if (!jsonl.empty()) std::printf("wrote %s\n", jsonl.c_str());
   return 0;

@@ -7,6 +7,7 @@
 //                           --from A --to B --step S [link flags]
 //                           [stopping-rule flags] [--bin-width W]
 //                           [--no-store] [--csv out.csv]
+//   wlansim_client drop     --socket /tmp/wlansim.sock [drop flags]
 //
 // The sweep subcommand accepts the same link and stopping-rule flags as
 // `wlansim sweep` (tools/cli_link.h — one parser, two binaries) and renders
@@ -20,6 +21,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -28,9 +30,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "cli_drop.h"
 #include "cli_link.h"
 #include "core/cliargs.h"
 #include "service/protocol.h"
+#include "service/shard.h"
 #include "sim/sweep.h"
 
 namespace {
@@ -38,23 +42,20 @@ namespace {
 using namespace wlansim;
 
 /// One round trip: connect, send `request` + '\n', read one response line.
+/// Connect retries with backoff for a bounded window (default 5 s,
+/// $WLANSIM_CONNECT_TIMEOUT_MS to change it), so racing a just-started
+/// daemon waits for its socket instead of failing — CI smoke needs no
+/// sleep loops.
 std::string round_trip(const std::string& socket_path,
                        const std::string& request) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
-    throw std::runtime_error("socket path empty or too long: " + socket_path);
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0)
-    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    throw std::runtime_error("connect(" + socket_path +
-                             "): " + std::strerror(err) +
+  int timeout_ms = 5000;
+  if (const char* env = std::getenv("WLANSIM_CONNECT_TIMEOUT_MS")) {
+    if (*env != '\0') timeout_ms = std::atoi(env);
+  }
+  const int fd = service::connect_unix_retry(socket_path, timeout_ms);
+  if (fd < 0) {
+    throw std::runtime_error("connect(" + socket_path + "): " +
+                             std::strerror(errno) +
                              " (is wlansim_daemon running?)");
   }
 
@@ -168,9 +169,26 @@ int cmd_sweep(const core::CliArgs& args) {
   return 0;
 }
 
+int cmd_drop(const core::CliArgs& args) {
+  const std::string sock = args.get_string("socket", "/tmp/wlansim.sock");
+  // Same flag surface as `wlansim drop` (tools/cli_drop.h — one parser,
+  // two binaries). --threads and --calib-dir parse but stay local: the
+  // daemon evaluates with ITS threads against ITS store.
+  service::DropRequest drop;
+  drop.cfg = tools::drop_config_from_args(args);
+  tools::fail_on_unused(args);
+
+  const scenario::DropSummary summary = service::drop_summary_from_json(
+      parse_response(round_trip(sock, drop.to_json().dump())));
+  // The CLI's exact table bytes (scenario::drop_summary_table on both
+  // ends) — a daemon-served drop prints what `wlansim drop` prints.
+  std::fputs(scenario::drop_summary_table(summary).c_str(), stdout);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: wlansim_client <ping|stats|shutdown|sweep> "
+               "usage: wlansim_client <ping|stats|shutdown|sweep|drop> "
                "--socket PATH [options]\n");
   return 2;
 }
@@ -185,6 +203,7 @@ int main(int argc, char** argv) {
     if (cmd == "ping" || cmd == "stats" || cmd == "shutdown")
       return cmd_simple(cmd, args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "drop") return cmd_drop(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wlansim_client: %s\n", e.what());
